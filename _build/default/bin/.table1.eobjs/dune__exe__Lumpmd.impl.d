@@ -1,0 +1,1 @@
+bin/lumpmd.ml: Arg Array Cmd Cmdliner List Logs Mdl_core Mdl_ctmc Mdl_lumping Mdl_md Mdl_models Mdl_partition Mdl_san Mdl_sparse Mdl_util Option Printf String Term

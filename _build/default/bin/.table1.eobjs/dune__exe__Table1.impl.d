@@ -1,0 +1,1 @@
+bin/table1.ml: Array List Mdl_core Mdl_ctmc Mdl_lumping Mdl_md Mdl_models Mdl_partition Mdl_san Mdl_sparse Mdl_util Printf Sys

@@ -1,0 +1,338 @@
+(* lumpmd: build a model, represent its CTMC as a matrix diagram, lump
+   it compositionally, and optionally solve and report measures.
+
+   Examples:
+     dune exec bin/lumpmd.exe -- tandem --jobs 1 --solve
+     dune exec bin/lumpmd.exe -- workstations --stations 5 --mode exact
+     dune exec bin/lumpmd.exe -- polling --customers 4 --check-optimal
+     dune exec bin/lumpmd.exe -- tandem --dot /tmp/tandem.dot *)
+
+module Model = Mdl_san.Model
+module Md = Mdl_md.Md
+module Statespace = Mdl_md.Statespace
+module Partition = Mdl_partition.Partition
+module Decomposed = Mdl_core.Decomposed
+module Compositional = Mdl_core.Compositional
+module Md_solve = Mdl_core.Md_solve
+module Solver = Mdl_ctmc.Solver
+module State_lumping = Mdl_lumping.State_lumping
+module Local_key = Mdl_core.Local_key
+
+type instance = {
+  name : string;
+  md : Mdl_md.Md.t;
+  statespace : Statespace.t;
+  rewards : (string * Decomposed.t) list;
+  initial : Decomposed.t;
+}
+
+let build_tandem jobs hyper_dim msmq_servers msmq_queues =
+  let p =
+    { (Mdl_models.Tandem.default ~jobs) with hyper_dim; msmq_servers; msmq_queues }
+  in
+  let b = Mdl_models.Tandem.build p in
+  {
+    name = Printf.sprintf "tandem (J=%d, 2^%d hypercube, %d/%d MSMQ)" jobs hyper_dim
+        msmq_servers msmq_queues;
+    md = b.Mdl_models.Tandem.md;
+    statespace = b.Mdl_models.Tandem.exploration.Model.statespace;
+    rewards =
+      [
+        ("availability", b.Mdl_models.Tandem.rewards_availability);
+        ("msmq jobs", b.Mdl_models.Tandem.rewards_msmq_jobs);
+      ];
+    initial = b.Mdl_models.Tandem.initial;
+  }
+
+let build_polling customers =
+  let b = Mdl_models.Polling.build (Mdl_models.Polling.default ~customers) in
+  {
+    name = Printf.sprintf "polling (%d customers)" customers;
+    md = b.Mdl_models.Polling.md;
+    statespace = b.Mdl_models.Polling.exploration.Model.statespace;
+    rewards =
+      [
+        ("busy servers", b.Mdl_models.Polling.rewards_busy_servers);
+        ("queued jobs", b.Mdl_models.Polling.rewards_queued_jobs);
+      ];
+    initial = b.Mdl_models.Polling.initial;
+  }
+
+let build_multitier clients =
+  let b = Mdl_models.Multitier.build (Mdl_models.Multitier.default ~clients) in
+  {
+    name = Printf.sprintf "multitier (%d clients)" clients;
+    md = b.Mdl_models.Multitier.md;
+    statespace = b.Mdl_models.Multitier.exploration.Model.statespace;
+    rewards =
+      [
+        ("thinking clients", b.Mdl_models.Multitier.rewards_thinking);
+        ("db fast", b.Mdl_models.Multitier.rewards_db_fast);
+      ];
+    initial = b.Mdl_models.Multitier.initial;
+  }
+
+let build_kanban cards =
+  let b = Mdl_models.Kanban.build (Mdl_models.Kanban.default ~cards) in
+  {
+    name = Printf.sprintf "kanban (%d cards per cell)" cards;
+    md = b.Mdl_models.Kanban.md;
+    statespace = b.Mdl_models.Kanban.exploration.Model.statespace;
+    rewards = [ ("parts in system", b.Mdl_models.Kanban.rewards_in_system) ];
+    initial = b.Mdl_models.Kanban.initial;
+  }
+
+let build_workstations stations =
+  let b = Mdl_models.Workstations.build (Mdl_models.Workstations.default ~stations) in
+  {
+    name = Printf.sprintf "workstations (%d stations)" stations;
+    md = b.Mdl_models.Workstations.md;
+    statespace = b.Mdl_models.Workstations.exploration.Model.statespace;
+    rewards = [ ("operational", b.Mdl_models.Workstations.rewards_operational) ];
+    initial = b.Mdl_models.Workstations.initial;
+  }
+
+let setup_logging verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let run inst mode key solve check_optimal dot_file export_file merge_level =
+  Printf.printf "model: %s\n" inst.name;
+  (* Optional level merging before lumping (exposes cross-level
+     symmetries at the price of a bigger level; reward measures are not
+     carried across the merge, so lumping then protects none). *)
+  let inst =
+    match merge_level with
+    | None -> inst
+    | Some l ->
+        let md = Mdl_md.Restructure.merge_adjacent inst.md l in
+        let statespace =
+          Mdl_md.Statespace.map inst.statespace (Mdl_md.Restructure.merge_tuple inst.md l)
+        in
+        Printf.printf "merged levels %d and %d (measures not carried across the merge)\n"
+          l (l + 1);
+        {
+          name = inst.name ^ Printf.sprintf " [levels %d+%d merged]" l (l + 1);
+          md;
+          statespace;
+          rewards = [];
+          initial = Decomposed.constant ~sizes:(Mdl_md.Md.sizes md) 1.0;
+        }
+  in
+  let ss = inst.statespace in
+  let counts, entries = Md.stats inst.md in
+  Printf.printf "reachable states: %d\n" (Statespace.size ss);
+  Printf.printf "MD: levels %s; nodes %s; entries %s; %.1f KB\n"
+    (String.concat "/" (Array.to_list (Array.map string_of_int (Md.sizes inst.md))))
+    (String.concat "/" (Array.to_list (Array.map string_of_int counts)))
+    (String.concat "/" (Array.to_list (Array.map string_of_int entries)))
+    (float_of_int (Md.memory_bytes inst.md) /. 1024.0);
+  let result, lump_time =
+    Mdl_util.Timer.time (fun () ->
+        let rewards =
+          match inst.rewards with
+          | [] -> [ Decomposed.constant ~sizes:(Mdl_md.Md.sizes inst.md) 1.0 ]
+          | l -> List.map snd l
+        in
+        Compositional.lump ~key mode inst.md ~rewards ~initial:inst.initial)
+  in
+  Array.iteri
+    (fun i p ->
+      Printf.printf "level %d: %d -> %d\n" (i + 1) (Partition.size p)
+        (Partition.num_classes p))
+    result.Compositional.partitions;
+  let lumped_ss = Compositional.lump_statespace result ss in
+  Printf.printf "lumped states: %d (%.1fx) in %.3f s; lumped MD %.1f KB\n"
+    (Statespace.size lumped_ss)
+    (float_of_int (Statespace.size ss) /. float_of_int (Statespace.size lumped_ss))
+    lump_time
+    (float_of_int (Md.memory_bytes result.Compositional.lumped) /. 1024.0);
+  let closed = Compositional.is_closed result ss in
+  if not closed then print_endline "WARNING: reachable set not class-closed";
+  Option.iter
+    (fun path ->
+      Mdl_md.Dot.write_file result.Compositional.lumped path;
+      Printf.printf "lumped MD written to %s\n" path)
+    dot_file;
+  Option.iter
+    (fun path ->
+      let flat = Mdl_md.Md_vector.to_csr result.Compositional.lumped lumped_ss in
+      Mdl_sparse.Matrix_market.write_file flat path;
+      Printf.printf "lumped rate matrix (%dx%d, %d nnz) written to %s\n"
+        (Mdl_sparse.Csr.rows flat) (Mdl_sparse.Csr.cols flat) (Mdl_sparse.Csr.nnz flat)
+        path)
+    export_file;
+  if solve && closed then begin
+    match mode with
+    | State_lumping.Ordinary ->
+        let (pi, stats), solve_time =
+          Mdl_util.Timer.time (fun () ->
+              Md_solve.steady_state ~tol:1e-12 ~max_iter:500_000
+                result.Compositional.lumped lumped_ss)
+        in
+        Printf.printf "steady state: %d iterations, %.2f s%s\n" stats.Solver.iterations
+          solve_time
+          (if stats.Solver.converged then "" else " (NOT converged)");
+        List.iter
+          (fun (name, r) ->
+            let v =
+              Solver.expected_reward pi
+                (Decomposed.to_vector (Compositional.lumped_rewards result r) lumped_ss)
+            in
+            Printf.printf "measure %-16s = %.9f\n" name v)
+          inst.rewards
+    | State_lumping.Exact ->
+        print_endline "(--solve reports steady-state measures for ordinary mode only)"
+  end;
+  if check_optimal then begin
+    let n = Statespace.size lumped_ss in
+    if n > 60_000 then Printf.printf "optimality check skipped (%d states)\n" n
+    else begin
+      let flat = Mdl_md.Md_vector.to_csr result.Compositional.lumped lumped_ss in
+      let reward_vectors =
+        List.map
+          (fun (_, r) ->
+            Decomposed.to_vector (Compositional.lumped_rewards result r) lumped_ss)
+          inst.rewards
+      in
+      let initial_p =
+        Partition.group_by n
+          (fun s -> List.map (fun v -> v.(s)) reward_vectors)
+          (List.compare (fun a b -> Mdl_util.Floatx.compare_approx a b))
+      in
+      let further =
+        match mode with
+        | State_lumping.Ordinary -> State_lumping.coarsest Ordinary flat ~initial:initial_p
+        | State_lumping.Exact ->
+            let exit_p =
+              Partition.group_by n
+                (fun s -> Mdl_sparse.Csr.row_sum flat s)
+                (fun a b -> Mdl_util.Floatx.compare_approx a b)
+            in
+            ignore initial_p;
+            State_lumping.coarsest Exact flat ~initial:exit_p
+      in
+      Printf.printf "state-level lumping of the lumped chain: %d -> %d classes%s\n" n
+        (Partition.num_classes further)
+        (if Partition.num_classes further = n then " (compositional result is optimal)"
+         else "")
+    end
+  end
+
+(* ---- command line ---- *)
+
+open Cmdliner
+
+let mode_arg =
+  let mode_conv =
+    Arg.enum [ ("ordinary", State_lumping.Ordinary); ("exact", State_lumping.Exact) ]
+  in
+  Arg.(value & opt mode_conv State_lumping.Ordinary & info [ "mode" ] ~doc:"Lumping mode: $(b,ordinary) or $(b,exact).")
+
+let key_arg =
+  let key_conv =
+    Arg.enum
+      [ ("formal", Local_key.Formal_sums); ("expanded", Local_key.Expanded_matrices) ]
+  in
+  Arg.(value & opt key_conv Local_key.Formal_sums
+       & info [ "key" ] ~doc:"Local key function: $(b,formal) sums (fast, sufficient) or $(b,expanded) matrices (slow, exact per level).")
+
+let solve_arg = Arg.(value & flag & info [ "solve" ] ~doc:"Solve the lumped chain and print measures.")
+
+let check_arg =
+  Arg.(value & flag & info [ "check-optimal" ] ~doc:"Run flat state-level lumping on the lumped chain (Section 5's optimality check).")
+
+let dot_arg =
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc:"Write the lumped MD in Graphviz format to $(docv).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Enable debug logging (exploration and lumping internals).")
+
+let merge_arg =
+  Arg.(value & opt (some int) None
+       & info [ "merge" ] ~docv:"LEVEL"
+           ~doc:"Merge levels $(docv) and $(docv)+1 before lumping (exposes cross-level symmetry; reward measures are dropped).")
+
+let export_arg =
+  Arg.(value & opt (some string) None
+       & info [ "export-matrix" ] ~docv:"FILE"
+           ~doc:"Flatten the lumped chain over its reachable states and write the rate matrix in Matrix Market format to $(docv).")
+
+let tandem_cmd =
+  let jobs = Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~doc:"Population J.") in
+  let hdim = Arg.(value & opt int 3 & info [ "hyper-dim" ] ~doc:"Hypercube dimension (2^d servers).") in
+  let ms = Arg.(value & opt int 3 & info [ "msmq-servers" ] ~doc:"MSMQ servers.") in
+  let mq = Arg.(value & opt int 4 & info [ "msmq-queues" ] ~doc:"MSMQ queues.") in
+  let f jobs hdim ms mq mode key solve check dot export merge verbose =
+    setup_logging verbose;
+    run (build_tandem jobs hdim ms mq) mode key solve check dot export merge
+  in
+  Cmd.v
+    (Cmd.info "tandem" ~doc:"The paper's tandem multi-processor system (Section 5).")
+    Term.(
+      const f $ jobs $ hdim $ ms $ mq $ mode_arg $ key_arg $ solve_arg $ check_arg
+      $ dot_arg $ export_arg $ merge_arg $ verbose_arg)
+
+let polling_cmd =
+  let customers =
+    Arg.(value & opt int 4 & info [ "customers"; "c" ] ~doc:"Closed population.")
+  in
+  let f customers mode key solve check dot export merge verbose =
+    setup_logging verbose;
+    run (build_polling customers) mode key solve check dot export merge
+  in
+  Cmd.v
+    (Cmd.info "polling" ~doc:"The MSMQ polling station in isolation.")
+    Term.(
+      const f $ customers $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
+      $ export_arg $ merge_arg $ verbose_arg)
+
+let workstations_cmd =
+  let stations =
+    Arg.(value & opt int 4 & info [ "stations"; "n" ] ~doc:"Number of workstations.")
+  in
+  let f stations mode key solve check dot export merge verbose =
+    setup_logging verbose;
+    run (build_workstations stations) mode key solve check dot export merge
+  in
+  Cmd.v
+    (Cmd.info "workstations" ~doc:"Replicated workstation cluster with a spare store.")
+    Term.(
+      const f $ stations $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
+      $ export_arg $ merge_arg $ verbose_arg)
+
+let multitier_cmd =
+  let clients =
+    Arg.(value & opt int 3 & info [ "clients"; "c" ] ~doc:"Closed population.")
+  in
+  let f clients mode key solve check dot export merge verbose =
+    setup_logging verbose;
+    run (build_multitier clients) mode key solve check dot export merge
+  in
+  Cmd.v
+    (Cmd.info "multitier" ~doc:"Closed multi-tier service system (4-level MD).")
+    Term.(
+      const f $ clients $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
+      $ export_arg $ merge_arg $ verbose_arg)
+
+let kanban_cmd =
+  let cards =
+    Arg.(value & opt int 2 & info [ "cards"; "n" ] ~doc:"Kanban cards per cell.")
+  in
+  let f cards mode key solve check dot export merge verbose =
+    setup_logging verbose;
+    run (build_kanban cards) mode key solve check dot export merge
+  in
+  Cmd.v
+    (Cmd.info "kanban" ~doc:"The Kanban manufacturing system (4-level MD benchmark).")
+    Term.(
+      const f $ cards $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
+      $ export_arg $ merge_arg $ verbose_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "lumpmd" ~version:"1.0.0"
+       ~doc:"Compositional lumping of matrix-diagram-represented Markov models.")
+    [ tandem_cmd; polling_cmd; workstations_cmd; multitier_cmd; kanban_cmd ]
+
+let () = exit (Cmd.eval main)

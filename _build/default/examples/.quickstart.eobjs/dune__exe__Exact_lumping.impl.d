@@ -1,0 +1,1 @@
+examples/exact_lumping.ml: Array Float Mdl_core Mdl_ctmc Mdl_md Mdl_models Mdl_san Mdl_sparse Printf Sys

@@ -1,0 +1,1 @@
+examples/mttf.ml: Array Float Mdl_core Mdl_ctmc Mdl_md Mdl_models Mdl_san Printf Sys

@@ -1,0 +1,1 @@
+examples/polling_throughput.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Float List Mdl_core Mdl_ctmc Mdl_md Mdl_partition Mdl_san Printf

@@ -1,0 +1,1 @@
+examples/sensitivity.ml: Array List Mdl_core Mdl_ctmc Mdl_md Mdl_models Mdl_san Mdl_util Printf Sys

@@ -1,0 +1,1 @@
+examples/tandem_availability.ml: Array Mdl_core Mdl_ctmc Mdl_md Mdl_models Mdl_san Mdl_util Printf String Sys

@@ -1,0 +1,1 @@
+examples/transient_availability.ml: Array List Mdl_core Mdl_ctmc Mdl_md Mdl_models Mdl_san Printf Sys

@@ -1,0 +1,1 @@
+examples/transient_availability.mli:

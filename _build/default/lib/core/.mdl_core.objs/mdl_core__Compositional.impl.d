@@ -1,0 +1,1 @@
+lib/core/compositional.ml: Array Decomposed Hashtbl Level_lumping List Logs Mdl_lumping Mdl_md Mdl_partition Mdl_util Option Printf

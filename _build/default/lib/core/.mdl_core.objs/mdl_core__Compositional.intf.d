@@ -1,0 +1,1 @@
+lib/core/compositional.mli: Decomposed Local_key Mdl_lumping Mdl_md Mdl_partition Mdl_sparse

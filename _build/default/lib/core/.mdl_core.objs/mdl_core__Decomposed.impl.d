@@ -1,0 +1,1 @@
+lib/core/decomposed.ml: Array Mdl_md

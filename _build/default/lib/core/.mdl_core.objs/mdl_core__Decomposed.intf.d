@@ -1,0 +1,1 @@
+lib/core/decomposed.mli: Mdl_md Mdl_sparse

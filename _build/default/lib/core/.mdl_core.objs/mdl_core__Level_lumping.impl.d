@@ -1,0 +1,1 @@
+lib/core/level_lumping.ml: Array Decomposed List Local_key Mdl_lumping Mdl_md Mdl_partition Mdl_util Printf

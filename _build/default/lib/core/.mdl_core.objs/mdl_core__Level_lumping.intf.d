@@ -1,0 +1,1 @@
+lib/core/level_lumping.mli: Decomposed Local_key Mdl_lumping Mdl_md Mdl_partition

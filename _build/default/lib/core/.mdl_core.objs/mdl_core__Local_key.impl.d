@@ -1,0 +1,1 @@
+lib/core/local_key.ml: Array Hashtbl List Mdl_lumping Mdl_md Mdl_sparse Mdl_util Option

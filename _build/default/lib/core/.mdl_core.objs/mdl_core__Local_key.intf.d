@@ -1,0 +1,1 @@
+lib/core/local_key.mli: Mdl_lumping Mdl_md

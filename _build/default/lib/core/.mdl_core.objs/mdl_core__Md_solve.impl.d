@@ -1,0 +1,1 @@
+lib/core/md_solve.ml: Array Float Mdl_ctmc Mdl_md Mdl_sparse

@@ -1,0 +1,1 @@
+lib/core/md_solve.mli: Mdl_ctmc Mdl_md Mdl_sparse

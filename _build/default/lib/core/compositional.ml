@@ -1,0 +1,156 @@
+let log_src = Logs.Src.create "mdl.lump" ~doc:"compositional MD lumping"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+module Md = Mdl_md.Md
+module Formal_sum = Mdl_md.Formal_sum
+module Statespace = Mdl_md.Statespace
+module Partition = Mdl_partition.Partition
+
+type result = {
+  lumped : Md.t;
+  partitions : Partition.t array;
+}
+
+let rebuild mode md partitions =
+  let nlevels = Md.levels md in
+  let new_sizes = Array.map Partition.num_classes partitions in
+  let out = Md.create ~sizes:new_sizes in
+  let node_map = Hashtbl.create 64 in
+  Hashtbl.add node_map (Md.terminal md) (Md.terminal out);
+  let remap child =
+    match Hashtbl.find_opt node_map child with
+    | Some id -> id
+    | None -> invalid_arg "Compositional.rebuild: dangling child reference"
+  in
+  let live = Md.live_nodes md in
+  for level = nlevels downto 1 do
+    let p = partitions.(level - 1) in
+    List.iter
+      (fun node ->
+        let entries = ref [] in
+        (match mode with
+        | Mdl_lumping.State_lumping.Ordinary ->
+            (* Representative rows, class-summed columns. *)
+            for ci = 0 to Partition.num_classes p - 1 do
+              let rep = Partition.representative p ci in
+              List.iter
+                (fun (c, sum) ->
+                  entries :=
+                    (ci, Partition.class_of p c, Formal_sum.map_children remap sum)
+                    :: !entries)
+                (Md.node_row md node rep)
+            done
+        | Mdl_lumping.State_lumping.Exact ->
+            (* Aggregated form: all entries, scaled by 1/|C_row|. *)
+            Md.iter_node_entries md node (fun r c sum ->
+                let ci = Partition.class_of p r in
+                let w = 1.0 /. float_of_int (Partition.class_size p ci) in
+                entries :=
+                  ( ci,
+                    Partition.class_of p c,
+                    Formal_sum.scale w (Formal_sum.map_children remap sum) )
+                  :: !entries));
+        let new_id = Md.add_node out ~level !entries in
+        Hashtbl.replace node_map node new_id)
+      live.(level - 1)
+  done;
+  Md.set_root out (remap (Md.root md));
+  out
+
+let lump_with_partitions mode md partitions =
+  if Array.length partitions <> Md.levels md then
+    invalid_arg "Compositional.lump_with_partitions: level count mismatch";
+  Array.iteri
+    (fun i p ->
+      if Partition.size p <> Md.size md (i + 1) then
+        invalid_arg "Compositional.lump_with_partitions: partition size mismatch")
+    partitions;
+  { lumped = rebuild mode md partitions; partitions }
+
+let lump ?eps ?key mode md ~rewards ~initial =
+  let partitions =
+    Array.init (Md.levels md) (fun i ->
+        let level = i + 1 in
+        let p_ini =
+          Level_lumping.initial_partition ?eps mode md ~level ~rewards ~initial
+        in
+        let p, dt =
+          Mdl_util.Timer.time (fun () ->
+              Level_lumping.comp_lumping_level ?eps ?key mode md ~level ~initial:p_ini)
+        in
+        Log.debug (fun m ->
+            m "level %d: %d -> %d classes (P_ini %d) in %.3fs" level (Partition.size p)
+              (Partition.num_classes p)
+              (Partition.num_classes p_ini)
+              dt);
+        p)
+  in
+  lump_with_partitions mode md partitions
+
+let class_tuple r s =
+  if Array.length s <> Array.length r.partitions then
+    invalid_arg "Compositional.class_tuple: tuple length mismatch";
+  Array.mapi (fun i si -> Partition.class_of r.partitions.(i) si) s
+
+let class_volume r ct =
+  if Array.length ct <> Array.length r.partitions then
+    invalid_arg "Compositional.class_volume: tuple length mismatch";
+  let vol = ref 1 in
+  Array.iteri (fun i ci -> vol := !vol * Partition.class_size r.partitions.(i) ci) ct;
+  !vol
+
+let lump_statespace r ss = Statespace.map ss (class_tuple r)
+
+let is_closed r ss =
+  (* The reachable states of each global class must number exactly the
+     class volume (product of local class sizes). *)
+  let counts = Hashtbl.create (Statespace.size ss) in
+  Statespace.iter
+    (fun _ s ->
+      let ct = class_tuple r s in
+      let n = Option.value ~default:0 (Hashtbl.find_opt counts ct) in
+      Hashtbl.replace counts ct (n + 1))
+    ss;
+  Hashtbl.fold (fun ct n ok -> ok && n = class_volume r ct) counts true
+
+let check_sizes r ss lumped_ss v fn =
+  if Array.length v <> Statespace.size ss then
+    invalid_arg (Printf.sprintf "Compositional.%s: vector size mismatch" fn);
+  ignore r;
+  ignore lumped_ss
+
+let aggregate_vector r ss lumped_ss v =
+  check_sizes r ss lumped_ss v "aggregate_vector";
+  let out = Array.make (Statespace.size lumped_ss) 0.0 in
+  Statespace.iter
+    (fun i s ->
+      match Statespace.index lumped_ss (class_tuple r s) with
+      | Some j -> out.(j) <- out.(j) +. v.(i)
+      | None -> invalid_arg "Compositional.aggregate_vector: class tuple not in lumped space")
+    ss;
+  out
+
+let average_vector r ss lumped_ss v =
+  check_sizes r ss lumped_ss v "average_vector";
+  let out = Array.make (Statespace.size lumped_ss) 0.0 in
+  let counts = Array.make (Statespace.size lumped_ss) 0 in
+  Statespace.iter
+    (fun i s ->
+      match Statespace.index lumped_ss (class_tuple r s) with
+      | Some j ->
+          out.(j) <- out.(j) +. v.(i);
+          counts.(j) <- counts.(j) + 1
+      | None -> invalid_arg "Compositional.average_vector: class tuple not in lumped space")
+    ss;
+  Array.mapi (fun j total -> total /. float_of_int counts.(j)) out
+
+let representative_pick r l c = Partition.representative r.partitions.(l - 1) c
+
+let lumped_sizes r = Array.map Partition.num_classes r.partitions
+
+let lumped_rewards r d =
+  Decomposed.relabel d ~new_sizes:(lumped_sizes r) ~pick:(representative_pick r)
+
+let lumped_initial r d =
+  Decomposed.relabel d ~new_sizes:(lumped_sizes r) ~pick:(representative_pick r)

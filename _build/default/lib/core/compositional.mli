@@ -1,0 +1,83 @@
+(** The compositional MD lumping algorithm — Figure 3(b),
+    [CompositionalLump] — and the helpers needed to use its result for
+    numerical solution.
+
+    For each level of the diagram a locally lumpable partition is
+    computed ({!Level_lumping}); then every node is replaced by its
+    lumped quotient, rebuilding the diagram bottom-up so that nodes
+    which become equal after lumping merge by hash-consing (their
+    parents' formal-sum terms combine).  By Theorems 3 and 4 the
+    resulting diagram represents an (ordinarily / exactly) lumped
+    version of the original CTMC.
+
+    Quotient convention: as in flat lumping ({!Mdl_lumping.Quotient}),
+    ordinary mode takes representative rows and class-summed columns;
+    exact mode builds the aggregated form [R(C_i, C_j) / |C_i|], whose
+    per-level factorisation is [sum over class-pair entries / |local
+    class|] — a genuine rate matrix under exact lumpability. *)
+
+type result = {
+  lumped : Mdl_md.Md.t;  (** the lumped diagram *)
+  partitions : Mdl_partition.Partition.t array;
+      (** [partitions.(l-1)] partitions the original [S_l]; its class
+          ids are the index set of level [l] of [lumped] *)
+}
+
+val lump :
+  ?eps:float ->
+  ?key:Local_key.choice ->
+  Mdl_lumping.State_lumping.mode ->
+  Mdl_md.Md.t ->
+  rewards:Decomposed.t list ->
+  initial:Decomposed.t ->
+  result
+(** Run the full algorithm: per-level initial partitions from the
+    decomposed [rewards] (ordinary — every listed reward function is
+    protected and remains computable on the lumped chain) or [initial]
+    (exact), per-level fixed-point refinement, then rebuild. *)
+
+val lump_with_partitions :
+  Mdl_lumping.State_lumping.mode ->
+  Mdl_md.Md.t ->
+  Mdl_partition.Partition.t array ->
+  result
+(** Rebuild only, with externally supplied per-level partitions (assumed
+    locally lumpable — used by tests and by callers that compute
+    partitions separately).
+    @raise Invalid_argument on partition count/size mismatch. *)
+
+val class_tuple : result -> int array -> int array
+(** Map a global state to its class tuple (the corresponding state of
+    the lumped diagram). *)
+
+val class_volume : result -> int array -> int
+(** [class_volume r ct] is [prod_l |C_l|] — the number of original
+    states in the global class with class tuple [ct]. *)
+
+val lump_statespace : result -> Mdl_md.Statespace.t -> Mdl_md.Statespace.t
+(** Image of a reachable state space under {!class_tuple}. *)
+
+val is_closed : result -> Mdl_md.Statespace.t -> bool
+(** Whether the reachable state space is a union of global equivalence
+    classes (every class is fully reachable or fully unreachable).
+    Closure is what makes the quotient of the {e reachable} chain
+    well-defined; symmetric models satisfy it by construction. *)
+
+val aggregate_vector :
+  result -> Mdl_md.Statespace.t -> Mdl_md.Statespace.t -> Mdl_sparse.Vec.t -> Mdl_sparse.Vec.t
+(** [aggregate_vector r ss lumped_ss v] sums [v] over each class —
+    probability aggregation.  @raise Invalid_argument on size
+    mismatches. *)
+
+val average_vector :
+  result -> Mdl_md.Statespace.t -> Mdl_md.Statespace.t -> Mdl_sparse.Vec.t -> Mdl_sparse.Vec.t
+(** Class-averaged vector — Theorem 2's lumped rewards
+    [r~(i) = r(C_i)/|C_i|]. *)
+
+val lumped_rewards : result -> Decomposed.t -> Decomposed.t
+(** Carry a decomposed reward function to the lumped diagram by class
+    representatives (valid in ordinary mode, where factors are
+    class-constant by construction of [P_l^ini]). *)
+
+val lumped_initial : result -> Decomposed.t -> Decomposed.t
+(** Same for a decomposed initial distribution (exact mode). *)

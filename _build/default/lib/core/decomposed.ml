@@ -1,0 +1,60 @@
+type t = {
+  factors : float array array;
+  combine : float array -> float;
+}
+
+let make ~factors ~combine =
+  if Array.length factors = 0 then invalid_arg "Decomposed.make: no levels";
+  { factors; combine }
+
+let constant ~sizes v =
+  make
+    ~factors:(Array.map (fun n -> Array.make n 0.0) sizes)
+    ~combine:(fun _ -> v)
+
+let of_level ~sizes ~level f =
+  if level < 1 || level > Array.length sizes then
+    invalid_arg "Decomposed.of_level: level out of range";
+  let factors =
+    Array.mapi
+      (fun i n -> if i = level - 1 then Array.init n f else Array.make n 0.0)
+      sizes
+  in
+  make ~factors ~combine:(fun values -> values.(level - 1))
+
+let product ~sizes f =
+  let factors = Array.mapi (fun i n -> Array.init n (f (i + 1))) sizes in
+  make ~factors ~combine:(fun values -> Array.fold_left ( *. ) 1.0 values)
+
+let point ~sizes s0 =
+  if Array.length s0 <> Array.length sizes then
+    invalid_arg "Decomposed.point: tuple length mismatch";
+  product ~sizes (fun l s -> if s = s0.(l - 1) then 1.0 else 0.0)
+
+let levels t = Array.length t.factors
+
+let factor t l s =
+  if l < 1 || l > levels t then invalid_arg "Decomposed.factor: level out of range";
+  let fl = t.factors.(l - 1) in
+  if s < 0 || s >= Array.length fl then
+    invalid_arg "Decomposed.factor: substate out of range";
+  fl.(s)
+
+let eval t s =
+  if Array.length s <> levels t then invalid_arg "Decomposed.eval: tuple length mismatch";
+  t.combine (Array.mapi (fun i si -> factor t (i + 1) si) s)
+
+let to_vector t ss =
+  let v = Array.make (Mdl_md.Statespace.size ss) 0.0 in
+  Mdl_md.Statespace.iter (fun i s -> v.(i) <- eval t s) ss;
+  v
+
+let relabel t ~new_sizes ~pick =
+  if Array.length new_sizes <> levels t then
+    invalid_arg "Decomposed.relabel: level count mismatch";
+  let factors =
+    Array.mapi
+      (fun i n -> Array.init n (fun c -> factor t (i + 1) (pick (i + 1) c)))
+      new_sizes
+  in
+  { factors; combine = t.combine }

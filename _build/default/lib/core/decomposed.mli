@@ -1,0 +1,51 @@
+(** Decomposable reward vectors and initial distributions.
+
+    Section 3 of the paper restricts rewards (for ordinary lumping) and
+    initial probabilities (for exact lumping) to functions built upon
+    per-level substate functions:
+    [r(s) = g(f_1(s_1), .., f_L(s_L))].  The per-level factors [f_l] are
+    what the level-local initial partitions are computed from; [g] is
+    arbitrary and never needs to be inspected by the lumping algorithm. *)
+
+type t
+
+val make : factors:float array array -> combine:(float array -> float) -> t
+(** [make ~factors ~combine]: [factors.(l-1).(s)] is [f_l(s)];
+    [combine] is [g], applied to the per-level factor values of a state.
+    @raise Invalid_argument if [factors] is empty. *)
+
+val constant : sizes:int array -> float -> t
+(** The constant function [v] on every state. *)
+
+val of_level : sizes:int array -> level:int -> (int -> float) -> t
+(** A function depending only on one level's substate:
+    [r(s) = f(s_level)] (factor 0 elsewhere, [g] projects).  The common
+    case — e.g. "number of jobs in the hypercube input pool". *)
+
+val product : sizes:int array -> (int -> int -> float) -> t
+(** [product ~sizes f] is [r(s) = prod_l f l s_l] with [f l] the level-
+    [l] factor — the paper's worked example for point initial
+    distributions. *)
+
+val point : sizes:int array -> int array -> t
+(** [point ~sizes s0] is the indicator of global state [s0] — the
+    typical initial distribution [pi_ini(s0) = 1]. *)
+
+val levels : t -> int
+
+val factor : t -> int -> int -> float
+(** [factor t l s] is [f_l(s)]. *)
+
+val eval : t -> int array -> float
+(** [eval t s = g(f_1(s_1), .., f_L(s_L))]. *)
+
+val to_vector : t -> Mdl_md.Statespace.t -> Mdl_sparse.Vec.t
+(** Evaluate on every state of a state space. *)
+
+val relabel : t -> new_sizes:int array -> pick:(int -> int -> int) -> t
+(** [relabel t ~new_sizes ~pick] is the decomposed function on relabelled
+    level index sets whose level-[l] factor at index [c] is
+    [f_l (pick l c)].  Used to carry factors to a lumped diagram via
+    class representatives ([pick l c] = representative of class [c] at
+    level [l]); valid because the local lumping conditions make factors
+    class-constant. *)

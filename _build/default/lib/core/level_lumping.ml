@@ -1,0 +1,81 @@
+module Md = Mdl_md.Md
+module Formal_sum = Mdl_md.Formal_sum
+module Partition = Mdl_partition.Partition
+module Refiner = Mdl_partition.Refiner
+module Floatx = Mdl_util.Floatx
+
+let check_level md level fn =
+  if level < 1 || level > Md.levels md then
+    invalid_arg (Printf.sprintf "Level_lumping.%s: level out of range" fn)
+
+let full_row_sum md node s =
+  Formal_sum.sum (List.map snd (Md.node_row md node s))
+
+let initial_partition ?eps mode md ~level ~rewards ~initial =
+  check_level md level "initial_partition";
+  let n = Md.size md level in
+  match mode with
+  | Mdl_lumping.State_lumping.Ordinary ->
+      Partition.group_by n
+        (fun s -> List.map (fun r -> Decomposed.factor r level s) rewards)
+        (List.compare (fun a b -> Floatx.compare_approx ?eps a b))
+  | Mdl_lumping.State_lumping.Exact ->
+      let nodes = (Md.live_nodes md).(level - 1) in
+      let key s =
+        ( Decomposed.factor initial level s,
+          List.map (fun node -> full_row_sum md node s) nodes )
+      in
+      let cmp (f1, sums1) (f2, sums2) =
+        let c = Floatx.compare_approx ?eps f1 f2 in
+        if c <> 0 then c
+        else
+          List.compare (fun a b -> Formal_sum.compare_approx ?eps a b) sums1 sums2
+      in
+      Partition.group_by n key cmp
+
+let node_spec ?eps ctx choice mode md node =
+  {
+    Refiner.size = Md.size md (Md.node_level md node);
+    key_compare = (fun a b -> Local_key.compare ?eps a b);
+    splitter_keys = (fun c -> Local_key.splitter_keys ctx choice mode node c);
+  }
+
+let comp_lumping_level ?eps ?(key = Local_key.Formal_sums) mode md ~level ~initial =
+  check_level md level "comp_lumping_level";
+  if Partition.size initial <> Md.size md level then
+    invalid_arg "Level_lumping.comp_lumping_level: partition size mismatch";
+  let nodes = (Md.live_nodes md).(level - 1) in
+  let ctx = Local_key.make_context md in
+  let pass p =
+    List.fold_left
+      (fun p node -> Refiner.comp_lumping (node_spec ?eps ctx key mode md node) ~initial:p)
+      p nodes
+  in
+  let rec fix p =
+    let p' = pass p in
+    if Partition.equal p p' then p' else fix p'
+  in
+  fix initial
+
+let is_locally_lumpable ?eps mode md ~level p =
+  check_level md level "is_locally_lumpable";
+  let nodes = (Md.live_nodes md).(level - 1) in
+  let ctx = Local_key.make_context md in
+  List.for_all
+    (fun node ->
+      Refiner.is_stable (node_spec ?eps ctx Local_key.Formal_sums mode md node) p
+      &&
+      (* Exact lumping additionally requires constant full-row sums
+         (Eq. 4 of Definition 3). *)
+      match mode with
+      | Mdl_lumping.State_lumping.Ordinary -> true
+      | Mdl_lumping.State_lumping.Exact ->
+          Array.for_all
+            (fun members ->
+              let reference = full_row_sum md node members.(0) in
+              Array.for_all
+                (fun s ->
+                  Formal_sum.compare_approx ?eps reference (full_row_sum md node s) = 0)
+                members)
+            (Partition.classes p))
+    nodes

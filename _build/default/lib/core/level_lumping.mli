@@ -1,0 +1,51 @@
+(** Per-level lumping: the [CompLumpingLevel] procedure of Figure 3(a),
+    plus the level-local initial partitions [P_l^ini] of the paper's
+    "Overall Algorithm" paragraph.
+
+    [comp_lumping_level] computes, by fixed-point iteration over all
+    live nodes of a level, a partition of the level's index set that
+    satisfies the local lumpability conditions of Definition 3
+    ([~_lo] for ordinary, [~_le] for exact) at {e every} node
+    simultaneously. *)
+
+val initial_partition :
+  ?eps:float ->
+  Mdl_lumping.State_lumping.mode ->
+  Mdl_md.Md.t ->
+  level:int ->
+  rewards:Decomposed.t list ->
+  initial:Decomposed.t ->
+  Mdl_partition.Partition.t
+(** The coarsest partition of [S_level] such that, within each class:
+    ordinary — the level factor of {e every} protected reward function
+    is constant (pass all the measures you intend to compute on the
+    lumped chain);
+    exact — the initial-probability factor [f_pi,level] is constant and,
+    for every live node [n] of the level, the full-row formal sum
+    [r_{n, n'}(s, S_level)] (per child [n']) is constant. *)
+
+val comp_lumping_level :
+  ?eps:float ->
+  ?key:Local_key.choice ->
+  Mdl_lumping.State_lumping.mode ->
+  Mdl_md.Md.t ->
+  level:int ->
+  initial:Mdl_partition.Partition.t ->
+  Mdl_partition.Partition.t
+(** Fixed-point refinement over all live nodes of the level, starting
+    from [initial].  [key] defaults to {!Local_key.Formal_sums} (the
+    paper's choice); {!Local_key.Expanded_matrices} trades time for a
+    possibly coarser partition.
+    @raise Invalid_argument on a bad level or partition size mismatch. *)
+
+val is_locally_lumpable :
+  ?eps:float ->
+  Mdl_lumping.State_lumping.mode ->
+  Mdl_md.Md.t ->
+  level:int ->
+  Mdl_partition.Partition.t ->
+  bool
+(** Direct check of Definition 3's matrix conditions (with formal-sum
+    equality) for a given partition — the post-condition of
+    [comp_lumping_level], used by tests.  Does not check the reward /
+    initial-probability factor conditions. *)

@@ -1,0 +1,126 @@
+module Md = Mdl_md.Md
+module Formal_sum = Mdl_md.Formal_sum
+module Csr = Mdl_sparse.Csr
+module Coo = Mdl_sparse.Coo
+
+type choice = Formal_sums | Expanded_matrices
+
+type t = Sum of Formal_sum.t | Matrix of Csr.t
+
+let compare_matrices ?eps a b =
+  let c = compare (Csr.rows a) (Csr.rows b) in
+  if c <> 0 then c
+  else
+    let c = compare (Csr.cols a) (Csr.cols b) in
+    if c <> 0 then c
+    else begin
+      (* Both matrices are in canonical (row-major sorted) form; compare
+         entry streams with tolerant values. *)
+      let entries m =
+        let acc = ref [] in
+        Csr.iter (fun i j v -> acc := (i, j, v) :: !acc) m;
+        List.rev !acc
+      in
+      let rec loop ea eb =
+        match (ea, eb) with
+        | [], [] -> 0
+        | [], _ -> -1
+        | _, [] -> 1
+        | (i1, j1, v1) :: ra, (i2, j2, v2) :: rb ->
+            let c = compare (i1, j1) (i2, j2) in
+            if c <> 0 then c
+            else
+              let c = Mdl_util.Floatx.compare_approx ?eps v1 v2 in
+              if c <> 0 then c else loop ra rb
+      in
+      loop (entries a) (entries b)
+    end
+
+let compare ?eps a b =
+  match (a, b) with
+  | Sum sa, Sum sb -> Formal_sum.compare_approx ?eps sa sb
+  | Matrix ma, Matrix mb -> compare_matrices ?eps ma mb
+  | Sum _, Matrix _ -> -1
+  | Matrix _, Sum _ -> 1
+
+type context = {
+  md : Md.t;
+  flattened : (Md.node_id, Csr.t) Hashtbl.t;
+}
+
+let make_context md = { md; flattened = Hashtbl.create 64 }
+
+(* Flatten a node to the real matrix it represents over the suffix
+   product space (memoised).  The terminal flattens to the 1x1 [1]. *)
+let rec flatten ctx id =
+  match Hashtbl.find_opt ctx.flattened id with
+  | Some m -> m
+  | None ->
+      let level = Md.node_level ctx.md id in
+      let m =
+        if level > Md.levels ctx.md then Csr.identity 1
+        else begin
+          let n = Md.size ctx.md level in
+          let suffix =
+            let acc = ref 1 in
+            for l = level + 1 to Md.levels ctx.md do
+              acc := !acc * Md.size ctx.md l
+            done;
+            !acc
+          in
+          let dim = n * suffix in
+          let coo = Coo.create ~rows:dim ~cols:dim in
+          Md.iter_node_entries ctx.md id (fun r c s ->
+              List.iter
+                (fun (child, w) ->
+                  let block = flatten ctx child in
+                  Csr.iter
+                    (fun br bc v ->
+                      Coo.add coo ((r * suffix) + br) ((c * suffix) + bc) (w *. v))
+                    block)
+                (Formal_sum.terms s));
+          Csr.of_coo coo
+        end
+      in
+      Hashtbl.add ctx.flattened id m;
+      m
+
+let expand ctx sum =
+  (* sum_{n3} r * R_{n3} as an actual matrix. *)
+  match Formal_sum.terms sum with
+  | [] -> Csr.of_coo (Coo.create ~rows:0 ~cols:0)
+  | (child0, w0) :: rest ->
+      List.fold_left
+        (fun acc (child, w) -> Csr.add acc (Csr.scale w (flatten ctx child)))
+        (Csr.scale w0 (flatten ctx child0))
+        rest
+
+let splitter_keys ctx choice mode node c =
+  (* Accumulate formal sums per touched state: over columns of the
+     splitter for ordinary lumping (row sums R_n(s, C)), over rows for
+     exact lumping (column sums R_n(C, s)). *)
+  let acc : (int, Formal_sum.t) Hashtbl.t = Hashtbl.create 32 in
+  let touch s sum =
+    let prev = Option.value ~default:Formal_sum.empty (Hashtbl.find_opt acc s) in
+    Hashtbl.replace acc s (Formal_sum.add prev sum)
+  in
+  (match mode with
+  | Mdl_lumping.State_lumping.Ordinary ->
+      Array.iter
+        (fun col -> List.iter (fun (r, sum) -> touch r sum) (Md.node_col ctx.md node col))
+        c
+  | Mdl_lumping.State_lumping.Exact ->
+      Array.iter
+        (fun row -> List.iter (fun (cl, sum) -> touch cl sum) (Md.node_row ctx.md node row))
+        c);
+  Hashtbl.fold
+    (fun s sum l ->
+      if Formal_sum.is_empty sum then l
+      else
+        let key =
+          match choice with
+          | Formal_sums -> Sum sum
+          | Expanded_matrices -> Matrix (expand ctx sum)
+        in
+        (s, key) :: l)
+    acc []

@@ -1,0 +1,43 @@
+(** The key functions [K] of Section 4, computed on a single MD node.
+
+    The paper discusses two choices for [K(R_n2, s2, C2)]:
+
+    - {b Formal sums} — [{(r_{n2,n3}(s2, C2), n3) | n3 in N3}]: a set of
+      (coefficient, child) pairs, compared structurally.  Cheap (local
+      to the node), but only a {e sufficient} condition: two formal sums
+      can denote equal matrices without being structurally equal.  This
+      is the choice the paper's algorithm uses.
+
+    - {b Expanded matrices} — the actual matrix
+      [sum_{n3} r_{n2,n3}(s2, C2) * R_{n3}] of size up to
+      [|S_3| x |S_3|]: sufficient {e and} necessary per level, but
+      "prohibitively time-consuming" in general.  Implemented here for
+      the coarseness/time ablation (experiment P3 of DESIGN.md).
+
+    Keys are row sums over a splitter class for ordinary lumping and
+    column sums for exact lumping (Definition 3 / Proposition 1). *)
+
+type choice = Formal_sums | Expanded_matrices
+
+type t
+(** A key value: either a formal sum or an expanded matrix. *)
+
+val compare : ?eps:float -> t -> t -> int
+(** Total order; [0] = equal as lumping keys. *)
+
+type context
+(** Per-diagram memoisation (expanded-matrix flattening cache). *)
+
+val make_context : Mdl_md.Md.t -> context
+
+val splitter_keys :
+  context ->
+  choice ->
+  Mdl_lumping.State_lumping.mode ->
+  Mdl_md.Md.node_id ->
+  int array ->
+  (int * t) list
+(** [splitter_keys ctx choice mode node c] lists [(s, K(node, s, C))]
+    for every level-local state [s] whose key w.r.t. splitter class [C]
+    is nonzero.  Ordinary mode sums the entries of columns [C] per row;
+    exact mode sums the entries of rows [C] per column. *)

@@ -1,0 +1,1 @@
+lib/ctmc/absorption.ml: Array Ctmc Float Mdl_sparse Printf Queue Solver

@@ -1,0 +1,1 @@
+lib/ctmc/absorption.mli: Ctmc Mdl_sparse Solver

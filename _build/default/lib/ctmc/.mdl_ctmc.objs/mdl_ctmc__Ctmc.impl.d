@@ -1,0 +1,1 @@
+lib/ctmc/ctmc.ml: Array Float Format Fun Mdl_sparse Printf Queue

@@ -1,0 +1,1 @@
+lib/ctmc/dtmc.ml: Array Ctmc Float Mdl_sparse Printf Solver

@@ -1,0 +1,1 @@
+lib/ctmc/measures.mli: Mdl_sparse Mrp

@@ -1,0 +1,1 @@
+lib/ctmc/mrp.ml: Array Ctmc Mdl_sparse Mdl_util Printf

@@ -1,0 +1,1 @@
+lib/ctmc/mrp.mli: Ctmc Mdl_sparse

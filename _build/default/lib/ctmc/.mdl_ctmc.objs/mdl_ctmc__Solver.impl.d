@@ -1,0 +1,1 @@
+lib/ctmc/solver.ml: Array Ctmc Mdl_sparse Mdl_util

@@ -1,0 +1,1 @@
+lib/ctmc/solver.mli: Ctmc Mdl_sparse

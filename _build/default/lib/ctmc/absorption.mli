@@ -1,0 +1,33 @@
+(** Absorption analysis: mean time to absorption (MTTF-style measures)
+    and absorption probabilities — the complementary dependability
+    quantities to the steady-state/transient rewards of {!Measures}. *)
+
+val mean_time_to_absorption :
+  ?tol:float ->
+  ?max_iter:int ->
+  Ctmc.t ->
+  absorbing:(int -> bool) ->
+  Mdl_sparse.Vec.t * Solver.stats
+(** [mean_time_to_absorption c ~absorbing] is the vector [t] with [t(i)]
+    the expected time until the chain started in [i] first enters an
+    absorbing state ([0] on absorbing states).  States marked absorbing
+    have their outgoing rates ignored.  Computed by Gauss–Seidel on
+    [exit(i) t(i) = 1 + sum_j R(i,j) t(j)].
+    @raise Invalid_argument if no state is absorbing, or if some
+    transient state cannot reach an absorbing one (infinite
+    expectation). *)
+
+val absorption_probabilities :
+  ?tol:float ->
+  ?max_iter:int ->
+  Ctmc.t ->
+  absorbing:(int -> bool) ->
+  target:(int -> bool) ->
+  Mdl_sparse.Vec.t * Solver.stats
+(** [absorption_probabilities c ~absorbing ~target] is the vector [h]
+    with [h(i)] the probability that the chain started in [i] is
+    absorbed in a state satisfying [target] (which must imply
+    [absorbing]).  [h = 1] on target states, [0] on other absorbing
+    states.
+    @raise Invalid_argument if no state is absorbing or a target state
+    is not absorbing. *)

@@ -1,0 +1,52 @@
+module Csr = Mdl_sparse.Csr
+module Coo = Mdl_sparse.Coo
+module Vec = Mdl_sparse.Vec
+
+type t = { p : Csr.t }
+
+let of_matrix ?(eps = 1e-9) p =
+  if Csr.rows p <> Csr.cols p then invalid_arg "Dtmc.of_matrix: matrix is not square";
+  Csr.iter
+    (fun i j v ->
+      if v < 0.0 then
+        invalid_arg (Printf.sprintf "Dtmc.of_matrix: negative entry %g at (%d,%d)" v i j))
+    p;
+  Array.iteri
+    (fun i s ->
+      if Float.abs (s -. 1.0) > eps then
+        invalid_arg (Printf.sprintf "Dtmc.of_matrix: row %d sums to %g, not 1" i s))
+    (Csr.row_sums p);
+  { p }
+
+let size t = Csr.rows t.p
+
+let matrix t = t.p
+
+let uniformized_of_ctmc ?lambda ctmc =
+  let p, rate = Ctmc.uniformized ?lambda ctmc in
+  (of_matrix p, rate)
+
+let embedded_of_ctmc ctmc =
+  let r = Ctmc.rates ctmc in
+  let n = Ctmc.size ctmc in
+  let coo = Coo.create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    let exit = Ctmc.exit_rate ctmc i in
+    if exit = 0.0 then Coo.add coo i i 1.0
+    else Csr.iter_row r i (fun j v -> Coo.add coo i j (v /. exit))
+  done;
+  of_matrix (Csr.of_coo coo)
+
+let step t pi =
+  if Array.length pi <> size t then invalid_arg "Dtmc.step: size mismatch";
+  Csr.vec_mul pi t.p
+
+let distribution_after t n pi =
+  if n < 0 then invalid_arg "Dtmc.distribution_after: negative step count";
+  let current = ref (Vec.copy pi) in
+  for _ = 1 to n do
+    current := step t !current
+  done;
+  !current
+
+let stationary ?tol ?max_iter t = Solver.power ?tol ?max_iter (Solver.operator_of_csr t.p)

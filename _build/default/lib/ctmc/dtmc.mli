@@ -1,0 +1,42 @@
+(** Discrete-time Markov chains.
+
+    CTMC analysis keeps producing DTMCs — the uniformised chain
+    [P = I + Q/lambda] behind the power method and uniformisation, and
+    the embedded jump chain — and the lumping theory of the paper (via
+    Buchholz 1994) applies to them verbatim with [P] in place of [R].
+    This module gives them a first-class, validated type. *)
+
+type t
+
+val of_matrix : ?eps:float -> Mdl_sparse.Csr.t -> t
+(** @raise Invalid_argument unless the matrix is square, entrywise
+    non-negative and each row sums to 1 (within [eps], default 1e-9). *)
+
+val size : t -> int
+
+val matrix : t -> Mdl_sparse.Csr.t
+
+val uniformized_of_ctmc : ?lambda:float -> Ctmc.t -> t * float
+(** The uniformised DTMC of a CTMC and the rate used
+    (see {!Ctmc.uniformized}). *)
+
+val embedded_of_ctmc : Ctmc.t -> t
+(** The embedded jump chain: [P(i,j) = R(i,j)/R(i,S)] for non-absorbing
+    states; absorbing states ([R(i,S) = 0]) get a self-loop. *)
+
+val step : t -> Mdl_sparse.Vec.t -> Mdl_sparse.Vec.t
+(** One step of the distribution: [pi * P].
+    @raise Invalid_argument on size mismatch. *)
+
+val distribution_after : t -> int -> Mdl_sparse.Vec.t -> Mdl_sparse.Vec.t
+(** [n]-step distribution. @raise Invalid_argument if [n < 0]. *)
+
+val stationary :
+  ?tol:float -> ?max_iter:int -> t -> Mdl_sparse.Vec.t * Solver.stats
+(** Power iteration; converges for aperiodic chains.
+
+    Lumping: the flat algorithms of [Mdl_lumping] operate on arbitrary
+    non-negative matrices, so DTMCs lump by passing {!matrix} to
+    [State_lumping.coarsest] and [Quotient.rates] directly — the
+    quotient of a stochastic matrix is stochastic (tested in the lumping
+    suite). *)

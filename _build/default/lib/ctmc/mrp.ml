@@ -1,0 +1,35 @@
+type t = {
+  ctmc : Ctmc.t;
+  rewards : Mdl_sparse.Vec.t;
+  initial : Mdl_sparse.Vec.t;
+}
+
+let make ~ctmc ~rewards ~initial =
+  let n = Ctmc.size ctmc in
+  if Array.length rewards <> n then invalid_arg "Mrp.make: reward vector size mismatch";
+  if Array.length initial <> n then invalid_arg "Mrp.make: initial vector size mismatch";
+  Array.iter
+    (fun p -> if p < 0.0 then invalid_arg "Mrp.make: negative initial probability")
+    initial;
+  let total = Mdl_sparse.Vec.sum initial in
+  if not (Mdl_util.Floatx.approx_eq ~eps:1e-6 total 1.0) then
+    invalid_arg (Printf.sprintf "Mrp.make: initial distribution sums to %g, not 1" total);
+  { ctmc; rewards; initial }
+
+let uniform_initial n =
+  if n <= 0 then invalid_arg "Mrp.uniform_initial: empty state space";
+  Array.make n (1.0 /. float_of_int n)
+
+let point_initial n s =
+  if s < 0 || s >= n then invalid_arg "Mrp.point_initial: state out of bounds";
+  let v = Array.make n 0.0 in
+  v.(s) <- 1.0;
+  v
+
+let ctmc t = t.ctmc
+
+let size t = Ctmc.size t.ctmc
+
+let rewards t = t.rewards
+
+let initial t = t.initial

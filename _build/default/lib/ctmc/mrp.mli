@@ -1,0 +1,28 @@
+(** Markov reward processes (Definition 1 of the paper).
+
+    An MRP is a CTMC together with a rate-reward vector [r] and an
+    initial probability distribution [pi_ini].  High-level measures
+    (performance, dependability, availability) are expectations of [r]
+    under stationary or transient distributions; see {!Measures}. *)
+
+type t
+
+val make :
+  ctmc:Ctmc.t -> rewards:Mdl_sparse.Vec.t -> initial:Mdl_sparse.Vec.t -> t
+(** @raise Invalid_argument if the vector sizes do not match the chain,
+    if [initial] has a negative entry, or if [initial] does not sum to 1
+    (within tolerance). *)
+
+val uniform_initial : int -> Mdl_sparse.Vec.t
+(** Uniform distribution over [n] states. *)
+
+val point_initial : int -> int -> Mdl_sparse.Vec.t
+(** [point_initial n s] is the distribution concentrated on state [s]. *)
+
+val ctmc : t -> Ctmc.t
+
+val size : t -> int
+
+val rewards : t -> Mdl_sparse.Vec.t
+
+val initial : t -> Mdl_sparse.Vec.t

@@ -1,0 +1,119 @@
+module Vec = Mdl_sparse.Vec
+module Csr = Mdl_sparse.Csr
+
+type stats = { iterations : int; residual : float; converged : bool }
+
+type operator = { dim : int; apply : Vec.t -> Vec.t }
+
+let operator_of_csr m =
+  if Csr.rows m <> Csr.cols m then invalid_arg "Solver.operator_of_csr: not square";
+  { dim = Csr.rows m; apply = (fun x -> Csr.vec_mul x m) }
+
+let power ?(tol = 1e-12) ?(max_iter = 100_000) ?initial op =
+  let pi =
+    match initial with
+    | None -> Array.make op.dim (1.0 /. float_of_int op.dim)
+    | Some v ->
+        if Array.length v <> op.dim then invalid_arg "Solver.power: initial size mismatch";
+        Vec.copy v
+  in
+  let rec loop pi k =
+    let next = op.apply pi in
+    Vec.normalize1 next;
+    let diff = Vec.diff_inf next pi in
+    if diff <= tol then (next, { iterations = k; residual = diff; converged = true })
+    else if k >= max_iter then
+      (next, { iterations = k; residual = diff; converged = false })
+    else loop next (k + 1)
+  in
+  loop pi 1
+
+let steady_state ?tol ?max_iter ctmc =
+  let p, _lambda = Ctmc.uniformized ctmc in
+  power ?tol ?max_iter (operator_of_csr p)
+
+let steady_state_gauss_seidel ?(tol = 1e-12) ?(max_iter = 10_000) ctmc =
+  (* Solve pi Q = 0 by in-place sweeps over the transposed generator:
+     pi(j) = (sum_{i<>j} pi(i) Q(i,j)) / -Q(j,j).  Rows of Q^T hold the
+     incoming rates of state j; the diagonal is extracted on the fly. *)
+  let n = Ctmc.size ctmc in
+  let qt = Csr.transpose (Ctmc.generator ctmc) in
+  let pi = Array.make n (1.0 /. float_of_int n) in
+  let sweep () =
+    for j = 0 to n - 1 do
+      let incoming = ref 0.0 and diag = ref 0.0 in
+      Csr.iter_row qt j (fun i v -> if i = j then diag := v else incoming := !incoming +. (pi.(i) *. v));
+      if !diag < 0.0 then pi.(j) <- !incoming /. -. !diag
+    done;
+    Vec.normalize1 pi
+  in
+  let rec loop k prev =
+    sweep ();
+    let diff = Vec.diff_inf pi prev in
+    if diff <= tol then { iterations = k; residual = diff; converged = true }
+    else if k >= max_iter then { iterations = k; residual = diff; converged = false }
+    else loop (k + 1) (Vec.copy pi)
+  in
+  let stats = loop 1 (Vec.copy pi) in
+  (pi, stats)
+
+let poisson_weights ~epsilon ~qt =
+  (* Weights w(k) = e^{-qt} (qt)^k / k! for k = 0..r, with r chosen so the
+     truncated tail mass is below epsilon.  Computed in a numerically
+     safe way by scaling from the mode (a simplified Fox–Glynn). *)
+  if qt = 0.0 then [| 1.0 |]
+  else begin
+    let mode = int_of_float qt in
+    (* Generous upper bound on the right truncation point. *)
+    let r_max = mode + 10 + int_of_float (8.0 *. sqrt (qt +. 1.0) +. qt) in
+    let w = Array.make (r_max + 1) 0.0 in
+    w.(mode) <- 1.0;
+    (* Unnormalised: w(k+1) = w(k) * qt/(k+1); w(k-1) = w(k) * k/qt. *)
+    for k = mode + 1 to r_max do
+      w.(k) <- w.(k - 1) *. qt /. float_of_int k
+    done;
+    for k = mode - 1 downto 0 do
+      w.(k) <- w.(k + 1) *. float_of_int (k + 1) /. qt
+    done;
+    let total = Mdl_util.Floatx.sum_kahan w in
+    (* Find the right truncation point covering mass 1 - epsilon. *)
+    let target = (1.0 -. epsilon) *. total in
+    let acc = ref 0.0 and r = ref r_max in
+    (try
+       for k = 0 to r_max do
+         acc := !acc +. w.(k);
+         if !acc >= target then begin
+           r := k;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let w = Array.sub w 0 (!r + 1) in
+    Array.map (fun x -> x /. total) w
+  end
+
+let transient_operator ?(epsilon = 1e-12) ~t ~lambda op pi0 =
+  if t < 0.0 then invalid_arg "Solver.transient_operator: negative time";
+  if Array.length pi0 <> op.dim then
+    invalid_arg "Solver.transient_operator: initial size mismatch";
+  if t = 0.0 then Vec.copy pi0
+  else begin
+    let weights = poisson_weights ~epsilon ~qt:(lambda *. t) in
+    let result = Array.make (Array.length pi0) 0.0 in
+    let current = ref (Vec.copy pi0) in
+    Array.iteri
+      (fun k w ->
+        if k > 0 then current := op.apply !current;
+        Vec.axpy ~alpha:w !current result)
+      weights;
+    result
+  end
+
+let transient ?epsilon ~t ctmc pi0 =
+  if t < 0.0 then invalid_arg "Solver.transient: negative time";
+  if Array.length pi0 <> Ctmc.size ctmc then
+    invalid_arg "Solver.transient: initial size mismatch";
+  let p, lambda = Ctmc.uniformized ctmc in
+  transient_operator ?epsilon ~t ~lambda (operator_of_csr p) pi0
+
+let expected_reward pi r = Vec.dot pi r

@@ -1,0 +1,68 @@
+(** Numerical solution of CTMCs: stationary and transient distributions.
+
+    The iterative kernels are written against an abstract row-vector /
+    matrix product so that both flat sparse matrices and matrix-diagram
+    representations (whose whole point is to avoid materialising the
+    matrix) can drive the same solvers. *)
+
+type stats = {
+  iterations : int;
+  residual : float;  (** last convergence-test value *)
+  converged : bool;
+}
+
+type operator = {
+  dim : int;
+  apply : Mdl_sparse.Vec.t -> Mdl_sparse.Vec.t;
+      (** [apply x] is the row-vector product [x * P] for a DTMC matrix
+          [P]. *)
+}
+
+val operator_of_csr : Mdl_sparse.Csr.t -> operator
+(** @raise Invalid_argument if the matrix is not square. *)
+
+val power :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?initial:Mdl_sparse.Vec.t ->
+  operator ->
+  Mdl_sparse.Vec.t * stats
+(** Power iteration [pi := pi * P] with 1-normalisation each step;
+    converges to the stationary distribution of an aperiodic DTMC.
+    Convergence test: successive-iterate infinity-norm difference below
+    [tol] (default [1e-12]; [max_iter] default [100_000]). *)
+
+val steady_state :
+  ?tol:float -> ?max_iter:int -> Ctmc.t -> Mdl_sparse.Vec.t * stats
+(** Stationary distribution of a CTMC via power iteration on its
+    uniformised DTMC. *)
+
+val steady_state_gauss_seidel :
+  ?tol:float -> ?max_iter:int -> Ctmc.t -> Mdl_sparse.Vec.t * stats
+(** Gauss–Seidel sweeps on [pi Q = 0] (using the transposed generator),
+    renormalised each sweep.  Typically converges in far fewer
+    iterations than power iteration on stiff chains. *)
+
+val transient :
+  ?epsilon:float -> t:float -> Ctmc.t -> Mdl_sparse.Vec.t -> Mdl_sparse.Vec.t
+(** [transient ~t ctmc pi0] is the distribution at time [t] from [pi0],
+    by uniformisation (Poisson-weighted powers of the uniformised DTMC);
+    [epsilon] (default [1e-12]) bounds the truncation error.
+    @raise Invalid_argument if [t < 0]. *)
+
+val transient_operator :
+  ?epsilon:float ->
+  t:float ->
+  lambda:float ->
+  operator ->
+  Mdl_sparse.Vec.t ->
+  Mdl_sparse.Vec.t
+(** Uniformisation against an abstract DTMC operator [x -> x P] with
+    uniformisation rate [lambda] — the kernel behind {!transient},
+    exposed so matrix-diagram-driven analyses can reuse it without
+    materialising [P].
+    @raise Invalid_argument if [t < 0] or the vector dimension does not
+    match the operator. *)
+
+val expected_reward : Mdl_sparse.Vec.t -> Mdl_sparse.Vec.t -> float
+(** [expected_reward pi r] is [sum_i pi(i) * r(i)]. *)

@@ -1,0 +1,1 @@
+lib/kron/kronecker.ml: Array List Mdl_md Mdl_sparse Printf

@@ -1,0 +1,1 @@
+lib/kron/kronecker.mli: Mdl_md Mdl_sparse

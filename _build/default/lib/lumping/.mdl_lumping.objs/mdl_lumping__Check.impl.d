@@ -1,0 +1,1 @@
+lib/lumping/check.ml: Array Mdl_partition Mdl_sparse Mdl_util

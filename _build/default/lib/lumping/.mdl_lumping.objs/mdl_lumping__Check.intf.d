@@ -1,0 +1,1 @@
+lib/lumping/check.mli: Mdl_partition Mdl_sparse

@@ -1,0 +1,1 @@
+lib/lumping/quotient.ml: Array Mdl_ctmc Mdl_partition Mdl_sparse State_lumping

@@ -1,0 +1,1 @@
+lib/lumping/quotient.mli: Mdl_ctmc Mdl_partition Mdl_sparse State_lumping

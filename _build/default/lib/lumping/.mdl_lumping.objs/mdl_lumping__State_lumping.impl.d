@@ -1,0 +1,1 @@
+lib/lumping/state_lumping.ml: Array Hashtbl Mdl_ctmc Mdl_partition Mdl_sparse Mdl_util Option

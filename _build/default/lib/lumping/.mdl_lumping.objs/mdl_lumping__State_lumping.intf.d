@@ -1,0 +1,1 @@
+lib/lumping/state_lumping.mli: Mdl_ctmc Mdl_partition Mdl_sparse

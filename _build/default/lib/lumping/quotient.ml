@@ -1,0 +1,57 @@
+module Csr = Mdl_sparse.Csr
+module Coo = Mdl_sparse.Coo
+module Partition = Mdl_partition.Partition
+
+let rates mode r p =
+  if Csr.rows r <> Partition.size p then invalid_arg "Quotient.rates: size mismatch";
+  let k = Partition.num_classes p in
+  let coo = Coo.create ~rows:k ~cols:k in
+  (match mode with
+  | State_lumping.Ordinary ->
+      (* Row i~ of R~ from one representative row of R, class-summing the
+         columns. *)
+      for ci = 0 to k - 1 do
+        let s = Partition.representative p ci in
+        Csr.iter_row r s (fun j v -> Coo.add coo ci (Partition.class_of p j) v)
+      done
+  | State_lumping.Exact ->
+      (* Aggregated form: R~(i~, j~) = R(C_i, C_j) / |C_i|; one pass over
+         all entries of R. *)
+      Csr.iter
+        (fun i j v ->
+          let ci = Partition.class_of p i in
+          Coo.add coo ci (Partition.class_of p j)
+            (v /. float_of_int (Partition.class_size p ci)))
+        r);
+  Csr.of_coo coo
+
+let rewards r p =
+  if Array.length r <> Partition.size p then invalid_arg "Quotient.rewards: size mismatch";
+  Array.init (Partition.num_classes p) (fun c ->
+      let members = Partition.elements p c in
+      let total = Array.fold_left (fun acc s -> acc +. r.(s)) 0.0 members in
+      total /. float_of_int (Array.length members))
+
+let initial pi p =
+  if Array.length pi <> Partition.size p then invalid_arg "Quotient.initial: size mismatch";
+  Array.init (Partition.num_classes p) (fun c ->
+      Array.fold_left (fun acc s -> acc +. pi.(s)) 0.0 (Partition.elements p c))
+
+let mrp mode m p =
+  let ctmc = Mdl_ctmc.Ctmc.of_rates (rates mode (Mdl_ctmc.Ctmc.rates (Mdl_ctmc.Mrp.ctmc m)) p) in
+  Mdl_ctmc.Mrp.make ~ctmc
+    ~rewards:(rewards (Mdl_ctmc.Mrp.rewards m) p)
+    ~initial:(initial (Mdl_ctmc.Mrp.initial m) p)
+
+let lift v p =
+  if Array.length v <> Partition.num_classes p then
+    invalid_arg "Quotient.lift: class count mismatch";
+  Array.init (Partition.size p) (fun s ->
+      let c = Partition.class_of p s in
+      v.(c) /. float_of_int (Partition.class_size p c))
+
+let aggregate v p =
+  if Array.length v <> Partition.size p then invalid_arg "Quotient.aggregate: size mismatch";
+  let out = Array.make (Partition.num_classes p) 0.0 in
+  Array.iteri (fun s x -> out.(Partition.class_of p s) <- out.(Partition.class_of p s) +. x) v;
+  out

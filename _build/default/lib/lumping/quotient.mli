@@ -1,0 +1,46 @@
+(** Quotient (lumped) chain construction — Theorem 2 and the tail of
+    Figure 1's [Lump] procedure. *)
+
+val rates :
+  State_lumping.mode ->
+  Mdl_sparse.Csr.t ->
+  Mdl_partition.Partition.t ->
+  Mdl_sparse.Csr.t
+(** [rates mode r p] is the lumped rate matrix [R~]:
+    ordinary — [R~(i~, j~) = R(s, C_j)] for an arbitrary [s] in [C_i];
+    exact    — [R~(i~, j~) = R(C_i, C_j) / |C_i|].
+
+    For exact lumping the paper's Theorem 2 matrix [R(C_i, s)] (arbitrary
+    [s] in [C_j]) is not itself a rate matrix: its row sums are not the
+    exit rates of anything.  We build the diagonally-similar aggregated
+    form [R(C_i, C_j) / |C_i|] = [R(C_i, s) * |C_j| / |C_i|] instead
+    (Buchholz 1994, which Theorem 2 cites): under exact lumpability it is
+    a genuine CTMC rate matrix, the aggregated probability vector evolves
+    exactly under it, and Theorem 2's reward/initial formulas preserve
+    all measures.  The two matrices carry the same information (similarity
+    by [diag |C_i|]).  The partition is trusted (checked by callers and
+    tests, not here). *)
+
+val rewards :
+  Mdl_sparse.Vec.t -> Mdl_partition.Partition.t -> Mdl_sparse.Vec.t
+(** [r~(i~) = r(C_i) / |C_i|] (class average; equals the common value
+    under ordinary lumpability). *)
+
+val initial :
+  Mdl_sparse.Vec.t -> Mdl_partition.Partition.t -> Mdl_sparse.Vec.t
+(** [pi~_ini(i~) = pi_ini(C_i)] (class sum). *)
+
+val mrp : State_lumping.mode -> Mdl_ctmc.Mrp.t -> Mdl_partition.Partition.t -> Mdl_ctmc.Mrp.t
+(** Lumped MRP per Theorem 2. *)
+
+val lift :
+  Mdl_sparse.Vec.t -> Mdl_partition.Partition.t -> Mdl_sparse.Vec.t
+(** [lift v~ p] expands a class-indexed vector to a state-indexed one by
+    assigning each state its class's value divided by the class size —
+    the inverse of probability aggregation for exactly lumped chains
+    (equiprobable states within a class). *)
+
+val aggregate :
+  Mdl_sparse.Vec.t -> Mdl_partition.Partition.t -> Mdl_sparse.Vec.t
+(** [aggregate v p] sums a state-indexed vector per class (probability
+    aggregation for ordinarily lumped chains). *)

@@ -1,0 +1,56 @@
+module Csr = Mdl_sparse.Csr
+module Partition = Mdl_partition.Partition
+module Refiner = Mdl_partition.Refiner
+module Floatx = Mdl_util.Floatx
+
+type mode = Ordinary | Exact
+
+(* Accumulate, for splitter class [c], the nonzero sums
+   sum_{j in c} m(s, j) per state s, where [m] is R for exact keys over
+   the transpose, or R^T for ordinary keys (columns of R).  [m] must be
+   the matrix whose row [j] lists the states touched by member [j]. *)
+let class_sums m c =
+  let acc = Hashtbl.create 64 in
+  Array.iter
+    (fun j ->
+      Csr.iter_row m j (fun s v ->
+          let prev = Option.value ~default:0.0 (Hashtbl.find_opt acc s) in
+          Hashtbl.replace acc s (prev +. v)))
+    c;
+  Hashtbl.fold (fun s v l -> if v <> 0.0 then (s, v) :: l else l) acc []
+
+let coarsest ?eps mode r ~initial =
+  if Csr.rows r <> Csr.cols r then invalid_arg "State_lumping.coarsest: not square";
+  (* Ordinary: K(R, s, C) = R(s, C) = sum over j in C of R(s, j); the
+     touched states of splitter C are the predecessors of C, found by
+     walking columns of R, i.e. rows of R^T.  Exact: K(R, s, C) =
+     R(C, s); touched states are successors, rows of R itself. *)
+  let walk = match mode with Ordinary -> Csr.transpose r | Exact -> r in
+  let spec =
+    {
+      Refiner.size = Csr.rows r;
+      key_compare = (fun a b -> Floatx.compare_approx ?eps a b);
+      splitter_keys = (fun c -> class_sums walk c);
+    }
+  in
+  Refiner.comp_lumping spec ~initial
+
+let initial_partition ?eps mode mrp =
+  let n = Mdl_ctmc.Mrp.size mrp in
+  let cmp a b = Floatx.compare_approx ?eps a b in
+  match mode with
+  | Ordinary ->
+      let rewards = Mdl_ctmc.Mrp.rewards mrp in
+      Partition.group_by n (fun s -> rewards.(s)) cmp
+  | Exact ->
+      let pi = Mdl_ctmc.Mrp.initial mrp in
+      let exit s = Mdl_ctmc.Ctmc.exit_rate (Mdl_ctmc.Mrp.ctmc mrp) s in
+      let pair_cmp (a1, a2) (b1, b2) =
+        let c = cmp a1 b1 in
+        if c <> 0 then c else cmp a2 b2
+      in
+      Partition.group_by n (fun s -> (pi.(s), exit s)) pair_cmp
+
+let coarsest_mrp ?eps mode mrp =
+  let r = Mdl_ctmc.Ctmc.rates (Mdl_ctmc.Mrp.ctmc mrp) in
+  coarsest ?eps mode r ~initial:(initial_partition ?eps mode mrp)

@@ -1,0 +1,34 @@
+(** State-level (flat) optimal lumping — the algorithm of Derisavi,
+    Hermanns and Sanders [9], in the generalised form of Figure 1:
+    partition refinement with key [K(R, s, C) = R(s, C)] for ordinary
+    lumping and [K(R, s, C) = R(C, s)] for exact lumping.
+
+    This is both the baseline the paper compares against conceptually
+    and the optimality checker of Section 5 (the compositionally lumped
+    chain is fed back through this algorithm to confirm no further
+    reduction is possible). *)
+
+type mode = Ordinary | Exact
+
+val coarsest :
+  ?eps:float ->
+  mode ->
+  Mdl_sparse.Csr.t ->
+  initial:Mdl_partition.Partition.t ->
+  Mdl_partition.Partition.t
+(** [coarsest mode r ~initial] is the coarsest [mode]-lumpable partition
+    of the chain with rate matrix [r] refining [initial].  For exact
+    lumping the caller must ensure [initial] already separates states
+    with different total exit rates [R(s, S)] (use {!initial_partition}
+    or {!coarsest_mrp}).
+    @raise Invalid_argument if [r] is not square or sizes mismatch. *)
+
+val initial_partition : ?eps:float -> mode -> Mdl_ctmc.Mrp.t -> Mdl_partition.Partition.t
+(** The paper's [P_ini]: for ordinary lumping, group states by reward
+    value; for exact lumping, by initial probability and total exit rate
+    [R(s, S)]. *)
+
+val coarsest_mrp : ?eps:float -> mode -> Mdl_ctmc.Mrp.t -> Mdl_partition.Partition.t
+(** [coarsest_mrp mode m] = [coarsest mode R ~initial:(initial_partition
+    mode m)] — the full pipeline of Figure 1's [Lump] minus quotient
+    construction. *)

@@ -1,0 +1,1 @@
+lib/md/compact.ml: Formal_sum Hashtbl List Md Mdl_util Option

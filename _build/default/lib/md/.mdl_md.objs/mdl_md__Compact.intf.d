@@ -1,0 +1,1 @@
+lib/md/compact.mli: Md

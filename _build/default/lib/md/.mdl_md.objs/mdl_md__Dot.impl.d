@@ -1,0 +1,1 @@
+lib/md/dot.ml: Array Buffer Formal_sum Format Fun Hashtbl List Md Printf String

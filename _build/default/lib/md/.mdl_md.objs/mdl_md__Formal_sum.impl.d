@@ -1,0 +1,1 @@
+lib/md/formal_sum.ml: Array Format Int64 List Mdl_util

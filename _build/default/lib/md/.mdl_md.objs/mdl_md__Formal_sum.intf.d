@@ -1,0 +1,1 @@
+lib/md/formal_sum.mli: Format

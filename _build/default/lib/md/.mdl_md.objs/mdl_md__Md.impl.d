@@ -1,0 +1,1 @@
+lib/md/md.ml: Array Formal_sum Format Hashtbl List Mdl_sparse Mdl_util Option Printf

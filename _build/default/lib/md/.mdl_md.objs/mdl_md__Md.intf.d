@@ -1,0 +1,1 @@
+lib/md/md.mli: Formal_sum Format Mdl_sparse

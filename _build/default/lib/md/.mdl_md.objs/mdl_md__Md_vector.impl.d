@@ -1,0 +1,1 @@
+lib/md/md_vector.ml: Array Formal_sum List Md Mdd Mdl_sparse Printf Statespace

@@ -1,0 +1,1 @@
+lib/md/md_vector.mli: Md Mdd Mdl_sparse Statespace

@@ -1,0 +1,1 @@
+lib/md/mdd.ml: Array Hashtbl Mdl_util Statespace

@@ -1,0 +1,1 @@
+lib/md/restructure.ml: Array Formal_sum Hashtbl List Md

@@ -1,0 +1,1 @@
+lib/md/restructure.mli: Md

@@ -1,0 +1,1 @@
+lib/md/set_mdd.ml: Array Hashtbl List Mdl_util Option Statespace

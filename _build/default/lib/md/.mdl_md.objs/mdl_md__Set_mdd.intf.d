@@ -1,0 +1,1 @@
+lib/md/set_mdd.mli: Statespace

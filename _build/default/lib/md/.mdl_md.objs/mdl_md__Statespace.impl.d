@@ -1,0 +1,1 @@
+lib/md/statespace.ml: Array Format Hashtbl List Mdl_util String

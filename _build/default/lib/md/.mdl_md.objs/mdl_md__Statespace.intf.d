@@ -1,0 +1,1 @@
+lib/md/statespace.mli: Format

@@ -1,0 +1,128 @@
+module Sum_table = Hashtbl.Make (struct
+  type t = int * Formal_sum.t (* level of the referenced children, sum *)
+
+  let equal (l1, s1) (l2, s2) = l1 = l2 && Formal_sum.equal s1 s2
+
+  let hash (l, s) = Mdl_util.Hashx.combine l (Formal_sum.hash s)
+end)
+
+let merge_terms md =
+  let out = Md.create ~sizes:(Md.sizes md) in
+  let nlevels = Md.levels md in
+  let node_memo : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let merge_memo : int Sum_table.t = Sum_table.create 64 in
+  (* Convert a formal sum whose terms reference OLD nodes at [level]
+     into a sum over NEW nodes with at most one term. *)
+  let rec convert_sum level sum =
+    if level > nlevels then sum (* terminal references: plain scalars *)
+    else
+      match Formal_sum.terms sum with
+      | [] -> Formal_sum.empty
+      | [ (n, c) ] -> Formal_sum.singleton (convert_node n) c
+      | terms -> Formal_sum.singleton (convert_merged level terms) 1.0
+  (* Convert one old node as-is (entries converted recursively). *)
+  and convert_node n =
+    match Hashtbl.find_opt node_memo n with
+    | Some id -> id
+    | None ->
+        let level = Md.node_level md n in
+        let entries = ref [] in
+        Md.iter_node_entries md n (fun r c s ->
+            entries := (r, c, convert_sum (level + 1) s) :: !entries);
+        let id = Md.add_node out ~level !entries in
+        Hashtbl.add node_memo n id;
+        id
+  (* Build the node representing the weighted sum of several old nodes
+     at [level]. *)
+  and convert_merged level terms =
+    let key = (level, Formal_sum.of_list terms) in
+    match Sum_table.find_opt merge_memo key with
+    | Some id -> id
+    | None ->
+        let combined : (int * int, Formal_sum.t) Hashtbl.t = Hashtbl.create 64 in
+        List.iter
+          (fun (n, c) ->
+            Md.iter_node_entries md n (fun r cc s ->
+                let prev =
+                  Option.value ~default:Formal_sum.empty
+                    (Hashtbl.find_opt combined (r, cc))
+                in
+                Hashtbl.replace combined (r, cc) (Formal_sum.add prev (Formal_sum.scale c s))))
+          terms;
+        let entries =
+          Hashtbl.fold
+            (fun (r, cc) s acc -> (r, cc, convert_sum (level + 1) s) :: acc)
+            combined []
+        in
+        let id = Md.add_node out ~level entries in
+        Sum_table.add merge_memo key id;
+        id
+  in
+  let root = convert_node (Md.root md) in
+  Md.set_root out root;
+  out
+
+let normalize md =
+  let out = Md.create ~sizes:(Md.sizes md) in
+  (* memo: old node id -> (new node id, extracted scale factor);
+     references to an old node n with coefficient c become references to
+     the normalised node with coefficient c * scale(n). *)
+  let memo : (int, int * float) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.add memo (Md.terminal md) (Md.terminal out, 1.0);
+  let rec convert n =
+    match Hashtbl.find_opt memo n with
+    | Some r -> r
+    | None ->
+        let level = Md.node_level md n in
+        (* Convert entries first (children normalised bottom-up). *)
+        let entries = ref [] in
+        Md.iter_node_entries md n (fun r c s ->
+            let s' =
+              Formal_sum.of_list
+                (List.map
+                   (fun (child, w) ->
+                     let child', scale = convert child in
+                     (child', w *. scale))
+                   (Formal_sum.terms s))
+            in
+            if not (Formal_sum.is_empty s') then entries := (r, c, s') :: !entries);
+        (* Canonical factor: the first nonzero coefficient in row-major,
+           column-major, child-id order. *)
+        let ordered =
+          List.sort
+            (fun (r1, c1, _) (r2, c2, _) -> compare (r1, c1) (r2, c2))
+            !entries
+        in
+        let gamma =
+          match ordered with
+          | [] -> 1.0
+          | (_, _, s) :: _ -> (
+              match Formal_sum.terms s with
+              | (_, w) :: _ -> w
+              | [] -> 1.0)
+        in
+        let scaled =
+          if gamma = 1.0 then ordered
+          else
+            List.map (fun (r, c, s) -> (r, c, Formal_sum.scale (1.0 /. gamma) s)) ordered
+        in
+        let id = Md.add_node out ~level scaled in
+        let result = (id, gamma) in
+        Hashtbl.add memo n result;
+        result
+  in
+  let root, root_scale = convert (Md.root md) in
+  if root_scale = 1.0 then begin
+    Md.set_root out root;
+    out
+  end
+  else begin
+    (* Reapply the extracted root factor so the represented matrix is
+       unchanged: scale every root entry back. *)
+    let entries = ref [] in
+    Md.iter_node_entries out root (fun r c s ->
+        entries := (r, c, Formal_sum.scale root_scale s) :: !entries);
+    let root' = Md.add_node out ~level:1 !entries in
+    Md.set_root out root';
+    out
+  end

@@ -1,0 +1,44 @@
+let to_dot md =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph md {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n";
+  let live = Md.live_nodes md in
+  Array.iteri
+    (fun i ids ->
+      Buffer.add_string buf (Printf.sprintf "  subgraph cluster_%d { label=\"level %d\";\n" i (i + 1));
+      List.iter
+        (fun id ->
+          let entries = ref [] in
+          Md.iter_node_entries md id (fun r c s ->
+              entries :=
+                Printf.sprintf "(%d,%d): %s" r c
+                  (Format.asprintf "%a" Formal_sum.pp s)
+                :: !entries);
+          let label =
+            Printf.sprintf "R%d\\n%s" id (String.concat "\\n" (List.rev !entries))
+          in
+          Buffer.add_string buf (Printf.sprintf "    n%d [label=\"%s\"];\n" id label))
+        ids;
+      Buffer.add_string buf "  }\n")
+    live;
+  Buffer.add_string buf
+    (Printf.sprintf "  n%d [label=\"terminal\", shape=circle];\n" (Md.terminal md));
+  Array.iter
+    (List.iter (fun id ->
+         let seen = Hashtbl.create 8 in
+         Md.iter_node_entries md id (fun _ _ s ->
+             List.iter
+               (fun child ->
+                 if not (Hashtbl.mem seen child) then begin
+                   Hashtbl.add seen child ();
+                   Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" id child)
+                 end)
+               (Formal_sum.children s))))
+    live;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file md path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot md))

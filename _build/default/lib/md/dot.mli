@@ -1,0 +1,10 @@
+(** Graphviz export of matrix diagrams, for debugging and
+    documentation. *)
+
+val to_dot : Md.t -> string
+(** A [dot] digraph: one record node per live MD node showing its
+    nonzero entries, one edge per formal-sum term labelled with its
+    coefficient. *)
+
+val write_file : Md.t -> string -> unit
+(** Render {!to_dot} to a file. *)

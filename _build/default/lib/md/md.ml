@@ -1,0 +1,263 @@
+module Dynarray = Mdl_util.Dynarray
+module Hashx = Mdl_util.Hashx
+
+type node_id = int
+
+type node = {
+  level : int;
+  rows : (int * Formal_sum.t) array array; (* row -> entries sorted by col *)
+}
+
+(* Structural identity of node contents, used for hash-consing
+   (quasi-reduction): equal level and equal rows with bit-exact
+   coefficient equality. *)
+module Node_key = struct
+  type t = node
+
+  let equal a b =
+    a.level = b.level
+    && Array.length a.rows = Array.length b.rows
+    && Array.for_all2
+         (fun ra rb ->
+           Array.length ra = Array.length rb
+           && Array.for_all2
+                (fun (c1, s1) (c2, s2) -> c1 = c2 && Formal_sum.equal s1 s2)
+                ra rb)
+         a.rows b.rows
+
+  let hash n =
+    Array.fold_left
+      (fun h row ->
+        Array.fold_left
+          (fun h (c, s) -> Hashx.combine (Hashx.combine h c) (Formal_sum.hash s))
+          (Hashx.combine h (Array.length row))
+          row)
+      n.level n.rows
+end
+
+module Cons_table = Hashtbl.Make (Node_key)
+
+type t = {
+  nlevels : int;
+  level_sizes : int array;
+  nodes : node Dynarray.t; (* id -> node; id 0 is the terminal *)
+  cons : node_id Cons_table.t;
+  col_cache : (node_id, (int * Formal_sum.t) array array) Hashtbl.t;
+  mutable root_id : node_id option;
+}
+
+let create ~sizes =
+  if Array.length sizes = 0 then invalid_arg "Md.create: no levels";
+  Array.iter (fun s -> if s <= 0 then invalid_arg "Md.create: non-positive level size") sizes;
+  let nodes = Dynarray.create () in
+  (* Terminal node: the 1x1 identity scalar at conceptual level L+1. *)
+  Dynarray.push nodes { level = Array.length sizes + 1; rows = [||] };
+  {
+    nlevels = Array.length sizes;
+    level_sizes = Array.copy sizes;
+    nodes;
+    cons = Cons_table.create 256;
+    col_cache = Hashtbl.create 64;
+    root_id = None;
+  }
+
+let levels t = t.nlevels
+
+let size t l =
+  if l < 1 || l > t.nlevels then invalid_arg "Md.size: level out of range";
+  t.level_sizes.(l - 1)
+
+let sizes t = Array.copy t.level_sizes
+
+let terminal _t = 0
+
+let node t id =
+  if id < 0 || id >= Dynarray.length t.nodes then invalid_arg "Md: invalid node id";
+  Dynarray.get t.nodes id
+
+let node_level t id = (node t id).level
+
+let add_node t ~level entries =
+  if level < 1 || level > t.nlevels then invalid_arg "Md.add_node: level out of range";
+  let n = t.level_sizes.(level - 1) in
+  (* Combine duplicate positions and validate. *)
+  let by_pos = Hashtbl.create (List.length entries) in
+  List.iter
+    (fun (r, c, s) ->
+      if r < 0 || r >= n || c < 0 || c >= n then
+        invalid_arg
+          (Printf.sprintf "Md.add_node: entry (%d,%d) out of range for level %d (size %d)"
+             r c level n);
+      List.iter
+        (fun child ->
+          let cl = node_level t child in
+          if cl <> level + 1 then
+            invalid_arg
+              (Printf.sprintf
+                 "Md.add_node: child %d has level %d, expected %d" child cl (level + 1)))
+        (Formal_sum.children s);
+      let prev = Option.value ~default:Formal_sum.empty (Hashtbl.find_opt by_pos (r, c)) in
+      Hashtbl.replace by_pos (r, c) (Formal_sum.add prev s))
+    entries;
+  let rows = Array.make n [] in
+  Hashtbl.iter
+    (fun (r, c) s -> if not (Formal_sum.is_empty s) then rows.(r) <- (c, s) :: rows.(r))
+    by_pos;
+  let rows =
+    Array.map
+      (fun l ->
+        let a = Array.of_list l in
+        Array.sort (fun (c1, _) (c2, _) -> compare c1 c2) a;
+        a)
+      rows
+  in
+  let candidate = { level; rows } in
+  match Cons_table.find_opt t.cons candidate with
+  | Some id -> id
+  | None ->
+      let id = Dynarray.length t.nodes in
+      Dynarray.push t.nodes candidate;
+      Cons_table.add t.cons candidate id;
+      id
+
+let scalar_sum t v = Formal_sum.singleton (terminal t) v
+
+let set_root t id =
+  if node_level t id <> 1 then invalid_arg "Md.set_root: node is not at level 1";
+  t.root_id <- Some id
+
+let root t =
+  match t.root_id with
+  | Some id -> id
+  | None -> invalid_arg "Md.root: no root set"
+
+let node_row t id r =
+  let nd = node t id in
+  if r < 0 || r >= Array.length nd.rows then invalid_arg "Md.node_row: row out of range";
+  Array.to_list nd.rows.(r)
+
+let iter_node_entries t id f =
+  let nd = node t id in
+  Array.iteri (fun r row -> Array.iter (fun (c, s) -> f r c s) row) nd.rows
+
+let node_nnz t id =
+  let nd = node t id in
+  Array.fold_left (fun acc row -> acc + Array.length row) 0 nd.rows
+
+let node_col t id c =
+  let cols =
+    match Hashtbl.find_opt t.col_cache id with
+    | Some cols -> cols
+    | None ->
+        let nd = node t id in
+        let n = Array.length nd.rows in
+        let acc = Array.make n [] in
+        (* Walk rows in reverse so each column list ends up ascending. *)
+        for r = n - 1 downto 0 do
+          Array.iter (fun (col, s) -> acc.(col) <- (r, s) :: acc.(col)) nd.rows.(r)
+        done;
+        let cols = Array.map Array.of_list acc in
+        Hashtbl.add t.col_cache id cols;
+        cols
+  in
+  if c < 0 || c >= Array.length cols then invalid_arg "Md.node_col: column out of range";
+  Array.to_list cols.(c)
+
+let live_nodes t =
+  let r = root t in
+  let per_level = Array.make t.nlevels [] in
+  let seen = Hashtbl.create 64 in
+  let rec visit id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      let nd = node t id in
+      if nd.level <= t.nlevels then begin
+        per_level.(nd.level - 1) <- id :: per_level.(nd.level - 1);
+        Array.iter
+          (fun row ->
+            Array.iter (fun (_, s) -> List.iter visit (Formal_sum.children s)) row)
+          nd.rows
+      end
+    end
+  in
+  visit r;
+  Array.map List.rev per_level
+
+let num_live_nodes t = Array.fold_left (fun acc l -> acc + List.length l) 0 (live_nodes t)
+
+let iter_entries t f =
+  let l = t.nlevels in
+  let row_buf = Array.make l 0 and col_buf = Array.make l 0 in
+  let rec walk id coeff =
+    let nd = node t id in
+    if nd.level > l then f ~row:row_buf ~col:col_buf coeff
+    else
+      Array.iteri
+        (fun r row ->
+          row_buf.(nd.level - 1) <- r;
+          Array.iter
+            (fun (c, s) ->
+              col_buf.(nd.level - 1) <- c;
+              List.iter
+                (fun (child, w) -> walk child (coeff *. w))
+                (Formal_sum.terms s))
+            row)
+        nd.rows
+  in
+  walk (root t) 1.0
+
+let potential_space_size t = Array.fold_left ( * ) 1 t.level_sizes
+
+let to_csr t =
+  let n = potential_space_size t in
+  if n > 1 lsl 22 then invalid_arg "Md.to_csr: product space too large to flatten";
+  let coo = Mdl_sparse.Coo.create ~rows:n ~cols:n in
+  let index tuple =
+    let acc = ref 0 in
+    for l = 0 to t.nlevels - 1 do
+      acc := (!acc * t.level_sizes.(l)) + tuple.(l)
+    done;
+    !acc
+  in
+  iter_entries t (fun ~row ~col v -> Mdl_sparse.Coo.add coo (index row) (index col) v);
+  Mdl_sparse.Csr.of_coo coo
+
+let memory_bytes t =
+  let live = live_nodes t in
+  let bytes = ref 0 in
+  Array.iter
+    (List.iter (fun id ->
+         let nd = node t id in
+         bytes := !bytes + (8 * Array.length nd.rows) + 16;
+         Array.iter
+           (fun row ->
+             Array.iter
+               (fun (_, s) -> bytes := !bytes + 8 + (16 * Formal_sum.num_terms s))
+               row)
+           nd.rows))
+    live;
+  !bytes
+
+let stats t =
+  let live = live_nodes t in
+  let counts = Array.map List.length live in
+  let entries =
+    Array.map (fun ids -> List.fold_left (fun acc id -> acc + node_nnz t id) 0 ids) live
+  in
+  (counts, entries)
+
+let pp ppf t =
+  let live = live_nodes t in
+  Format.fprintf ppf "@[<v>MD with %d levels, %d live nodes" t.nlevels (num_live_nodes t);
+  Array.iteri
+    (fun i ids ->
+      Format.fprintf ppf "@,level %d (|S|=%d): %d nodes" (i + 1) t.level_sizes.(i)
+        (List.length ids);
+      List.iter
+        (fun id ->
+          Format.fprintf ppf "@,  R%d:" id;
+          iter_node_entries t id (fun r c s ->
+              Format.fprintf ppf "@,    (%d,%d) = %a" r c Formal_sum.pp s))
+        ids)
+    live;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,358 @@
+module Dynarray = Mdl_util.Dynarray
+module Hashx = Mdl_util.Hashx
+
+type t = int
+
+(* id 0 = Zero (empty set), id 1 = One (the terminal below the bottom
+   level); ids >= 2 are proper nodes. *)
+let zero = 0
+
+let one = 1
+
+type node_data = {
+  level : int;
+  arcs : (int * int) array; (* (local state, child id), sorted, child <> Zero *)
+}
+
+module Key = struct
+  type t = node_data
+
+  let equal a b = a.level = b.level && a.arcs = b.arcs
+
+  let hash n =
+    Array.fold_left
+      (fun h (s, c) -> Hashx.combine (Hashx.combine h s) c)
+      n.level n.arcs
+end
+
+module Cons = Hashtbl.Make (Key)
+
+type man = {
+  nlevels : int;
+  nodes : node_data Dynarray.t; (* data for id i at index i-2 *)
+  cons : int Cons.t;
+  union_cache : (int * int, int) Hashtbl.t;
+  image_cache : (int * int, int) Hashtbl.t;
+  count_cache : (int, int) Hashtbl.t;
+}
+
+let manager ~levels =
+  if levels < 1 then invalid_arg "Set_mdd.manager: levels must be >= 1";
+  {
+    nlevels = levels;
+    nodes = Dynarray.create ();
+    cons = Cons.create 1024;
+    union_cache = Hashtbl.create 1024;
+    image_cache = Hashtbl.create 1024;
+    count_cache = Hashtbl.create 1024;
+  }
+
+let levels m = m.nlevels
+
+let empty _m = zero
+
+let is_empty t = t = zero
+
+let equal (a : t) b = a = b
+
+let data m id = Dynarray.get m.nodes (id - 2)
+
+let mk m level arcs =
+  if Array.length arcs = 0 then zero
+  else begin
+    let candidate = { level; arcs } in
+    match Cons.find_opt m.cons candidate with
+    | Some id -> id
+    | None ->
+        let id = Dynarray.length m.nodes + 2 in
+        Dynarray.push m.nodes candidate;
+        Cons.add m.cons candidate id;
+        id
+  end
+
+let singleton m tuple =
+  if Array.length tuple <> m.nlevels then
+    invalid_arg "Set_mdd.singleton: tuple length mismatch";
+  Array.iter
+    (fun s -> if s < 0 then invalid_arg "Set_mdd.singleton: negative substate")
+    tuple;
+  let rec build level =
+    if level > m.nlevels then one
+    else mk m level [| (tuple.(level - 1), build (level + 1)) |]
+  in
+  build 1
+
+let rec union m a b =
+  if a = b then a
+  else if a = zero then b
+  else if b = zero then a
+  else if a = one || b = one then one (* both at the terminal level *)
+  else begin
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt m.union_cache key with
+    | Some r -> r
+    | None ->
+        let da = data m a and db = data m b in
+        assert (da.level = db.level);
+        (* merge the sorted arc arrays *)
+        let out = Dynarray.create () in
+        let na = Array.length da.arcs and nb = Array.length db.arcs in
+        let i = ref 0 and j = ref 0 in
+        while !i < na || !j < nb do
+          if !i >= na then begin
+            Dynarray.push out db.arcs.(!j);
+            incr j
+          end
+          else if !j >= nb then begin
+            Dynarray.push out da.arcs.(!i);
+            incr i
+          end
+          else begin
+            let sa, ca = da.arcs.(!i) and sb, cb = db.arcs.(!j) in
+            if sa < sb then begin
+              Dynarray.push out (sa, ca);
+              incr i
+            end
+            else if sb < sa then begin
+              Dynarray.push out (sb, cb);
+              incr j
+            end
+            else begin
+              Dynarray.push out (sa, union m ca cb);
+              incr i;
+              incr j
+            end
+          end
+        done;
+        let r = mk m da.level (Dynarray.to_array out) in
+        Hashtbl.add m.union_cache key r;
+        r
+  end
+
+let mem m t tuple =
+  if Array.length tuple <> m.nlevels then invalid_arg "Set_mdd.mem: tuple length mismatch";
+  let rec walk id level =
+    if id = zero then false
+    else if level > m.nlevels then true
+    else begin
+      let arcs = (data m id).arcs in
+      let rec find lo hi =
+        if lo > hi then false
+        else
+          let mid = (lo + hi) / 2 in
+          let s, c = arcs.(mid) in
+          if s = tuple.(level - 1) then walk c (level + 1)
+          else if s < tuple.(level - 1) then find (mid + 1) hi
+          else find lo (mid - 1)
+      in
+      find 0 (Array.length arcs - 1)
+    end
+  in
+  walk t 1
+
+let rec count m t =
+  if t = zero then 0
+  else if t = one then 1
+  else
+    match Hashtbl.find_opt m.count_cache t with
+    | Some n -> n
+    | None ->
+        let n =
+          Array.fold_left (fun acc (_, c) -> acc + count m c) 0 (data m t).arcs
+        in
+        Hashtbl.add m.count_cache t n;
+        n
+
+let num_nodes m = Dynarray.length m.nodes
+
+(* The image computation interns nothing by itself: [rel] is consulted
+   only for local states present in the set, and a level's successors
+   are materialised only when all deeper levels produced a non-empty
+   image — see the Kronecker product semantics in the mli. *)
+let image m rel t =
+  let rec walk id =
+    if id = zero then zero
+    else if id = one then one
+    else begin
+      let d = data m id in
+      (* accumulate target local state -> child image (unioned) *)
+      let acc : (int, t) Hashtbl.t = Hashtbl.create 8 in
+      Array.iter
+        (fun (s, child) ->
+          match rel d.level s with
+          | [] -> ()
+          | targets ->
+              let child' = walk child in
+              if child' <> zero then
+                List.iter
+                  (fun v ->
+                    let prev = Option.value ~default:zero (Hashtbl.find_opt acc v) in
+                    Hashtbl.replace acc v (union m prev child'))
+                  targets)
+        d.arcs;
+      let arcs =
+        Hashtbl.fold (fun v c l -> (v, c) :: l) acc []
+        |> List.sort compare |> Array.of_list
+      in
+      mk m d.level arcs
+    end
+  in
+  walk t
+
+let image_cached m ~key rel t =
+  (* One flat cache for all events; per-(event, node) entries.  Note the
+     cache is only sound if [rel] is deterministic per key. *)
+  let rec walk id =
+    if id = zero then zero
+    else if id = one then one
+    else
+      match Hashtbl.find_opt m.image_cache (key, id) with
+      | Some r -> r
+      | None ->
+          let d = data m id in
+          let acc : (int, t) Hashtbl.t = Hashtbl.create 8 in
+          Array.iter
+            (fun (s, child) ->
+              match rel d.level s with
+              | [] -> ()
+              | targets ->
+                  let child' = walk child in
+                  if child' <> zero then
+                    List.iter
+                      (fun v ->
+                        let prev = Option.value ~default:zero (Hashtbl.find_opt acc v) in
+                        Hashtbl.replace acc v (union m prev child'))
+                      targets)
+            d.arcs;
+          let arcs =
+            Hashtbl.fold (fun v c l -> (v, c) :: l) acc []
+            |> List.sort compare |> Array.of_list
+          in
+          let r = mk m d.level arcs in
+          Hashtbl.add m.image_cache (key, id) r;
+          r
+  in
+  walk t
+
+let saturation m ~rels ~tops s =
+  let nevents = Array.length rels in
+  if Array.length tops <> nevents then
+    invalid_arg "Set_mdd.saturation: rels/tops length mismatch";
+  Array.iter
+    (fun top ->
+      if top < 1 || top > m.nlevels then
+        invalid_arg "Set_mdd.saturation: top level out of range")
+    tops;
+  (* events indexed by top level *)
+  let by_top = Array.make (m.nlevels + 1) [] in
+  Array.iteri (fun e top -> by_top.(top) <- e :: by_top.(top)) tops;
+  let sat_cache : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let img_cache : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  (* Saturate [id]: saturate children bottom-up, then fire the events
+     whose top is this node's level until a local fixpoint.  The firing
+     handles the top-level transition itself and recurses only into
+     strictly deeper levels (img_below), so the recursion is
+     level-decreasing and self-loop events cannot re-enter the node
+     under saturation. *)
+  let rec saturate id =
+    if id = zero || id = one then id
+    else
+      match Hashtbl.find_opt sat_cache id with
+      | Some r -> r
+      | None ->
+          let d = data m id in
+          let base =
+            mk m d.level (Array.map (fun (v, c) -> (v, saturate c)) d.arcs)
+          in
+          let rec fire n =
+            if n = zero then zero
+            else begin
+              let dn = data m n in
+              let acc : (int, t) Hashtbl.t = Hashtbl.create 8 in
+              List.iter
+                (fun e ->
+                  Array.iter
+                    (fun (v, child) ->
+                      match rels.(e) dn.level v with
+                      | [] -> ()
+                      | targets ->
+                          let child' = img_below e child in
+                          if child' <> zero then
+                            List.iter
+                              (fun v' ->
+                                let prev =
+                                  Option.value ~default:zero (Hashtbl.find_opt acc v')
+                                in
+                                Hashtbl.replace acc v' (union m prev child'))
+                              targets)
+                    dn.arcs)
+                by_top.(dn.level);
+              let arcs =
+                Hashtbl.fold (fun v c l -> (v, c) :: l) acc []
+                |> List.sort compare |> Array.of_list
+              in
+              let n' = union m n (mk m dn.level arcs) in
+              if n' = n then n else fire n'
+            end
+          in
+          let r = fire base in
+          Hashtbl.add sat_cache id r;
+          Hashtbl.replace sat_cache r r;
+          r
+  (* Saturated image of event [e] applied to [id] (a saturated node one
+     level below the firing level) and everything deeper. *)
+  and img_below e id =
+    if id = zero || id = one then id
+    else
+      match Hashtbl.find_opt img_cache (e, id) with
+      | Some r -> r
+      | None ->
+          let d = data m id in
+          let acc : (int, t) Hashtbl.t = Hashtbl.create 8 in
+          Array.iter
+            (fun (v, child) ->
+              match rels.(e) d.level v with
+              | [] -> ()
+              | targets ->
+                  let child' = img_below e child in
+                  if child' <> zero then
+                    List.iter
+                      (fun v' ->
+                        let prev =
+                          Option.value ~default:zero (Hashtbl.find_opt acc v')
+                        in
+                        Hashtbl.replace acc v' (union m prev child'))
+                      targets)
+            d.arcs;
+          let arcs =
+            Hashtbl.fold (fun v c l -> (v, c) :: l) acc []
+            |> List.sort compare |> Array.of_list
+          in
+          (* saturate the image: new substates may enable events rooted
+             at this level or below *)
+          let r = saturate (mk m d.level arcs) in
+          Hashtbl.add img_cache (e, id) r;
+          r
+  in
+  saturate s
+
+let iter m t f =
+  if t <> zero then begin
+    let buf = Array.make m.nlevels 0 in
+    let rec walk id level =
+      if level > m.nlevels then f buf
+      else
+        Array.iter
+          (fun (s, child) ->
+            buf.(level - 1) <- s;
+            walk child (level + 1))
+          (data m id).arcs
+    in
+    walk t 1
+  end
+
+let to_statespace m t =
+  if t = zero then invalid_arg "Set_mdd.to_statespace: empty set";
+  let tuples = ref [] in
+  iter m t (fun s -> tuples := Array.copy s :: !tuples);
+  Statespace.of_tuples ~levels:m.nlevels !tuples

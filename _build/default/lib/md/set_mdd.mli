@@ -1,0 +1,81 @@
+(** Hash-consed set MDDs: sets of substate tuples with shared suffixes,
+    supporting union and event-image computation — the data structure
+    behind {e symbolic} state-space generation (the paper's MDs are
+    generated "with the help of a symbolic state-space exploration";
+    this module provides that substrate).
+
+    A manager owns the node store; values of type {!t} are meaningful
+    only relative to their manager.  The empty set and the full-suffix
+    terminal are distinguished nodes, so equality of sets is pointer
+    equality of ids — which is what makes fixpoint detection O(1). *)
+
+type man
+
+type t = private int
+(** A set of [levels]-tuples (a node id within the manager). *)
+
+val manager : levels:int -> man
+(** @raise Invalid_argument if [levels < 1]. *)
+
+val levels : man -> int
+
+val empty : man -> t
+
+val is_empty : t -> bool
+
+val singleton : man -> int array -> t
+(** @raise Invalid_argument on wrong tuple length or negative substate. *)
+
+val union : man -> t -> t -> t
+(** Memoised; O(shared structure). *)
+
+val equal : t -> t -> bool
+(** Constant-time (hash-consing canonicity). *)
+
+val mem : man -> t -> int array -> bool
+
+val count : man -> t -> int
+(** Number of tuples in the set (memoised). *)
+
+val num_nodes : man -> int
+(** Total nodes allocated in the manager (diagnostics). *)
+
+val image : man -> (int -> int -> int list) -> t -> t
+(** [image m rel s] is the set [{ t | exists u in s, t in rel-image of
+    u }] where the relation factorises per level: [rel l u_l] lists the
+    level-[l] successors of local state [u_l] (empty = the event is
+    locally disabled, disabling the whole transition — Kronecker
+    semantics).  Not memoised across calls (the relation is a closure);
+    callers memoise per event via {!image_cached}. *)
+
+val image_cached : man -> key:int -> (int -> int -> int list) -> t -> t
+(** Like {!image} but with a per-manager cache keyed by [(key, node)];
+    use a stable [key] per event and a deterministic relation. *)
+
+val saturation :
+  man ->
+  rels:(int -> int -> int list) array ->
+  tops:int array ->
+  t ->
+  t
+(** [saturation m ~rels ~tops s] is the least fixpoint of [s] under all
+    the event relations — the reachable set — computed with the
+    {e saturation} strategy of Ciardo et al. (the paper's [5]): each
+    node is saturated bottom-up, firing exhaustively the events whose
+    {e top} (highest level the event touches; levels above it must be
+    identity) equals the node's level, and every intermediate image node
+    is saturated before use.  Orders of magnitude fewer peak nodes than
+    breadth-first iteration on structured models.
+
+    [rels.(e) l u] lists the level-[l] successors of local state [u]
+    under event [e] (must be deterministic — results are cached);
+    [tops.(e)] is event [e]'s top level (use [1] when unknown: sound,
+    merely slower).
+    @raise Invalid_argument if [rels] and [tops] differ in length or a
+    top is out of range. *)
+
+val iter : man -> t -> (int array -> unit) -> unit
+(** Enumerate tuples in lexicographic order (buffer reused). *)
+
+val to_statespace : man -> t -> Statespace.t
+(** @raise Invalid_argument on the empty set. *)

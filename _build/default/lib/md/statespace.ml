@@ -1,0 +1,69 @@
+module Tuple_table = Hashtbl.Make (struct
+  type t = int array
+
+  let equal = ( = )
+
+  let hash = Mdl_util.Hashx.int_array
+end)
+
+type t = {
+  nlevels : int;
+  tuples : int array array; (* index -> tuple, lexicographically sorted *)
+  positions : int Tuple_table.t;
+}
+
+let of_tuples ~levels tuples =
+  if tuples = [] then invalid_arg "Statespace.of_tuples: empty state space";
+  List.iter
+    (fun s ->
+      if Array.length s <> levels then
+        invalid_arg "Statespace.of_tuples: tuple of wrong length")
+    tuples;
+  let dedup = Tuple_table.create (List.length tuples) in
+  List.iter (fun s -> Tuple_table.replace dedup s ()) tuples;
+  let arr = Array.make (Tuple_table.length dedup) [||] in
+  let k = ref 0 in
+  Tuple_table.iter
+    (fun s () ->
+      arr.(!k) <- Array.copy s;
+      incr k)
+    dedup;
+  Array.sort compare arr;
+  let positions = Tuple_table.create (Array.length arr) in
+  Array.iteri (fun i s -> Tuple_table.replace positions s i) arr;
+  { nlevels = levels; tuples = arr; positions }
+
+let levels t = t.nlevels
+
+let size t = Array.length t.tuples
+
+let index t s = Tuple_table.find_opt t.positions s
+
+let tuple t i =
+  if i < 0 || i >= size t then invalid_arg "Statespace.tuple: index out of bounds";
+  t.tuples.(i)
+
+let iter f t = Array.iteri f t.tuples
+
+let local_states t l =
+  if l < 1 || l > t.nlevels then invalid_arg "Statespace.local_states: level out of range";
+  let seen = Hashtbl.create 64 in
+  Array.iter (fun s -> Hashtbl.replace seen s.(l - 1) ()) t.tuples;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+
+let map t f =
+  let mapped = Array.to_list (Array.map f t.tuples) in
+  (* The image may live over a different number of levels (e.g. after
+     level merging); infer it from the mapped tuples. *)
+  let levels = match mapped with [] -> t.nlevels | s :: _ -> Array.length s in
+  of_tuples ~levels mapped
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d states over %d levels" (size t) t.nlevels;
+  if size t <= 64 then
+    iter
+      (fun i s ->
+        Format.fprintf ppf "@,%d: (%s)" i
+          (String.concat "," (List.map string_of_int (Array.to_list s))))
+      t;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/models/kanban.ml: Array List Mdl_core Mdl_md Mdl_san Printf

@@ -1,0 +1,1 @@
+lib/models/multitier.ml: Array Fun List Mdl_core Mdl_md Mdl_san Printf

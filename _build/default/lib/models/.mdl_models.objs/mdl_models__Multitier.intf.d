@@ -1,0 +1,1 @@
+lib/models/multitier.mli: Mdl_core Mdl_md Mdl_san

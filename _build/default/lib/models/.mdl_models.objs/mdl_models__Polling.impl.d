@@ -1,0 +1,1 @@
+lib/models/polling.ml: Array Fun List Mdl_core Mdl_md Mdl_san Printf

@@ -1,0 +1,1 @@
+lib/models/tandem.mli: Mdl_core Mdl_md Mdl_san

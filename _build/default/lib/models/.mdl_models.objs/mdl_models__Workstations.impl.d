@@ -1,0 +1,1 @@
+lib/models/workstations.ml: Array List Mdl_core Mdl_md Mdl_san Printf

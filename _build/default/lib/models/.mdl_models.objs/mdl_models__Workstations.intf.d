@@ -1,0 +1,1 @@
+lib/models/workstations.mli: Mdl_core Mdl_md Mdl_san

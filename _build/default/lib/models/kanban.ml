@@ -1,0 +1,119 @@
+module Model = Mdl_san.Model
+module Decomposed = Mdl_core.Decomposed
+
+type params = {
+  cards : int;
+  enter : float;
+  machine : float array;
+  ok_prob : float;
+  sync12 : float;
+  sync34 : float;
+  leave : float;
+}
+
+let default ~cards =
+  {
+    cards;
+    enter = 1.0;
+    machine = [| 3.0; 2.0; 2.0; 4.0 |];
+    ok_prob = 0.9;
+    sync12 = 5.0;
+    sync34 = 5.0;
+    leave = 2.0;
+  }
+
+(* Cell local state: [| m; o |] with m + o <= cards. *)
+
+let id = Model.identity_effect
+
+let cell_effect f = f
+
+(* A part starts being machined in the cell (needs a free card). *)
+let take cards s = if s.(0) + s.(1) < cards then [ ([| s.(0) + 1; s.(1) |], 1.0) ] else []
+
+(* A finished part leaves the cell's output store. *)
+let release s = if s.(1) > 0 then [ ([| s.(0); s.(1) - 1 |], 1.0) ] else []
+
+let model p =
+  if p.cards < 1 then invalid_arg "Kanban.model: cards must be >= 1";
+  if Array.length p.machine <> 4 then invalid_arg "Kanban.model: machine rates must have length 4";
+  let cell i = { Model.name = Printf.sprintf "cell%d" (i + 1); initial = [| 0; 0 |] } in
+  let machine_ok i =
+    {
+      Model.label = Printf.sprintf "ok_%d" (i + 1);
+      rate = p.machine.(i) *. p.ok_prob;
+      effects =
+        Array.init 4 (fun k ->
+            if k = i then
+              cell_effect (fun s ->
+                  if s.(0) > 0 then [ ([| s.(0) - 1; s.(1) + 1 |], 1.0) ] else [])
+            else id);
+    }
+  in
+  let machine_rework i =
+    {
+      Model.label = Printf.sprintf "rework_%d" (i + 1);
+      rate = p.machine.(i) *. (1.0 -. p.ok_prob);
+      effects =
+        Array.init 4 (fun k ->
+            if k = i then cell_effect (fun s -> if s.(0) > 0 then [ (s, 1.0) ] else [])
+            else id);
+    }
+  in
+  let enter =
+    {
+      Model.label = "enter";
+      rate = p.enter;
+      effects = [| take p.cards; id; id; id |];
+    }
+  in
+  let sync12 =
+    {
+      Model.label = "sync1_23";
+      rate = p.sync12;
+      effects = [| release; take p.cards; take p.cards; id |];
+    }
+  in
+  let sync34 =
+    {
+      Model.label = "sync23_4";
+      rate = p.sync34;
+      effects = [| id; release; release; take p.cards |];
+    }
+  in
+  let leave =
+    { Model.label = "leave"; rate = p.leave; effects = [| id; id; id; release |] }
+  in
+  Model.make
+    ~components:(Array.init 4 cell)
+    ~events:
+      ([ enter; sync12; sync34; leave ]
+      @ List.init 4 machine_ok
+      @ List.init 4 machine_rework)
+
+type built = {
+  params : params;
+  exploration : Model.exploration;
+  md : Mdl_md.Md.t;
+  rewards_in_system : Decomposed.t;
+  initial : Decomposed.t;
+}
+
+let build p =
+  let m = model p in
+  let exploration = Model.explore_symbolic m in
+  let md = Model.md_of exploration in
+  let sizes = Array.map Array.length exploration.Model.local_spaces in
+  let factors =
+    Array.mapi
+      (fun k n ->
+        Array.init n (fun i ->
+            let s = exploration.Model.local_spaces.(k).(i) in
+            float_of_int (s.(0) + s.(1))))
+      sizes
+  in
+  let rewards_in_system =
+    Decomposed.make ~factors ~combine:(fun values -> Array.fold_left ( +. ) 0.0 values)
+  in
+  let initial = Decomposed.point ~sizes exploration.Model.initial_tuple in
+  { params = p; exploration; md; rewards_in_system; initial }

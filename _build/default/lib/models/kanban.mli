@@ -1,0 +1,43 @@
+(** The Kanban manufacturing system (Ciardo & Tilgner) — the classic
+    benchmark family of the matrix-diagram / saturation literature.
+
+    Four production cells, each with [cards] kanban cards.  Parts enter
+    cell 1, fork synchronously to cells 2 and 3, join synchronously into
+    cell 4, and leave.  A cell's local state is [(m, o)]: parts being
+    machined and parts finished waiting to move on; [cards - m - o]
+    kanban cards are free.  Machining can succeed or send the part back
+    for rework.
+
+    Levels: one per cell, in pipeline order.  Cells 2 and 3 are
+    {e identical but live at different levels} — per-level compositional
+    lumping cannot see that symmetry (Definition 3 is per level), but
+    merging their levels with {!Mdl_md.Restructure.merge_adjacent} first
+    turns it into an intra-level swap that the algorithm finds: the
+    complementarity story of the paper, exercised end to end. *)
+
+type params = {
+  cards : int;  (** kanban cards per cell (the scaling parameter N) *)
+  enter : float;  (** arrival of raw parts into cell 1 *)
+  machine : float array;  (** machining rate per cell (length 4) *)
+  ok_prob : float;  (** probability machining succeeds (else rework) *)
+  sync12 : float;  (** cell 1 -> cells 2+3 transfer rate *)
+  sync34 : float;  (** cells 2+3 -> cell 4 transfer rate *)
+  leave : float;  (** finished parts leave cell 4 *)
+}
+
+val default : cards:int -> params
+
+val model : params -> Mdl_san.Model.t
+(** @raise Invalid_argument if [cards < 1] or [machine] has wrong
+    length. *)
+
+type built = {
+  params : params;
+  exploration : Mdl_san.Model.exploration;
+  md : Mdl_md.Md.t;
+  rewards_in_system : Mdl_core.Decomposed.t;
+      (** total parts present across the four cells *)
+  initial : Mdl_core.Decomposed.t;
+}
+
+val build : params -> built

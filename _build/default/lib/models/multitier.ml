@@ -1,0 +1,162 @@
+module Model = Mdl_san.Model
+module Decomposed = Mdl_core.Decomposed
+
+type params = {
+  clients : int;
+  front : int;
+  app : int;
+  think : float;
+  front_service : float;
+  app_service : float;
+  db_service : float;
+  db_degraded_service : float;
+  degrade : float;
+  recover : float;
+}
+
+let default ~clients =
+  {
+    clients;
+    front = 3;
+    app = 3;
+    think = 1.0;
+    front_service = 4.0;
+    app_service = 3.0;
+    db_service = 6.0;
+    db_degraded_service = 1.5;
+    degrade = 0.05;
+    recover = 0.5;
+  }
+
+(* Encodings:
+   level 1 (clients): [| thinking |]
+   level 2 (front):   [| q_1 .. q_F |]
+   level 3 (app):     [| q_1 .. q_A |]
+   level 4 (db):      [| q; mode |]   (mode 0 = fast, 1 = degraded) *)
+
+let id = Model.identity_effect
+
+let bump s i d =
+  let s' = Array.copy s in
+  s'.(i) <- s'.(i) + d;
+  s'
+
+(* Spread an arriving request uniformly over the servers of a tier. *)
+let spread_uniform count cap s =
+  let w = 1.0 /. float_of_int count in
+  List.filter_map
+    (fun i -> if s.(i) < cap then Some (bump s i 1, w) else None)
+    (List.init count Fun.id)
+
+let model p =
+  if p.clients < 1 || p.front < 1 || p.app < 1 then
+    invalid_arg "Multitier.model: counts must be positive";
+  let n = p.clients in
+  let clients = { Model.name = "clients"; initial = [| n |] } in
+  let front = { Model.name = "front"; initial = Array.make p.front 0 } in
+  let app = { Model.name = "app"; initial = Array.make p.app 0 } in
+  let db = { Model.name = "db"; initial = [| 0; 0 |] } in
+  let submit =
+    {
+      Model.label = "submit";
+      rate = p.think;
+      effects =
+        [|
+          (* rate proportional to thinking clients *)
+          (fun s -> if s.(0) > 0 then [ ([| s.(0) - 1 |], float_of_int s.(0)) ] else []);
+          (fun s -> spread_uniform p.front n s);
+          id;
+          id;
+        |];
+    }
+  in
+  let front_serve i =
+    {
+      Model.label = Printf.sprintf "front_serve_%d" i;
+      rate = p.front_service;
+      effects =
+        [|
+          id;
+          (fun s -> if s.(i) > 0 then [ (bump s i (-1), 1.0) ] else []);
+          (fun s -> spread_uniform p.app n s);
+          id;
+        |];
+    }
+  in
+  let app_serve i =
+    {
+      Model.label = Printf.sprintf "app_serve_%d" i;
+      rate = p.app_service;
+      effects =
+        [|
+          id;
+          id;
+          (fun s -> if s.(i) > 0 then [ (bump s i (-1), 1.0) ] else []);
+          (fun s -> if s.(0) < n then [ (bump s 0 1, 1.0) ] else []);
+        |];
+    }
+  in
+  let db_serve mode rate =
+    {
+      Model.label = (if mode = 0 then "db_serve_fast" else "db_serve_degraded");
+      rate;
+      effects =
+        [|
+          (fun s -> if s.(0) < n then [ ([| s.(0) + 1 |], 1.0) ] else []);
+          id;
+          id;
+          (fun s -> if s.(0) > 0 && s.(1) = mode then [ (bump s 0 (-1), 1.0) ] else []);
+        |];
+    }
+  in
+  let db_mode label rate from_mode to_mode =
+    {
+      Model.label;
+      rate;
+      effects =
+        [|
+          id;
+          id;
+          id;
+          (fun s -> if s.(1) = from_mode then [ ([| s.(0); to_mode |], 1.0) ] else []);
+        |];
+    }
+  in
+  Model.make
+    ~components:[| clients; front; app; db |]
+    ~events:
+      ([
+         submit;
+         db_serve 0 p.db_service;
+         db_serve 1 p.db_degraded_service;
+         db_mode "degrade" p.degrade 0 1;
+         db_mode "recover" p.recover 1 0;
+       ]
+      @ List.init p.front front_serve
+      @ List.init p.app app_serve)
+
+type built = {
+  params : params;
+  exploration : Model.exploration;
+  md : Mdl_md.Md.t;
+  rewards_thinking : Decomposed.t;
+  rewards_db_fast : Decomposed.t;
+  initial : Decomposed.t;
+}
+
+let build p =
+  let m = model p in
+  let exploration = Model.explore_symbolic m in
+  let md = Model.md_of exploration in
+  let sizes = Array.map Array.length exploration.Model.local_spaces in
+  let client_states = exploration.Model.local_spaces.(0) in
+  let db_states = exploration.Model.local_spaces.(3) in
+  let rewards_thinking =
+    Decomposed.of_level ~sizes ~level:1 (fun i -> float_of_int client_states.(i).(0))
+  in
+  let rewards_db_fast =
+    Decomposed.of_level ~sizes ~level:4 (fun i ->
+        if db_states.(i).(1) = 0 then 1.0 else 0.0)
+  in
+  let initial = Decomposed.point ~sizes exploration.Model.initial_tuple in
+  { params = p; exploration; md; rewards_thinking; rewards_db_fast; initial }

@@ -1,0 +1,47 @@
+(** A closed multi-tier service system — clients, a replicated front
+    tier, a replicated application tier, and a database with a
+    fast/degraded mode — giving a {e four-level} matrix diagram (the
+    other bundled models have two or three levels).
+
+    Levels:
+    + level 1 — [clients] thinking clients;
+    + level 2 — [front] identical front-end servers, each a queue;
+    + level 3 — [app] identical application servers, each a queue;
+    + level 4 — the database: a queue plus a fast/degraded mode bit
+      (service is slower while degraded).
+
+    Requests flow client -> front -> app -> database -> client; both
+    replicated tiers spread arrivals uniformly, so levels 2 and 3 each
+    lump to queue-length multisets. *)
+
+type params = {
+  clients : int;
+  front : int;
+  app : int;
+  think : float;
+  front_service : float;
+  app_service : float;
+  db_service : float;
+  db_degraded_service : float;
+  degrade : float;  (** fast -> degraded *)
+  recover : float;  (** degraded -> fast *)
+}
+
+val default : clients:int -> params
+(** 3 front-end and 3 application servers by default. *)
+
+val model : params -> Mdl_san.Model.t
+(** @raise Invalid_argument on non-positive counts. *)
+
+type built = {
+  params : params;
+  exploration : Mdl_san.Model.exploration;
+  md : Mdl_md.Md.t;
+  rewards_thinking : Mdl_core.Decomposed.t;
+      (** number of thinking clients (throughput = think rate x this) *)
+  rewards_db_fast : Mdl_core.Decomposed.t;
+      (** 1 while the database is in fast mode *)
+  initial : Mdl_core.Decomposed.t;
+}
+
+val build : params -> built

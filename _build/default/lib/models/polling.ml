@@ -1,0 +1,147 @@
+module Model = Mdl_san.Model
+module Decomposed = Mdl_core.Decomposed
+
+type params = {
+  customers : int;
+  servers : int;
+  queues : int;
+  think : float;
+  walk : float;
+  service : float;
+}
+
+let default ~customers =
+  { customers; servers = 2; queues = 3; think = 1.0; walk = 4.0; service = 3.0 }
+
+(* Level-2 encoding: [| pos0; ph0; ..; pos_{servers-1}; ph_{servers-1};
+   q0; ..; q_{queues-1} |], as in the tandem MSMQ component. *)
+
+let pos p s i = ignore p; s.(2 * i)
+
+let phase p s i = ignore p; s.((2 * i) + 1)
+
+let queue p s k = s.((2 * p.servers) + k)
+
+let with_server p s i po ph =
+  ignore p;
+  let s' = Array.copy s in
+  s'.(2 * i) <- po;
+  s'.((2 * i) + 1) <- ph;
+  s'
+
+let with_queue p s k d =
+  let s' = Array.copy s in
+  s'.((2 * p.servers) + k) <- s'.((2 * p.servers) + k) + d;
+  s'
+
+let in_service p s k =
+  let n = ref 0 in
+  for i = 0 to p.servers - 1 do
+    if pos p s i = k && phase p s i = 1 then incr n
+  done;
+  !n
+
+let waiting p s k = queue p s k - in_service p s k
+
+let id = Model.identity_effect
+
+let model p =
+  if p.customers < 1 || p.servers < 1 || p.queues < 1 then
+    invalid_arg "Polling.model: counts must be positive";
+  let thinkers = { Model.name = "customers"; initial = [| p.customers |] } in
+  let station =
+    { Model.name = "station"; initial = Array.make ((2 * p.servers) + p.queues) 0 }
+  in
+  let submit =
+    {
+      Model.label = "submit";
+      rate = p.think;
+      effects =
+        [|
+          (* rate proportional to the number of thinking customers *)
+          (fun s ->
+            if s.(0) > 0 then [ ([| s.(0) - 1 |], float_of_int s.(0)) ] else []);
+          (fun s ->
+            let w = 1.0 /. float_of_int p.queues in
+            List.filter_map
+              (fun k ->
+                if queue p s k < p.customers then Some (with_queue p s k 1, w) else None)
+              (List.init p.queues Fun.id));
+        |];
+    }
+  in
+  let move i =
+    {
+      Model.label = Printf.sprintf "move_%d" i;
+      rate = p.walk;
+      effects =
+        [|
+          id;
+          (fun s ->
+            if phase p s i = 1 then []
+            else begin
+              let po = (pos p s i + 1) mod p.queues in
+              let ph = if waiting p s po > 0 then 1 else 0 in
+              [ (with_server p s i po ph, 1.0) ]
+            end);
+        |];
+    }
+  in
+  let serve i =
+    {
+      Model.label = Printf.sprintf "serve_%d" i;
+      rate = p.service;
+      effects =
+        [|
+          (fun s -> if s.(0) < p.customers then [ ([| s.(0) + 1 |], 1.0) ] else []);
+          (fun s ->
+            if phase p s i = 1 then begin
+              let k = pos p s i in
+              [ (with_queue p (with_server p s i k 0) k (-1), 1.0) ]
+            end
+            else []);
+        |];
+    }
+  in
+  Model.make
+    ~components:[| thinkers; station |]
+    ~events:
+      ([ submit ]
+      @ List.init p.servers move
+      @ List.init p.servers serve)
+
+type built = {
+  params : params;
+  exploration : Model.exploration;
+  md : Mdl_md.Md.t;
+  rewards_busy_servers : Decomposed.t;
+  rewards_queued_jobs : Decomposed.t;
+  initial : Decomposed.t;
+}
+
+let build p =
+  let m = model p in
+  let exploration = Model.explore_symbolic m in
+  let md = Model.md_of exploration in
+  let sizes = Array.map Array.length exploration.Model.local_spaces in
+  let station_states = exploration.Model.local_spaces.(1) in
+  let rewards_busy_servers =
+    Decomposed.of_level ~sizes ~level:2 (fun idx ->
+        let s = station_states.(idx) in
+        let n = ref 0 in
+        for i = 0 to p.servers - 1 do
+          if phase p s i = 1 then incr n
+        done;
+        float_of_int !n)
+  in
+  let rewards_queued_jobs =
+    Decomposed.of_level ~sizes ~level:2 (fun idx ->
+        let s = station_states.(idx) in
+        let n = ref 0 in
+        for k = 0 to p.queues - 1 do
+          n := !n + queue p s k
+        done;
+        float_of_int !n)
+  in
+  let initial = Decomposed.point ~sizes exploration.Model.initial_tuple in
+  { params = p; exploration; md; rewards_busy_servers; rewards_queued_jobs; initial }

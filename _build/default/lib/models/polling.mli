@@ -1,0 +1,40 @@
+(** The MSMQ (multi-server multi-queue) polling subsystem in isolation —
+    the first half of the paper's tandem system, as a closed queueing
+    model (Ajmone Marsan et al., the paper's reference [14]).
+
+    Levels:
+    + level 1 — a "thinking" customer population: [customers] jobs that
+      each submit work after an exponential think time;
+    + level 2 — the polling station: [servers] identical servers cycling
+      over [queues] identical queues.
+
+    Used as a standalone example (throughput analysis via ordinary
+    lumping) and as a smaller-than-tandem integration test. *)
+
+type params = {
+  customers : int;
+  servers : int;
+  queues : int;
+  think : float;  (** per-customer submission rate *)
+  walk : float;  (** server transfer rate between queues *)
+  service : float;
+}
+
+val default : customers:int -> params
+(** 2 servers, 3 queues by default. *)
+
+val model : params -> Mdl_san.Model.t
+(** @raise Invalid_argument on non-positive counts. *)
+
+type built = {
+  params : params;
+  exploration : Mdl_san.Model.exploration;
+  md : Mdl_md.Md.t;
+  rewards_busy_servers : Mdl_core.Decomposed.t;
+      (** number of servers currently serving (throughput = service rate
+          x this measure) *)
+  rewards_queued_jobs : Mdl_core.Decomposed.t;
+  initial : Mdl_core.Decomposed.t;
+}
+
+val build : params -> built

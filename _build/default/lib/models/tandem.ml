@@ -1,0 +1,337 @@
+module Model = Mdl_san.Model
+module Decomposed = Mdl_core.Decomposed
+
+type params = {
+  jobs : int;
+  max_down : int;
+  hyper_dim : int;
+  msmq_servers : int;
+  msmq_queues : int;
+  msmq_walk : float;
+  msmq_service : float;
+  msmq_arrival : float;
+  dispatch : float;
+  dispatch_bias : float;
+  hyper_service : float;
+  fail : float;
+  repair : float;
+  balance : float;
+  transfer : float;
+}
+
+let default ~jobs =
+  {
+    jobs;
+    max_down = 2;
+    hyper_dim = 3;
+    msmq_servers = 3;
+    msmq_queues = 4;
+    msmq_walk = 1.0;
+    msmq_service = 2.0;
+    msmq_arrival = 4.0;
+    dispatch = 5.0;
+    dispatch_bias = 0.75;
+    hyper_service = 1.5;
+    fail = 0.05;
+    repair = 1.0;
+    balance = 2.0;
+    transfer = 1.0;
+  }
+
+(* ---------- encodings ----------
+
+   pools: [| h_in; m_in |]
+   hyper: [| q0..q_{H-1}; u0..u_{H-1} |]   (H = 2^hyper_dim; u = 1 when up)
+   msmq:  [| pos0; ph0; ..; q0..q_{Q-1} |] (ph = 1 when serving) *)
+
+let num_hyper p = 1 lsl p.hyper_dim
+
+(* hypercube neighbourhood: flip one coordinate bit *)
+let neighbours p i = List.init p.hyper_dim (fun b -> i lxor (1 lsl b))
+
+let hyper_q s i = s.(i)
+
+let hyper_up p s i = s.(num_hyper p + i) = 1
+
+let hyper_down_count p s =
+  let n = ref 0 in
+  for i = 0 to num_hyper p - 1 do
+    if not (hyper_up p s i) then incr n
+  done;
+  !n
+
+let with_q s i d =
+  let s' = Array.copy s in
+  s'.(i) <- s'.(i) + d;
+  s'
+
+let with_up p s i v =
+  let s' = Array.copy s in
+  s'.(num_hyper p + i) <- v;
+  s'
+
+let msmq_pos s i = s.(2 * i)
+
+let msmq_phase s i = s.((2 * i) + 1)
+
+let msmq_q p s k = s.((2 * p.msmq_servers) + k)
+
+let msmq_with_server s i pos phase =
+  let s' = Array.copy s in
+  s'.(2 * i) <- pos;
+  s'.((2 * i) + 1) <- phase;
+  s'
+
+let msmq_with_q p s k d =
+  let s' = Array.copy s in
+  s'.((2 * p.msmq_servers) + k) <- s'.((2 * p.msmq_servers) + k) + d;
+  s'
+
+(* Number of servers currently serving at queue [k]. *)
+let msmq_in_service p s k =
+  let n = ref 0 in
+  for i = 0 to p.msmq_servers - 1 do
+    if msmq_pos s i = k && msmq_phase s i = 1 then incr n
+  done;
+  !n
+
+let msmq_waiting p s k = msmq_q p s k - msmq_in_service p s k
+
+(* ---------- events ---------- *)
+
+let id = Model.identity_effect
+
+let model p =
+  if p.jobs < 1 then invalid_arg "Tandem.model: jobs must be >= 1";
+  if p.max_down < 0 then invalid_arg "Tandem.model: max_down must be >= 0";
+  if p.hyper_dim < 1 then invalid_arg "Tandem.model: hyper_dim must be >= 1";
+  if p.msmq_servers < 1 || p.msmq_queues < 1 then
+    invalid_arg "Tandem.model: msmq topology must be non-empty";
+  let j = p.jobs in
+  let h = num_hyper p in
+  let pools = { Model.name = "pools"; initial = [| 0; j |] } in
+  let hyper =
+    {
+      Model.name = "hypercube";
+      initial = Array.append (Array.make h 0) (Array.make h 1);
+    }
+  in
+  let msmq =
+    { Model.name = "msmq"; initial = Array.make ((2 * p.msmq_servers) + p.msmq_queues) 0 }
+  in
+  (* --- pools <-> msmq --- *)
+  let msmq_arrive =
+    {
+      Model.label = "msmq_arrive";
+      rate = p.msmq_arrival;
+      effects =
+        [|
+          (fun s -> if s.(1) > 0 then [ ([| s.(0); s.(1) - 1 |], 1.0) ] else []);
+          id;
+          (fun s ->
+            let w = 1.0 /. float_of_int p.msmq_queues in
+            List.filter_map
+              (fun k -> if msmq_q p s k < j then Some (msmq_with_q p s k 1, w) else None)
+              (List.init p.msmq_queues Fun.id));
+        |];
+    }
+  in
+  let msmq_move i =
+    {
+      Model.label = Printf.sprintf "msmq_move_%d" i;
+      rate = p.msmq_walk;
+      effects =
+        [|
+          id;
+          id;
+          (fun s ->
+            if msmq_phase s i = 1 then []
+            else begin
+              let pos' = (msmq_pos s i + 1) mod p.msmq_queues in
+              let phase' = if msmq_waiting p s pos' > 0 then 1 else 0 in
+              [ (msmq_with_server s i pos' phase', 1.0) ]
+            end);
+        |];
+    }
+  in
+  let msmq_serve i =
+    {
+      Model.label = Printf.sprintf "msmq_serve_%d" i;
+      rate = p.msmq_service;
+      effects =
+        [|
+          (fun s -> if s.(0) < j then [ ([| s.(0) + 1; s.(1) |], 1.0) ] else []);
+          id;
+          (fun s ->
+            if msmq_phase s i = 1 then begin
+              let k = msmq_pos s i in
+              [ (msmq_with_q p (msmq_with_server s i k 0) k (-1), 1.0) ]
+            end
+            else []);
+        |];
+    }
+  in
+  (* --- pools <-> hypercube --- *)
+  let dispatch =
+    {
+      Model.label = "dispatch";
+      rate = p.dispatch;
+      effects =
+        [|
+          (fun s -> if s.(0) > 0 then [ ([| s.(0) - 1; s.(1) |], 1.0) ] else []);
+          (fun s ->
+            let q0 = hyper_q s 0 and q1 = hyper_q s 1 in
+            let w0 =
+              if q0 < q1 then p.dispatch_bias
+              else if q0 > q1 then 1.0 -. p.dispatch_bias
+              else 0.5
+            in
+            List.filter
+              (fun (_, w) -> w > 0.0)
+              (List.filter_map
+                 (fun (i, w) -> if hyper_q s i < j then Some (with_q s i 1, w) else None)
+                 [ (0, w0); (1, 1.0 -. w0) ]));
+          id;
+        |];
+    }
+  in
+  let hyper_serve i =
+    {
+      Model.label = Printf.sprintf "hyper_serve_%d" i;
+      rate = p.hyper_service;
+      effects =
+        [|
+          (fun s -> if s.(1) < j then [ ([| s.(0); s.(1) + 1 |], 1.0) ] else []);
+          (fun s ->
+            if hyper_up p s i && hyper_q s i > 0 then [ (with_q s i (-1), 1.0) ] else []);
+          id;
+        |];
+    }
+  in
+  (* --- hypercube internal --- *)
+  let fail i =
+    {
+      Model.label = Printf.sprintf "fail_%d" i;
+      rate = p.fail;
+      effects =
+        [|
+          id;
+          (fun s ->
+            if hyper_up p s i && hyper_down_count p s < p.max_down then
+              [ (with_up p s i 0, 1.0) ]
+            else []);
+          id;
+        |];
+    }
+  in
+  let repair =
+    {
+      Model.label = "repair";
+      rate = p.repair;
+      effects =
+        [|
+          id;
+          (fun s ->
+            let failed =
+              List.filter (fun i -> not (hyper_up p s i)) (List.init h Fun.id)
+            in
+            match failed with
+            | [] -> []
+            | _ ->
+                let w = 1.0 /. float_of_int (List.length failed) in
+                List.map (fun i -> (with_up p s i 1, w)) failed);
+          id;
+        |];
+    }
+  in
+  let balance i =
+    {
+      Model.label = Printf.sprintf "balance_%d" i;
+      rate = p.balance;
+      effects =
+        [|
+          id;
+          (fun s ->
+            if not (hyper_up p s i) then []
+            else begin
+              let deficits =
+                List.filter_map
+                  (fun n ->
+                    let d = hyper_q s i - hyper_q s n in
+                    if hyper_up p s n && d > 1 then Some (n, float_of_int d) else None)
+                  (neighbours p i)
+              in
+              let total = List.fold_left (fun acc (_, d) -> acc +. d) 0.0 deficits in
+              List.map
+                (fun (n, d) -> (with_q (with_q s i (-1)) n 1, d /. total))
+                deficits
+            end);
+          id;
+        |];
+    }
+  in
+  let transfer i =
+    {
+      Model.label = Printf.sprintf "transfer_%d" i;
+      rate = p.transfer;
+      effects =
+        [|
+          id;
+          (fun s ->
+            if hyper_up p s i || hyper_q s i = 0 then []
+            else begin
+              let up_neighbours =
+                List.filter (fun n -> hyper_up p s n) (neighbours p i)
+              in
+              match up_neighbours with
+              | [] -> []
+              | _ ->
+                  let w = 1.0 /. float_of_int (List.length up_neighbours) in
+                  List.map (fun n -> (with_q (with_q s i (-1)) n 1, w)) up_neighbours
+            end);
+          id;
+        |];
+    }
+  in
+  Model.make
+    ~components:[| pools; hyper; msmq |]
+    ~events:
+      ([ msmq_arrive; dispatch; repair ]
+      @ List.init p.msmq_servers msmq_move
+      @ List.init p.msmq_servers msmq_serve
+      @ List.init h hyper_serve
+      @ List.init h fail
+      @ List.init h balance
+      @ List.init h transfer)
+
+type built = {
+  params : params;
+  exploration : Model.exploration;
+  md : Mdl_md.Md.t;
+  rewards_availability : Decomposed.t;
+  rewards_msmq_jobs : Decomposed.t;
+  initial : Decomposed.t;
+}
+
+let build p =
+  let m = model p in
+  let exploration = Model.explore_symbolic m in
+  let md = Model.md_of exploration in
+  let sizes = Array.map Array.length exploration.Model.local_spaces in
+  let hyper_states = exploration.Model.local_spaces.(1) in
+  let msmq_states = exploration.Model.local_spaces.(2) in
+  let rewards_availability =
+    Decomposed.of_level ~sizes ~level:2 (fun i ->
+        if hyper_down_count p hyper_states.(i) < 2 then 1.0 else 0.0)
+  in
+  let rewards_msmq_jobs =
+    Decomposed.of_level ~sizes ~level:3 (fun i ->
+        let s = msmq_states.(i) in
+        let total = ref 0 in
+        for k = 0 to p.msmq_queues - 1 do
+          total := !total + msmq_q p s k
+        done;
+        float_of_int !total)
+  in
+  let initial = Decomposed.point ~sizes exploration.Model.initial_tuple in
+  { params = p; exploration; md; rewards_availability; rewards_msmq_jobs; initial }

@@ -1,0 +1,67 @@
+(** The tandem multi-processor system of Section 5: an MSMQ
+    polling-based queueing subsystem and a hypercube of servers with
+    failure/repair and load balancing, coupled through shared job pools,
+    with a constant population of [J] circulating jobs.
+
+    Levels (matching the paper's MD level assignment):
+    + level 1 — the shared places: the hypercube input pool (= MSMQ
+      output pool) and the MSMQ input pool (= hypercube output pool);
+    + level 2 — the hypercube subsystem: 8 cube-connected servers, each
+      with a queue (up to [J] jobs) and an up/down flag; a dispatcher
+      feeding servers [A]/[A'] (vertices 0 and 1) with bias toward the
+      shorter queue; load balancing between neighbours; failures, a
+      single repair facility picking uniformly among failed servers, and
+      job evacuation from failed servers (at most [max_down] servers
+      down at a time, default 2 — the availability threshold);
+    + level 3 — the MSMQ subsystem: [3] identical servers cycling over
+      [4] identical queues (poll, serve one job, move on).
+
+    Sources of lumpability, as in the paper: the 3 identical MSMQ
+    servers, the [A]/[A'] pair, and the symmetric remaining hypercube
+    servers. *)
+
+type params = {
+  jobs : int;  (** J, the closed population *)
+  max_down : int;  (** simultaneous-failure cap (availability bound) *)
+  hyper_dim : int;
+      (** hypercube dimension: [2^hyper_dim] servers (paper: 3 -> 8
+          servers); smaller values give test-sized instances *)
+  msmq_servers : int;  (** paper: 3 *)
+  msmq_queues : int;  (** paper: 4 *)
+  msmq_walk : float;  (** server transfer rate between queues *)
+  msmq_service : float;
+  msmq_arrival : float;  (** input pool -> queues *)
+  dispatch : float;  (** hypercube input pool -> A/A' *)
+  dispatch_bias : float;  (** probability of picking the shorter queue *)
+  hyper_service : float;
+  fail : float;
+  repair : float;
+  balance : float;
+  transfer : float;  (** evacuation rate from a failed server *)
+}
+
+val default : jobs:int -> params
+(** Sensible default rates for the given population. *)
+
+val model : params -> Mdl_san.Model.t
+(** The three-component SAN-style model.
+    @raise Invalid_argument if [jobs < 1] or [max_down < 0]. *)
+
+type built = {
+  params : params;
+  exploration : Mdl_san.Model.exploration;
+  md : Mdl_md.Md.t;
+  rewards_availability : Mdl_core.Decomposed.t;
+      (** 1 when fewer than [max_down] + 1... precisely: 1 when the
+          number of failed hypercube servers is [< 2] (the paper's
+          availability criterion), else 0 *)
+  rewards_msmq_jobs : Mdl_core.Decomposed.t;
+      (** number of jobs in the MSMQ queues *)
+  initial : Mdl_core.Decomposed.t;
+      (** point distribution on the initial state (all jobs in the MSMQ
+          input pool, all servers up) *)
+}
+
+val build : params -> built
+(** Explore, compile to an MD, and attach the decomposable rewards and
+    initial distribution. *)

@@ -1,0 +1,96 @@
+module Model = Mdl_san.Model
+module Decomposed = Mdl_core.Decomposed
+
+type params = {
+  stations : int;
+  spares : int;
+  degrade : float;
+  break : float;
+  crash : float;
+  replace : float;
+  restock : float;
+}
+
+let default ~stations =
+  {
+    stations;
+    spares = 2;
+    degrade = 1.0;
+    break = 2.0;
+    crash = 0.1;
+    replace = 4.0;
+    restock = 0.5;
+  }
+
+(* Workstation states within the level encoding. *)
+let up = 0
+
+let degraded = 1
+
+let down = 2
+
+let id = Model.identity_effect
+
+let with_station s i v =
+  let s' = Array.copy s in
+  s'.(i) <- v;
+  s'
+
+let model p =
+  if p.stations < 1 then invalid_arg "Workstations.model: stations must be >= 1";
+  if p.spares < 0 then invalid_arg "Workstations.model: spares must be >= 0";
+  let store = { Model.name = "store"; initial = [| p.spares |] } in
+  let stations = { Model.name = "stations"; initial = Array.make p.stations up } in
+  let station_event label rate from_state to_state uses_spare i =
+    {
+      Model.label = Printf.sprintf "%s_%d" label i;
+      rate;
+      effects =
+        [|
+          (if uses_spare then fun s ->
+             if s.(0) > 0 then [ ([| s.(0) - 1 |], 1.0) ] else []
+           else id);
+          (fun s -> if s.(i) = from_state then [ (with_station s i to_state, 1.0) ] else []);
+        |];
+    }
+  in
+  let restock =
+    {
+      Model.label = "restock";
+      rate = p.restock;
+      effects =
+        [| (fun s -> if s.(0) < p.spares then [ ([| s.(0) + 1 |], 1.0) ] else []); id |];
+    }
+  in
+  let range f = List.init p.stations f in
+  Model.make
+    ~components:[| store; stations |]
+    ~events:
+      ((if p.restock > 0.0 then [ restock ] else [])
+      @ range (station_event "degrade" p.degrade up degraded false)
+      @ range (station_event "break" p.break degraded down false)
+      @ range (station_event "crash" p.crash up down false)
+      @ range (station_event "replace" p.replace down up true))
+
+type built = {
+  params : params;
+  exploration : Model.exploration;
+  md : Mdl_md.Md.t;
+  rewards_operational : Decomposed.t;
+  initial : Decomposed.t;
+}
+
+let build p =
+  let m = model p in
+  let exploration = Model.explore_symbolic m in
+  let md = Model.md_of exploration in
+  let sizes = Array.map Array.length exploration.Model.local_spaces in
+  let station_states = exploration.Model.local_spaces.(1) in
+  let rewards_operational =
+    Decomposed.of_level ~sizes ~level:2 (fun i ->
+        Array.fold_left
+          (fun acc st -> if st = up then acc +. 1.0 else acc)
+          0.0 station_states.(i))
+  in
+  let initial = Decomposed.point ~sizes exploration.Model.initial_tuple in
+  { params = p; exploration; md; rewards_operational; initial }

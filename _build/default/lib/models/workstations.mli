@@ -1,0 +1,43 @@
+(** A replicated-workstation cluster with a shared spare-part store —
+    a small dependability model used by the examples and tests, and the
+    vehicle for the {e exact} lumping path (Theorem 4).
+
+    Levels:
+    + level 1 — the spare-part store: [0..spares] parts; a restock
+      event refills it.
+    + level 2 — [n] identical workstations, each [Up], [Degraded] or
+      [Down].  Up stations degrade, degraded stations fail; a down
+      station consumes a spare part to come back up.
+
+    All workstations being interchangeable, level 2 lumps from [3^n]
+    local states to the [C(n+2, 2)] multisets — the kind of replica
+    symmetry compositional lumping is built for. *)
+
+type params = {
+  stations : int;
+  spares : int;
+  degrade : float;  (** Up -> Degraded *)
+  break : float;  (** Degraded -> Down *)
+  crash : float;  (** Up -> Down directly *)
+  replace : float;  (** Down -> Up, consuming a spare *)
+  restock : float;  (** spare store +1; [0.] disables restocking, making
+                        "all stations down, no spares" absorbing (MTTF
+                        analyses) *)
+}
+
+val default : stations:int -> params
+
+val model : params -> Mdl_san.Model.t
+(** @raise Invalid_argument if [stations < 1] or [spares < 0]. *)
+
+type built = {
+  params : params;
+  exploration : Mdl_san.Model.exploration;
+  md : Mdl_md.Md.t;
+  rewards_operational : Mdl_core.Decomposed.t;
+      (** number of Up workstations *)
+  initial : Mdl_core.Decomposed.t;
+      (** point distribution: all stations up, store full *)
+}
+
+val build : params -> built

@@ -1,0 +1,1 @@
+lib/partition/partition.ml: Array Format Fun Hashtbl List Mdl_util Printf String

@@ -1,0 +1,1 @@
+lib/partition/refiner.ml: Array Hashtbl List Partition Queue

@@ -1,0 +1,1 @@
+lib/partition/refiner.mli: Partition

@@ -1,0 +1,196 @@
+module Dynarray = Mdl_util.Dynarray
+
+type t = {
+  class_of : int array;
+  blocks : int array Dynarray.t; (* class id -> members *)
+}
+
+let size t = Array.length t.class_of
+
+let num_classes t = Dynarray.length t.blocks
+
+let check_class t c fn =
+  if c < 0 || c >= num_classes t then
+    invalid_arg (Printf.sprintf "Partition.%s: invalid class id %d" fn c)
+
+let class_of t x =
+  if x < 0 || x >= size t then invalid_arg "Partition.class_of: element out of bounds";
+  t.class_of.(x)
+
+let elements t c =
+  check_class t c "elements";
+  Array.copy (Dynarray.get t.blocks c)
+
+let class_size t c =
+  check_class t c "class_size";
+  Array.length (Dynarray.get t.blocks c)
+
+let representative t c =
+  check_class t c "representative";
+  (Dynarray.get t.blocks c).(0)
+
+let trivial n =
+  if n < 0 then invalid_arg "Partition.trivial: negative size";
+  let blocks = Dynarray.create () in
+  if n > 0 then Dynarray.push blocks (Array.init n Fun.id);
+  { class_of = Array.make n 0; blocks }
+
+let discrete n =
+  if n < 0 then invalid_arg "Partition.discrete: negative size";
+  let blocks = Dynarray.create () in
+  for i = 0 to n - 1 do
+    Dynarray.push blocks [| i |]
+  done;
+  { class_of = Array.init n Fun.id; blocks }
+
+let of_class_assignment a =
+  let n = Array.length a in
+  let renumber = Hashtbl.create 16 in
+  let class_of = Array.make n 0 in
+  let members = Dynarray.create () in
+  Array.iteri
+    (fun i label ->
+      if label < 0 then invalid_arg "Partition.of_class_assignment: negative label";
+      let c =
+        match Hashtbl.find_opt renumber label with
+        | Some c -> c
+        | None ->
+            let c = Dynarray.length members in
+            Hashtbl.add renumber label c;
+            Dynarray.push members (Dynarray.create ());
+            c
+      in
+      class_of.(i) <- c;
+      Dynarray.push (Dynarray.get members c) i)
+    a;
+  let blocks = Dynarray.create () in
+  Dynarray.iter (fun m -> Dynarray.push blocks (Dynarray.to_array m)) members;
+  { class_of; blocks }
+
+(* Group elements of [items] into runs of cmp-equal keys.  Returns the
+   groups in key order; within a group the original order is kept (sort
+   is stable on the decorated index). *)
+let group_elements items key cmp =
+  let decorated = Array.map (fun x -> (key x, x)) items in
+  let by_key (k1, x1) (k2, x2) =
+    let c = cmp k1 k2 in
+    if c <> 0 then c else compare x1 x2
+  in
+  Array.sort by_key decorated;
+  let groups = Dynarray.create () in
+  let current = Dynarray.create () in
+  Array.iteri
+    (fun idx (k, x) ->
+      if idx > 0 then begin
+        let prev_k, _ = decorated.(idx - 1) in
+        if cmp prev_k k <> 0 then begin
+          Dynarray.push groups (Dynarray.to_array current);
+          Dynarray.clear current
+        end
+      end;
+      Dynarray.push current x)
+    decorated;
+  if not (Dynarray.is_empty current) then Dynarray.push groups (Dynarray.to_array current);
+  Dynarray.to_list groups
+
+let group_by n key cmp =
+  if n < 0 then invalid_arg "Partition.group_by: negative size";
+  let groups = group_elements (Array.init n Fun.id) key cmp in
+  let class_of = Array.make n 0 in
+  let blocks = Dynarray.create () in
+  List.iter
+    (fun g ->
+      let c = Dynarray.length blocks in
+      Array.iter (fun x -> class_of.(x) <- c) g;
+      Dynarray.push blocks g)
+    groups;
+  { class_of; blocks }
+
+let split t c groups =
+  check_class t c "split";
+  let old = Dynarray.get t.blocks c in
+  let total = List.fold_left (fun acc g -> acc + Array.length g) 0 groups in
+  if total <> Array.length old then
+    invalid_arg "Partition.split: groups do not cover the class";
+  List.iter
+    (fun g ->
+      if Array.length g = 0 then invalid_arg "Partition.split: empty group";
+      Array.iter
+        (fun x ->
+          if x < 0 || x >= size t || t.class_of.(x) <> c then
+            invalid_arg "Partition.split: element not in class")
+        g)
+    groups;
+  match groups with
+  | [] -> invalid_arg "Partition.split: no groups"
+  | [ _ ] -> [ c ]
+  | first :: rest ->
+      (* Disjointness follows from the count check plus membership: each
+         element belongs to class c and the group sizes sum to |c|, so a
+         duplicate would force a missing element.  Guard against
+         duplicates inside a single group explicitly. *)
+      let seen = Hashtbl.create (Array.length old) in
+      List.iter
+        (Array.iter (fun x ->
+             if Hashtbl.mem seen x then invalid_arg "Partition.split: duplicate element";
+             Hashtbl.add seen x ()))
+        groups;
+      Dynarray.set t.blocks c first;
+      let ids =
+        List.map
+          (fun g ->
+            let id = Dynarray.length t.blocks in
+            Dynarray.push t.blocks g;
+            Array.iter (fun x -> t.class_of.(x) <- id) g;
+            id)
+          rest
+      in
+      c :: ids
+
+let refine_class_by t c key cmp =
+  check_class t c "refine_class_by";
+  let groups = group_elements (Dynarray.get t.blocks c) key cmp in
+  split t c groups
+
+let to_class_assignment t = Array.copy t.class_of
+
+let classes t = Array.init (num_classes t) (fun c -> Array.copy (Dynarray.get t.blocks c))
+
+let canonical_assignment t =
+  (* Renumber classes by first appearance so equal partitions get equal
+     assignments. *)
+  let a = t.class_of in
+  let renumber = Hashtbl.create 16 in
+  Array.map
+    (fun c ->
+      match Hashtbl.find_opt renumber c with
+      | Some c' -> c'
+      | None ->
+          let c' = Hashtbl.length renumber in
+          Hashtbl.add renumber c c';
+          c')
+    a
+
+let equal t1 t2 =
+  size t1 = size t2 && canonical_assignment t1 = canonical_assignment t2
+
+let is_refinement_of fine coarse =
+  size fine = size coarse
+  &&
+  (* Each fine class must be contained in one coarse class. *)
+  let ok = ref true in
+  for c = 0 to num_classes fine - 1 do
+    let members = Dynarray.get fine.blocks c in
+    let target = coarse.class_of.(members.(0)) in
+    Array.iter (fun x -> if coarse.class_of.(x) <> target then ok := false) members
+  done;
+  !ok
+
+let pp ppf t =
+  Format.fprintf ppf "{@[";
+  for c = 0 to num_classes t - 1 do
+    if c > 0 then Format.fprintf ppf ",@ ";
+    Format.fprintf ppf "{%s}"
+      (String.concat " " (List.map string_of_int (Array.to_list (Dynarray.get t.blocks c))))
+  done;
+  Format.fprintf ppf "@]}"

@@ -1,0 +1,73 @@
+(** Refinable partitions of [{0, .., n-1}].
+
+    The central data structure of all lumping algorithms in this
+    repository: a partition of a state space into equivalence classes,
+    supporting class lookup in O(1) and in-place splitting of a class
+    into groups.  Class ids are dense integers [0 .. num_classes-1];
+    splitting reuses the split class's id for the first group and
+    allocates fresh ids for the rest, so existing ids never dangle
+    (they may shrink). *)
+
+type t
+
+val trivial : int -> t
+(** [trivial n] is the one-class partition of [{0..n-1}] ([n >= 0]);
+    with [n = 0] the partition has no class. *)
+
+val discrete : int -> t
+(** [discrete n] is the all-singletons partition. *)
+
+val of_class_assignment : int array -> t
+(** [of_class_assignment a] builds the partition where element [i]
+    belongs to class [a.(i)].  Class labels may be arbitrary ints; they
+    are renumbered densely in order of first appearance.
+    @raise Invalid_argument on negative labels. *)
+
+val group_by : int -> (int -> 'k) -> ('k -> 'k -> int) -> t
+(** [group_by n key cmp] partitions [{0..n-1}] into classes of equal
+    [key] (equality judged by [cmp] returning 0), the coarsest partition
+    for which [key] is class-constant.  Used to build the initial
+    partitions [P_ini] of the lumping algorithms. *)
+
+val size : t -> int
+(** Number of elements [n]. *)
+
+val num_classes : t -> int
+
+val class_of : t -> int -> int
+(** [class_of t x] is the id of the class containing element [x]. *)
+
+val elements : t -> int -> int array
+(** [elements t c] is a fresh array of the members of class [c] (in no
+    particular order). @raise Invalid_argument for an invalid id. *)
+
+val class_size : t -> int -> int
+
+val representative : t -> int -> int
+(** An arbitrary (but stable between splits) member of class [c]. *)
+
+val split : t -> int -> int array list -> int list
+(** [split t c groups] splits class [c] into the given groups, which
+    must be a disjoint cover of [elements t c] with no empty group.
+    Returns the class ids of the groups, in order ([c] first when more
+    than one group; if [groups] has a single group this is a no-op
+    returning [\[c\]]).
+    @raise Invalid_argument if the groups do not exactly cover [c]. *)
+
+val refine_class_by : t -> int -> (int -> 'k) -> ('k -> 'k -> int) -> int list
+(** [refine_class_by t c key cmp] splits class [c] into maximal groups
+    of [cmp]-equal keys; convenience wrapper over {!split}. *)
+
+val is_refinement_of : t -> t -> bool
+(** [is_refinement_of fine coarse] — every class of [fine] is contained
+    in a class of [coarse]. *)
+
+val equal : t -> t -> bool
+(** Same classes (regardless of numbering). *)
+
+val to_class_assignment : t -> int array
+
+val classes : t -> int array array
+(** All classes, indexed by class id (fresh arrays). *)
+
+val pp : Format.formatter -> t -> unit

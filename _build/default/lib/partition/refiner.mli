@@ -1,0 +1,44 @@
+(** The generic partition-refinement engine of Figure 1 (procedure
+    [CompLumping]), parameterised by the key function [K].
+
+    The engine refines an initial partition until every class is
+    key-constant with respect to every class used as a splitter.  The
+    key abstraction is exactly the paper's [K(R, s, C)] — "by choosing K
+    appropriately, we can customize the algorithm to compute partitions
+    that satisfy a set of desired conditions": flat ordinary lumping
+    uses [R(s, C)], flat exact lumping uses [R(C, s)], and the MD-local
+    variants use formal sums of [(coefficient, node)] pairs.
+
+    Rather than computing [K] for every state of [S] (Figure 1 line 5),
+    the engine asks only for the states with a key different from the
+    zero key — for row/column-sum keys those are the (predecessor /
+    successor) states of the splitter — and groups the remaining states
+    of each class implicitly, which is how the [O(m log n)] behaviour of
+    the underlying state-level algorithm is obtained. *)
+
+type 'k spec = {
+  size : int;  (** number of states *)
+  key_compare : 'k -> 'k -> int;
+      (** total order on keys; [0] means equal (may be tolerant for
+          floats).  States of a class are grouped by runs of equal
+          keys. *)
+  splitter_keys : int array -> (int * 'k) list;
+      (** [splitter_keys c] lists [(s, K(s, C))] for every state [s]
+          whose key w.r.t. splitter class [C] (given by its elements)
+          is different from the zero key.  States not listed are treated
+          as sharing the common zero key.  Must not list a state
+          twice. *)
+}
+
+val comp_lumping : 'k spec -> initial:Partition.t -> Partition.t
+(** [comp_lumping spec ~initial] returns the coarsest refinement of
+    [initial] that is stable under [spec.splitter_keys] splitting (the
+    input partition is not mutated).  Termination: a class is re-used as
+    a splitter only when freshly created by a split, and partitions only
+    ever get finer. @raise Invalid_argument if [initial] is not over
+    [spec.size] states. *)
+
+val is_stable : 'k spec -> Partition.t -> bool
+(** [is_stable spec p] checks directly that every class of [p] is
+    key-constant w.r.t. every class of [p] as splitter — the
+    post-condition of {!comp_lumping}, used by tests. *)

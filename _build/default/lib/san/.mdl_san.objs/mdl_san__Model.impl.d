@@ -1,0 +1,1 @@
+lib/san/model.ml: Array Hashtbl List Logs Mdl_kron Mdl_md Mdl_sparse Mdl_util Printf Queue String

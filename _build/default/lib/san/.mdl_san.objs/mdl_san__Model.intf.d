@@ -1,0 +1,1 @@
+lib/san/model.mli: Mdl_kron Mdl_md

@@ -1,0 +1,303 @@
+module Dynarray = Mdl_util.Dynarray
+module Csr = Mdl_sparse.Csr
+module Coo = Mdl_sparse.Coo
+
+let src = Logs.Src.create "mdl.san" ~doc:"compositional model exploration"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type local_state = int array
+
+type effect = local_state -> (local_state * float) list
+
+type event = {
+  label : string;
+  rate : float;
+  effects : effect array;
+}
+
+type component = {
+  name : string;
+  initial : local_state;
+}
+
+type t = {
+  comps : component array;
+  evts : event list;
+}
+
+let make ~components ~events =
+  if Array.length components = 0 then invalid_arg "Model.make: no components";
+  List.iter
+    (fun e ->
+      if Array.length e.effects <> Array.length components then
+        invalid_arg
+          (Printf.sprintf "Model.make: event %s has %d effects for %d components" e.label
+             (Array.length e.effects) (Array.length components));
+      if e.rate <= 0.0 then
+        invalid_arg (Printf.sprintf "Model.make: event %s has non-positive rate" e.label))
+    events;
+  { comps = components; evts = events }
+
+let components t = t.comps
+
+let events t = t.evts
+
+let identity_effect s = [ (s, 1.0) ]
+
+module State_table = Hashtbl.Make (struct
+  type t = int array
+
+  (* Monomorphic equality: this is the hottest comparison in state-space
+     exploration. *)
+  let equal a b =
+    let n = Array.length a in
+    n = Array.length b
+    &&
+    let rec go i = i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1)) in
+    go 0
+
+  let hash = Mdl_util.Hashx.int_array
+end)
+
+type interner = {
+  index_of : int State_table.t;
+  states : local_state Dynarray.t;
+}
+
+let new_interner () = { index_of = State_table.create 64; states = Dynarray.create () }
+
+let intern interner s =
+  match State_table.find_opt interner.index_of s with
+  | Some i -> i
+  | None ->
+      let i = Dynarray.length interner.states in
+      let s = Array.copy s in
+      State_table.add interner.index_of s i;
+      Dynarray.push interner.states s;
+      i
+
+type exploration = {
+  model : t;
+  local_spaces : local_state array array;
+  statespace : Mdl_md.Statespace.t;
+  descriptor : Mdl_kron.Kronecker.t;
+  initial_tuple : int array;
+}
+
+(* Canonicalise an exploration: keep only local states occurring in some
+   reachable tuple, order each level's local states lexicographically by
+   their encoding (so the result is independent of discovery order and
+   of the exploration strategy), remap all tuples, and build the final
+   local spaces, Kronecker descriptor and state space. *)
+let finalize t interners old_tuples old_initial =
+  let ncomp = Array.length t.comps in
+  (* occurrence masks *)
+  let occurring =
+    Array.init ncomp (fun k -> Array.make (Dynarray.length interners.(k).states) false)
+  in
+  List.iter
+    (fun tuple -> Array.iteri (fun k i -> occurring.(k).(i) <- true) tuple)
+    old_tuples;
+  (* canonical order of the occurring local states *)
+  let remap = Array.init ncomp (fun k -> Array.make (Dynarray.length interners.(k).states) (-1)) in
+  let local_spaces =
+    Array.init ncomp (fun k ->
+        let occ = ref [] in
+        Array.iteri
+          (fun i present ->
+            if present then occ := Dynarray.get interners.(k).states i :: !occ)
+          occurring.(k);
+        let sorted = Array.of_list !occ in
+        Array.sort compare sorted;
+        Array.iteri
+          (fun new_idx s ->
+            match State_table.find_opt interners.(k).index_of s with
+            | Some old_idx -> remap.(k).(old_idx) <- new_idx
+            | None -> assert false)
+          sorted;
+        sorted)
+  in
+  let remap_tuple tuple = Array.mapi (fun k i -> remap.(k).(i)) tuple in
+  let sizes = Array.map Array.length local_spaces in
+  (* Per-event local matrices over the final local spaces; transitions
+     into non-occurring local states cannot fire in any reachable global
+     state and are dropped. *)
+  let kron_events =
+    List.filter_map
+      (fun e ->
+        let locals_ok = ref true in
+        let locals =
+          Array.mapi
+            (fun k n ->
+              let coo = Coo.create ~rows:n ~cols:n in
+              for s = 0 to n - 1 do
+                List.iter
+                  (fun (s', w) ->
+                    if w <= 0.0 then
+                      invalid_arg
+                        (Printf.sprintf "Model.explore: event %s has non-positive weight"
+                           e.label);
+                    match State_table.find_opt interners.(k).index_of s' with
+                    | Some old_j ->
+                        let j = remap.(k).(old_j) in
+                        if j >= 0 then Coo.add coo s j w
+                    | None -> ())
+                  (e.effects.(k) local_spaces.(k).(s))
+              done;
+              let m = Csr.of_coo coo in
+              if Csr.nnz m = 0 then locals_ok := false;
+              m)
+            sizes
+        in
+        if !locals_ok then
+          Some { Mdl_kron.Kronecker.label = e.label; rate = e.rate; locals }
+        else None)
+      t.evts
+  in
+  let descriptor = Mdl_kron.Kronecker.make ~sizes kron_events in
+  let statespace =
+    Mdl_md.Statespace.of_tuples ~levels:ncomp (List.map remap_tuple old_tuples)
+  in
+  {
+    model = t;
+    local_spaces;
+    statespace;
+    descriptor;
+    initial_tuple = remap_tuple old_initial;
+  }
+
+let explore ?(max_states = 5_000_000) t =
+  let ncomp = Array.length t.comps in
+  let interners = Array.init ncomp (fun _ -> new_interner ()) in
+  let initial_tuple =
+    Array.mapi (fun k comp -> intern interners.(k) comp.initial) t.comps
+  in
+  let evts = Array.of_list t.evts in
+  let visited = State_table.create 4096 in
+  let frontier = Queue.create () in
+  let tuples = Dynarray.create () in
+  State_table.add visited initial_tuple ();
+  Queue.add initial_tuple frontier;
+  Dynarray.push tuples initial_tuple;
+  let succ_buf = Array.make ncomp [||] in
+  let next_buf = Array.make ncomp 0 in
+  while not (Queue.is_empty frontier) do
+    let tuple = Queue.pop frontier in
+    for e = 0 to Array.length evts - 1 do
+      let enabled = ref true in
+      for k = 0 to ncomp - 1 do
+        if !enabled then begin
+          let s = Dynarray.get interners.(k).states tuple.(k) in
+          match evts.(e).effects.(k) s with
+          | [] -> enabled := false
+          | succs -> succ_buf.(k) <- Array.of_list succs
+        end
+      done;
+      if !enabled then begin
+        (* Cross product of per-component successors, interned on use. *)
+        let rec expand k =
+          if k = ncomp then begin
+            if not (State_table.mem visited next_buf) then begin
+              if State_table.length visited >= max_states then
+                failwith (Printf.sprintf "Model.explore: more than %d states" max_states);
+              let next = Array.copy next_buf in
+              State_table.add visited next ();
+              Queue.add next frontier;
+              Dynarray.push tuples next
+            end
+          end
+          else
+            Array.iter
+              (fun (s', _w) ->
+                next_buf.(k) <- intern interners.(k) s';
+                expand (k + 1))
+              succ_buf.(k)
+        in
+        expand 0
+      end
+    done
+  done;
+  Log.debug (fun m ->
+      m "explore: %d states, local spaces %s" (Dynarray.length tuples)
+        (String.concat "/"
+           (Array.to_list
+              (Array.map (fun it -> string_of_int (Dynarray.length it.states)) interners))));
+  finalize t interners (Dynarray.to_list tuples) initial_tuple
+
+let explore_symbolic ?(max_states = 50_000_000) t =
+  let ncomp = Array.length t.comps in
+  let interners = Array.init ncomp (fun _ -> new_interner ()) in
+  let initial_tuple =
+    Array.mapi (fun k comp -> intern interners.(k) comp.initial) t.comps
+  in
+  let evts = Array.of_list t.evts in
+  let man = Mdl_md.Set_mdd.manager ~levels:ncomp in
+  (* Per-(event, level, local state) successor memo; successor local
+     states are interned on first evaluation. *)
+  let rel_memo : (int * int * int, int list) Hashtbl.t = Hashtbl.create 1024 in
+  let rel e level old_idx =
+    let key = (e, level, old_idx) in
+    match Hashtbl.find_opt rel_memo key with
+    | Some r -> r
+    | None ->
+        let k = level - 1 in
+        let s = Dynarray.get interners.(k).states old_idx in
+        let r =
+          List.map
+            (fun (s', w) ->
+              if w <= 0.0 then
+                invalid_arg
+                  (Printf.sprintf "Model.explore_symbolic: event %s has non-positive weight"
+                     evts.(e).label);
+              intern interners.(k) s')
+            (evts.(e).effects.(k) s)
+        in
+        (* Runaway guard: the local spaces of a finite model are bounded
+           by its state count, so unbounded interner growth means the
+           model has (more than) [max_states] states. *)
+        if Dynarray.length interners.(k).states > max_states then
+          failwith (Printf.sprintf "Model.explore_symbolic: more than %d states" max_states);
+        Hashtbl.add rel_memo key r;
+        r
+  in
+  (* An event's top level: the root-most level whose effect is not the
+     shared [identity_effect] closure (saturation fires an event inside
+     nodes of its top level, which is sound only when everything closer
+     to the root is identity).  Physical equality can only certify a
+     level as identity when the model author passed [identity_effect];
+     unknown effects count as touched, which merely costs efficiency. *)
+  let top_of e =
+    let rec scan k =
+      if k >= ncomp then ncomp (* all-identity: a no-op event *)
+      else if e.effects.(k) == identity_effect then scan (k + 1)
+      else k + 1
+    in
+    scan 0
+  in
+  let tops = Array.map top_of evts in
+  let rels = Array.init (Array.length evts) rel in
+  let reachable =
+    Mdl_md.Set_mdd.saturation man ~rels ~tops
+      (Mdl_md.Set_mdd.singleton man initial_tuple)
+  in
+  if Mdl_md.Set_mdd.count man reachable > max_states then
+    failwith (Printf.sprintf "Model.explore_symbolic: more than %d states" max_states);
+  Log.debug (fun m ->
+      m "explore_symbolic: %d states, %d set-MDD nodes"
+        (Mdl_md.Set_mdd.count man reachable)
+        (Mdl_md.Set_mdd.num_nodes man));
+  let old_tuples = ref [] in
+  Mdl_md.Set_mdd.iter man reachable (fun s -> old_tuples := Array.copy s :: !old_tuples);
+  finalize t interners !old_tuples initial_tuple
+
+let local_index exp l s =
+  if l < 1 || l > Array.length exp.local_spaces then
+    invalid_arg "Model.local_index: level out of range";
+  let space = exp.local_spaces.(l - 1) in
+  let rec find i = if i >= Array.length space then None else if space.(i) = s then Some i else find (i + 1) in
+  find 0
+
+let md_of exp =
+  Mdl_md.Compact.normalize
+    (Mdl_md.Compact.merge_terms (Mdl_kron.Kronecker.to_md exp.descriptor))

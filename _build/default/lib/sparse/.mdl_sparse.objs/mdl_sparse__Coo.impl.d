@@ -1,0 +1,1 @@
+lib/sparse/coo.ml: List Mdl_util Printf

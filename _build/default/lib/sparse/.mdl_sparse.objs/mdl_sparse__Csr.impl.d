@@ -1,0 +1,1 @@
+lib/sparse/csr.ml: Array Coo Format List Mdl_util

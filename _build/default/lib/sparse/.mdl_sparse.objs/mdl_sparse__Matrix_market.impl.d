@@ -1,0 +1,1 @@
+lib/sparse/matrix_market.ml: Buffer Coo Csr Fun List Printf String

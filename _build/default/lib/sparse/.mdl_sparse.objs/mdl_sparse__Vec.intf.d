@@ -1,0 +1,1 @@
+lib/sparse/vec.mli: Format

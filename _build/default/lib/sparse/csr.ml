@@ -1,0 +1,183 @@
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int array; (* length rows+1 *)
+  col_idx : int array; (* length nnz, sorted within each row *)
+  values : float array; (* length nnz *)
+}
+
+let rows t = t.rows
+
+let cols t = t.cols
+
+let nnz t = Array.length t.values
+
+let of_coo coo =
+  let rows = Coo.rows coo and cols = Coo.cols coo in
+  let n = Coo.nnz coo in
+  (* Collect triplets, sort lexicographically by (row, col), then fold
+     duplicates in a single pass. *)
+  let tr = Array.make n (0, 0, 0.0) in
+  let k = ref 0 in
+  Coo.iter
+    (fun i j v ->
+      tr.(!k) <- (i, j, v);
+      incr k)
+    coo;
+  Array.sort
+    (fun (i1, j1, _) (i2, j2, _) -> if i1 <> i2 then compare i1 i2 else compare j1 j2)
+    tr;
+  let out_i = Mdl_util.Dynarray.create () in
+  let out_j = Mdl_util.Dynarray.create () in
+  let out_v = Mdl_util.Dynarray.create () in
+  let flush i j v =
+    if v <> 0.0 then begin
+      Mdl_util.Dynarray.push out_i i;
+      Mdl_util.Dynarray.push out_j j;
+      Mdl_util.Dynarray.push out_v v
+    end
+  in
+  let rec fold k cur_i cur_j acc =
+    if k >= n then flush cur_i cur_j acc
+    else
+      let i, j, v = tr.(k) in
+      if i = cur_i && j = cur_j then fold (k + 1) cur_i cur_j (acc +. v)
+      else begin
+        flush cur_i cur_j acc;
+        fold (k + 1) i j v
+      end
+  in
+  if n > 0 then begin
+    let i0, j0, v0 = tr.(0) in
+    fold 1 i0 j0 v0
+  end;
+  let m = Mdl_util.Dynarray.length out_v in
+  let col_idx = Array.make m 0 in
+  let values = Array.make m 0.0 in
+  let row_ptr = Array.make (rows + 1) 0 in
+  for k = 0 to m - 1 do
+    col_idx.(k) <- Mdl_util.Dynarray.get out_j k;
+    values.(k) <- Mdl_util.Dynarray.get out_v k;
+    let i = Mdl_util.Dynarray.get out_i k in
+    row_ptr.(i + 1) <- row_ptr.(i + 1) + 1
+  done;
+  for i = 0 to rows - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i + 1) + row_ptr.(i)
+  done;
+  { rows; cols; row_ptr; col_idx; values }
+
+let of_triplets ~rows ~cols triplets = of_coo (Coo.of_triplets ~rows ~cols triplets)
+
+let of_dense d =
+  let rows = Array.length d in
+  let cols = if rows = 0 then 0 else Array.length d.(0) in
+  let coo = Coo.create ~rows ~cols in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> cols then invalid_arg "Csr.of_dense: ragged input";
+      Array.iteri (fun j v -> if v <> 0.0 then Coo.add coo i j v) row)
+    d;
+  of_coo coo
+
+let iter_row t i f =
+  for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+    f t.col_idx.(k) t.values.(k)
+  done
+
+let iter f t =
+  for i = 0 to t.rows - 1 do
+    iter_row t i (fun j v -> f i j v)
+  done
+
+let get t i j =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg "Csr.get: index out of bounds";
+  let lo = ref t.row_ptr.(i) and hi = ref (t.row_ptr.(i + 1) - 1) in
+  let result = ref 0.0 in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = t.col_idx.(mid) in
+    if c = j then begin
+      result := t.values.(mid);
+      lo := !hi + 1
+    end
+    else if c < j then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !result
+
+let row_sum t i =
+  let acc = ref 0.0 in
+  iter_row t i (fun _ v -> acc := !acc +. v);
+  !acc
+
+let row_sums t = Array.init t.rows (row_sum t)
+
+let col_sums t =
+  let sums = Array.make t.cols 0.0 in
+  iter (fun _ j v -> sums.(j) <- sums.(j) +. v) t;
+  sums
+
+let to_coo t =
+  let coo = Coo.create ~rows:t.rows ~cols:t.cols in
+  iter (fun i j v -> Coo.add coo i j v) t;
+  coo
+
+let transpose t =
+  let coo = Coo.create ~rows:t.cols ~cols:t.rows in
+  iter (fun i j v -> Coo.add coo j i v) t;
+  of_coo coo
+
+let scale alpha t =
+  if alpha = 0.0 then of_coo (Coo.create ~rows:t.rows ~cols:t.cols)
+  else { t with values = Array.map (fun v -> alpha *. v) t.values }
+
+let add a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Csr.add: dimension mismatch";
+  let coo = to_coo a in
+  iter (fun i j v -> Coo.add coo i j v) b;
+  of_coo coo
+
+let map f t =
+  let coo = Coo.create ~rows:t.rows ~cols:t.cols in
+  iter (fun i j v -> Coo.add coo i j (f v)) t;
+  of_coo coo
+
+let mul_vec t x =
+  if Array.length x <> t.cols then invalid_arg "Csr.mul_vec: dimension mismatch";
+  let y = Array.make t.rows 0.0 in
+  for i = 0 to t.rows - 1 do
+    let acc = ref 0.0 in
+    iter_row t i (fun j v -> acc := !acc +. (v *. x.(j)));
+    y.(i) <- !acc
+  done;
+  y
+
+let vec_mul x t =
+  if Array.length x <> t.rows then invalid_arg "Csr.vec_mul: dimension mismatch";
+  let y = Array.make t.cols 0.0 in
+  for i = 0 to t.rows - 1 do
+    let xi = x.(i) in
+    if xi <> 0.0 then iter_row t i (fun j v -> y.(j) <- y.(j) +. (xi *. v))
+  done;
+  y
+
+let to_dense t =
+  let d = Array.make_matrix t.rows t.cols 0.0 in
+  iter (fun i j v -> d.(i).(j) <- v) t;
+  d
+
+let approx_equal ?eps a b =
+  a.rows = b.rows && a.cols = b.cols
+  &&
+  let ok = ref true in
+  iter (fun i j v -> if not (Mdl_util.Floatx.approx_eq ?eps v (get b i j)) then ok := false) a;
+  iter (fun i j v -> if not (Mdl_util.Floatx.approx_eq ?eps v (get a i j)) then ok := false) b;
+  !ok
+
+let identity n = of_triplets ~rows:n ~cols:n (List.init n (fun i -> (i, i, 1.0)))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%dx%d, %d nnz" t.rows t.cols (nnz t);
+  iter (fun i j v -> Format.fprintf ppf "@,(%d,%d) = %g" i j v) t;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,65 @@
+(** Compressed-sparse-row matrices over the reals.
+
+    This is the workhorse flat-matrix representation: the state-level
+    lumping baseline, the iterative solvers and the lumpability checkers
+    all consume it.  Matrices are immutable after construction. *)
+
+type t
+
+val of_coo : Coo.t -> t
+(** Sort triplets, fold duplicates (values of equal [(i,j)] are summed)
+    and drop entries that cancel to exactly [0.]. *)
+
+val of_dense : float array array -> t
+(** @raise Invalid_argument on ragged input. *)
+
+val of_triplets : rows:int -> cols:int -> (int * int * float) list -> t
+
+val rows : t -> int
+
+val cols : t -> int
+
+val nnz : t -> int
+
+val get : t -> int -> int -> float
+(** [get t i j] is entry [(i,j)] ([0.] when absent); binary search within
+    the row, [O(log nnz_row)]. *)
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+(** [iter_row t i f] calls [f j v] for every stored entry of row [i] in
+    increasing column order. *)
+
+val iter : (int -> int -> float -> unit) -> t -> unit
+(** Iterate all stored entries in row-major order. *)
+
+val row_sum : t -> int -> float
+
+val row_sums : t -> Vec.t
+
+val col_sums : t -> Vec.t
+
+val transpose : t -> t
+
+val scale : float -> t -> t
+
+val add : t -> t -> t
+(** Entrywise sum. @raise Invalid_argument on dimension mismatch. *)
+
+val map : (float -> float) -> t -> t
+(** Apply [f] to every {e stored} entry (structural zeros are untouched);
+    entries mapped to exactly [0.] are dropped. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** [mul_vec a x] is [A x]. @raise Invalid_argument on mismatch. *)
+
+val vec_mul : Vec.t -> t -> Vec.t
+(** [vec_mul x a] is [x A] (row vector times matrix). *)
+
+val to_dense : t -> float array array
+
+val approx_equal : ?eps:float -> t -> t -> bool
+(** Entrywise approximate equality (structure-independent). *)
+
+val identity : int -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+let header = "%%MatrixMarket matrix coordinate real general"
+
+let write m oc =
+  output_string oc header;
+  output_char oc '\n';
+  Printf.fprintf oc "%d %d %d\n" (Csr.rows m) (Csr.cols m) (Csr.nnz m);
+  Csr.iter (fun i j v -> Printf.fprintf oc "%d %d %.17g\n" (i + 1) (j + 1) v) m
+
+let write_file m path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write m oc)
+
+let to_string m =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "%d %d %d\n" (Csr.rows m) (Csr.cols m) (Csr.nnz m));
+  Csr.iter
+    (fun i j v -> Buffer.add_string buf (Printf.sprintf "%d %d %.17g\n" (i + 1) (j + 1) v))
+    m;
+  Buffer.contents buf
+
+let parse_lines next_line =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let rec first_content () =
+    match next_line () with
+    | None -> fail "Matrix_market: empty input"
+    | Some l ->
+        let l = String.trim l in
+        if l = "" then first_content ()
+        else if String.length l > 0 && l.[0] = '%' then begin
+          (* header or comment; validate the banner if present *)
+          if String.length l >= 2 && String.sub l 0 2 = "%%" then begin
+            let lower = String.lowercase_ascii l in
+            if
+              not
+                (String.split_on_char ' ' lower
+                |> List.filter (fun s -> s <> "")
+                |> function
+                | _banner :: "matrix" :: "coordinate" :: "real" :: "general" :: _ -> true
+                | _ -> false)
+            then fail "Matrix_market: unsupported header %S" l
+          end;
+          first_content ()
+        end
+        else l
+  in
+  let dims = first_content () in
+  let rows, cols, nnz =
+    match
+      String.split_on_char ' ' dims
+      |> List.filter (fun s -> s <> "")
+      |> List.map int_of_string_opt
+    with
+    | [ Some r; Some c; Some n ] -> (r, c, n)
+    | _ -> fail "Matrix_market: malformed size line %S" dims
+  in
+  let coo = Coo.create ~rows ~cols in
+  let count = ref 0 in
+  let rec entries () =
+    match next_line () with
+    | None -> ()
+    | Some l ->
+        let l = String.trim l in
+        if l = "" || l.[0] = '%' then entries ()
+        else begin
+          (match String.split_on_char ' ' l |> List.filter (fun s -> s <> "") with
+          | [ si; sj; sv ] -> (
+              match (int_of_string_opt si, int_of_string_opt sj, float_of_string_opt sv) with
+              | Some i, Some j, Some v ->
+                  if i < 1 || i > rows || j < 1 || j > cols then
+                    fail "Matrix_market: entry (%d,%d) out of bounds" i j;
+                  Coo.add coo (i - 1) (j - 1) v;
+                  incr count
+              | _ -> fail "Matrix_market: malformed entry %S" l)
+          | _ -> fail "Matrix_market: malformed entry %S" l);
+          entries ()
+        end
+  in
+  entries ();
+  if !count <> nnz then fail "Matrix_market: expected %d entries, found %d" nnz !count;
+  Csr.of_coo coo
+
+let read ic =
+  parse_lines (fun () -> try Some (input_line ic) with End_of_file -> None)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)
+
+let of_string s =
+  let lines = ref (String.split_on_char '\n' s) in
+  parse_lines (fun () ->
+      match !lines with
+      | [] -> None
+      | l :: rest ->
+          lines := rest;
+          Some l)

@@ -1,0 +1,20 @@
+(** Matrix Market ([.mtx]) coordinate-format I/O.
+
+    The de-facto interchange format for sparse matrices; lets lumped
+    rate matrices flow to external solvers/tools and lets test fixtures
+    come from files.  Only the subset we produce/consume is supported:
+    [matrix coordinate real general]. *)
+
+val write : Csr.t -> out_channel -> unit
+(** Write in coordinate format (1-based indices, one entry per line). *)
+
+val write_file : Csr.t -> string -> unit
+
+val read : in_channel -> Csr.t
+(** @raise Failure on malformed input or an unsupported header. *)
+
+val read_file : string -> Csr.t
+
+val to_string : Csr.t -> string
+
+val of_string : string -> Csr.t

@@ -1,0 +1,64 @@
+type t = float array
+
+let make n x = Array.make n x
+
+let copy = Array.copy
+
+let fill t x = Array.fill t 0 (Array.length t) x
+
+let check_dims a b fn =
+  if Array.length a <> Array.length b then
+    invalid_arg
+      (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" fn (Array.length a)
+         (Array.length b))
+
+let dot a b =
+  check_dims a b "dot";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let axpy ~alpha x y =
+  check_dims x y "axpy";
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (alpha *. x.(i)) +. y.(i)
+  done
+
+let scale alpha x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- alpha *. x.(i)
+  done
+
+let sum t = Mdl_util.Floatx.sum_kahan t
+
+let normalize1 t =
+  let s = sum t in
+  if s <= 0.0 then invalid_arg "Vec.normalize1: sum is not positive";
+  scale (1.0 /. s) t
+
+let norm_inf t = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 t
+
+let diff_inf a b =
+  check_dims a b "diff_inf";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := Float.max !acc (Float.abs (a.(i) -. b.(i)))
+  done;
+  !acc
+
+let approx_equal ?eps a b =
+  Array.length a = Array.length b
+  &&
+  let rec loop i =
+    i >= Array.length a || (Mdl_util.Floatx.approx_eq ?eps a.(i) b.(i) && loop (i + 1))
+  in
+  loop 0
+
+let pp ppf t =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf x -> Format.fprintf ppf "%g" x))
+    t

@@ -1,0 +1,36 @@
+(** Dense real vectors ([float array]) and the handful of BLAS-1 style
+    operations the iterative solvers need. *)
+
+type t = float array
+
+val make : int -> float -> t
+
+val copy : t -> t
+
+val fill : t -> float -> unit
+
+val dot : t -> t -> float
+(** @raise Invalid_argument on dimension mismatch. *)
+
+val axpy : alpha:float -> t -> t -> unit
+(** [axpy ~alpha x y] performs [y := alpha * x + y] in place. *)
+
+val scale : float -> t -> unit
+(** [scale alpha x] performs [x := alpha * x] in place. *)
+
+val sum : t -> float
+(** Compensated sum of all entries. *)
+
+val normalize1 : t -> unit
+(** Scale so entries sum to 1. @raise Invalid_argument if the sum is not
+    positive. *)
+
+val norm_inf : t -> float
+
+val diff_inf : t -> t -> float
+(** Max absolute componentwise difference.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val approx_equal : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/util/hashx.ml: Array Hashtbl Int64 List

@@ -1,0 +1,55 @@
+(** Growable arrays.
+
+    OCaml 5.1's standard library does not yet ship [Dynarray]; this is a
+    small, self-contained replacement used throughout the code base for
+    collecting elements whose count is unknown in advance. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** [create ()] is a fresh empty dynamic array. *)
+
+val make : int -> 'a -> 'a t
+(** [make n x] is a dynamic array holding [n] copies of [x]. *)
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** [get t i] is element [i]. @raise Invalid_argument if out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** [set t i x] replaces element [i]. @raise Invalid_argument if out of
+    bounds. *)
+
+val push : 'a t -> 'a -> unit
+(** [push t x] appends [x] at the end, growing the backing store as
+    needed. *)
+
+val pop : 'a t -> 'a
+(** [pop t] removes and returns the last element.
+    @raise Invalid_argument on an empty array. *)
+
+val clear : 'a t -> unit
+(** [clear t] removes all elements (the backing store is kept). *)
+
+val is_empty : 'a t -> bool
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val to_array : 'a t -> 'a array
+(** [to_array t] is a fresh array with the elements of [t] in order. *)
+
+val to_list : 'a t -> 'a list
+
+val of_list : 'a list -> 'a t
+
+val of_array : 'a array -> 'a t
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+(** [sort cmp t] sorts [t] in place. *)

@@ -1,0 +1,20 @@
+let default_eps = 1e-9
+
+let approx_eq ?(eps = default_eps) a b =
+  if a = b then true
+  else
+    let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
+    Float.abs (a -. b) <= eps *. scale
+
+let compare_approx ?(eps = default_eps) a b =
+  if approx_eq ~eps a b then 0 else compare a b
+
+let sum_kahan a =
+  let sum = ref 0.0 and comp = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let y = a.(i) -. !comp in
+    let t = !sum +. y in
+    comp := t -. !sum -. y;
+    sum := t
+  done;
+  !sum

@@ -1,0 +1,22 @@
+(** Tolerant floating-point comparison helpers.
+
+    Partition refinement and lumpability checks compare sums of rates
+    computed along different association orders; all such comparisons go
+    through this module so the tolerance policy lives in one place. *)
+
+val default_eps : float
+(** Absolute/relative tolerance used when none is supplied ([1e-9]). *)
+
+val approx_eq : ?eps:float -> float -> float -> bool
+(** [approx_eq a b] is true when [|a - b| <= eps * max 1 (|a|, |b|)],
+    i.e. absolute tolerance near zero, relative away from it. *)
+
+val compare_approx : ?eps:float -> float -> float -> int
+(** Three-way comparison compatible with {!approx_eq}: returns [0] when
+    the two floats are approximately equal, and the sign of [a -. b]
+    otherwise.  Not a total order in the mathematical sense, but stable
+    enough to group keys whose components were computed identically. *)
+
+val sum_kahan : float array -> float
+(** Compensated (Kahan) summation, used where many small rates are
+    accumulated. *)

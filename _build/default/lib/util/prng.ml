@@ -1,0 +1,31 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9e3779b97f4a7c15L
+
+let create seed = { state = seed }
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = int64 t in
+  create (mix64 (Int64.logxor seed 0x5851f42d4c957f2dL))
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Shift by 2 so the value fits OCaml's 63-bit int without wrapping
+     negative. *)
+  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  r mod bound
+
+let float t bound =
+  let bits53 = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  bound *. (bits53 /. 9007199254740992.0)
+
+let bool t = Int64.logand (int64 t) 1L = 1L

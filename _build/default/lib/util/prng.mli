@@ -1,0 +1,26 @@
+(** Deterministic splittable pseudo-random number generator
+    (SplitMix64).
+
+    Workload generators and property-based tests need reproducible
+    randomness that is independent of the global [Random] state; every
+    generator receives its own [t]. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] is a fresh generator. *)
+
+val split : t -> t
+(** [split t] derives an independent generator and advances [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument
+    if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool

@@ -1,0 +1,14 @@
+(** Wall-clock timing used by the benchmark harness and the CLI
+    reporters. *)
+
+type t
+
+val start : unit -> t
+(** [start ()] is a timer started now. *)
+
+val elapsed_s : t -> float
+(** Seconds elapsed since [start]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed
+    wall-clock seconds. *)

@@ -1,0 +1,1 @@
+test/suite_core.ml: Alcotest Array List Mdl_core Mdl_ctmc Mdl_kron Mdl_lumping Mdl_md Mdl_partition Mdl_sparse Mdl_util Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/suite_ctmc.ml: Alcotest Array Float Gen List Mdl_ctmc Mdl_sparse Printf QCheck QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/suite_errors.ml: Alcotest Mdl_core Mdl_ctmc Mdl_kron Mdl_md Mdl_partition Mdl_sparse

@@ -1,0 +1,1 @@
+test/suite_lumping.ml: Alcotest Array List Mdl_ctmc Mdl_lumping Mdl_partition Mdl_sparse Mdl_util Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/suite_md.ml: Alcotest Array Filename Format Fun List Mdl_kron Mdl_md Mdl_models Mdl_san Mdl_sparse Mdl_util Printf QCheck QCheck_alcotest Random String Sys Test

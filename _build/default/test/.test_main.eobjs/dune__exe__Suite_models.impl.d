@@ -1,0 +1,1 @@
+test/suite_models.ml: Alcotest Array Mdl_core Mdl_ctmc Mdl_lumping Mdl_md Mdl_models Mdl_partition Mdl_san Mdl_sparse Mdl_util Printf

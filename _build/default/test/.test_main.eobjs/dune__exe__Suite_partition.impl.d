@@ -1,0 +1,1 @@
+test/suite_partition.ml: Alcotest Array Gen Hashtbl List Mdl_partition Option Printf QCheck QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/suite_san.ml: Alcotest Array Float Gen Int64 List Mdl_core Mdl_ctmc Mdl_kron Mdl_md Mdl_models Mdl_san Mdl_sparse Mdl_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_sparse.ml: Alcotest Array Filename Fun List Mdl_sparse Printf QCheck QCheck_alcotest String Sys Test

@@ -1,0 +1,1 @@
+test/suite_util.ml: Alcotest Array Float Int64 List Mdl_util QCheck QCheck_alcotest Test

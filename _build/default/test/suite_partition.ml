@@ -1,0 +1,184 @@
+(* Tests for the refinable-partition data structure and the generic
+   refinement engine. *)
+
+module Partition = Mdl_partition.Partition
+module Refiner = Mdl_partition.Refiner
+
+let partition_testable = Alcotest.testable Partition.pp Partition.equal
+
+let test_trivial_discrete () =
+  let t = Partition.trivial 5 in
+  Alcotest.(check int) "one class" 1 (Partition.num_classes t);
+  Alcotest.(check int) "class size" 5 (Partition.class_size t 0);
+  let d = Partition.discrete 5 in
+  Alcotest.(check int) "five classes" 5 (Partition.num_classes d);
+  Alcotest.(check bool) "discrete refines trivial" true (Partition.is_refinement_of d t);
+  Alcotest.(check bool) "trivial does not refine discrete" false
+    (Partition.is_refinement_of t d);
+  let empty = Partition.trivial 0 in
+  Alcotest.(check int) "empty has no class" 0 (Partition.num_classes empty)
+
+let test_of_class_assignment () =
+  let p = Partition.of_class_assignment [| 7; 3; 7; 3; 9 |] in
+  Alcotest.(check int) "three classes" 3 (Partition.num_classes p);
+  Alcotest.(check int) "same class" (Partition.class_of p 0) (Partition.class_of p 2);
+  Alcotest.(check bool) "diff class" true (Partition.class_of p 0 <> Partition.class_of p 4);
+  Alcotest.check_raises "negative label"
+    (Invalid_argument "Partition.of_class_assignment: negative label") (fun () ->
+      ignore (Partition.of_class_assignment [| -1 |]))
+
+let test_group_by () =
+  let p = Partition.group_by 6 (fun i -> i mod 3) compare in
+  Alcotest.(check int) "three classes" 3 (Partition.num_classes p);
+  Alcotest.(check int) "0 and 3 together" (Partition.class_of p 0) (Partition.class_of p 3)
+
+let test_split () =
+  let p = Partition.trivial 6 in
+  let ids = Partition.split p 0 [ [| 0; 1; 2 |]; [| 3; 4 |]; [| 5 |] ] in
+  Alcotest.(check int) "three ids" 3 (List.length ids);
+  Alcotest.(check int) "three classes" 3 (Partition.num_classes p);
+  Alcotest.(check int) "first group keeps id" 0 (List.hd ids);
+  Alcotest.(check int) "element moved" (Partition.class_of p 5) (List.nth ids 2)
+
+let test_split_validation () =
+  let p = Partition.trivial 4 in
+  Alcotest.check_raises "bad cover"
+    (Invalid_argument "Partition.split: groups do not cover the class") (fun () ->
+      ignore (Partition.split p 0 [ [| 0; 1 |] ]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Partition.split: duplicate element") (fun () ->
+      ignore (Partition.split p 0 [ [| 0; 1; 2 |]; [| 2 |] ]));
+  let q = Partition.of_class_assignment [| 0; 0; 1; 1 |] in
+  Alcotest.check_raises "element of other class"
+    (Invalid_argument "Partition.split: element not in class") (fun () ->
+      ignore (Partition.split q 0 [ [| 0 |]; [| 2 |] ]))
+
+let test_split_noop () =
+  let p = Partition.trivial 3 in
+  let ids = Partition.split p 0 [ [| 0; 1; 2 |] ] in
+  Alcotest.(check (list int)) "no-op" [ 0 ] ids;
+  Alcotest.(check int) "still one class" 1 (Partition.num_classes p)
+
+let test_refine_class_by () =
+  let p = Partition.trivial 6 in
+  let ids = Partition.refine_class_by p 0 (fun i -> i mod 2) compare in
+  Alcotest.(check int) "two groups" 2 (List.length ids);
+  Alcotest.(check int) "0 with 2" (Partition.class_of p 0) (Partition.class_of p 2)
+
+let test_equal () =
+  let p1 = Partition.of_class_assignment [| 0; 0; 1 |] in
+  let p2 = Partition.of_class_assignment [| 5; 5; 2 |] in
+  let p3 = Partition.of_class_assignment [| 0; 1; 1 |] in
+  Alcotest.check partition_testable "label-independent equal" p1 p2;
+  Alcotest.(check bool) "different" false (Partition.equal p1 p3)
+
+(* A tiny refinement spec: split by reachability keys of a fixed
+   functional graph; classes end up grouping states with equal behaviour
+   with respect to successor membership counts. *)
+let graph_spec edges n =
+  {
+    Refiner.size = n;
+    key_compare = compare;
+    splitter_keys =
+      (fun c ->
+        (* key(s) = number of edges from s into the splitter class *)
+        let in_c = Array.make n false in
+        Array.iter (fun x -> in_c.(x) <- true) c;
+        let counts = Hashtbl.create 16 in
+        List.iter
+          (fun (u, v) ->
+            if in_c.(v) then
+              Hashtbl.replace counts u (1 + Option.value ~default:0 (Hashtbl.find_opt counts u)))
+          edges;
+        Hashtbl.fold (fun s k acc -> (s, k) :: acc) counts []);
+  }
+
+let test_refiner_bisimulation_like () =
+  (* 0 -> 1 -> 2 (sink), 3 -> 4 -> 2: states 0/3 and 1/4 should pair up. *)
+  let edges = [ (0, 1); (1, 2); (3, 4); (4, 2) ] in
+  let spec = graph_spec edges 5 in
+  let result = Refiner.comp_lumping spec ~initial:(Partition.trivial 5) in
+  Alcotest.check partition_testable "classic bisimulation classes"
+    (Partition.of_class_assignment [| 0; 1; 2; 0; 1 |])
+    result;
+  Alcotest.(check bool) "stable" true (Refiner.is_stable spec result)
+
+let test_refiner_respects_initial () =
+  let edges = [] in
+  let spec = graph_spec edges 4 in
+  let initial = Partition.of_class_assignment [| 0; 0; 1; 1 |] in
+  let result = Refiner.comp_lumping spec ~initial in
+  Alcotest.check partition_testable "no edges: initial unchanged" initial result;
+  Alcotest.(check bool) "input not mutated" true
+    (Partition.num_classes initial = 2)
+
+let test_refiner_size_mismatch () =
+  let spec = graph_spec [] 4 in
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Refiner.comp_lumping: partition size mismatch") (fun () ->
+      ignore (Refiner.comp_lumping spec ~initial:(Partition.trivial 3)))
+
+let qcheck_tests =
+  let open QCheck in
+  let gen_assignment =
+    Gen.(
+      let* n = int_range 1 12 in
+      let+ a = array_size (return n) (int_range 0 3) in
+      a)
+  in
+  let arb_assignment =
+    make
+      ~print:(fun a ->
+        String.concat "," (List.map string_of_int (Array.to_list a)))
+      gen_assignment
+  in
+  let gen_graph =
+    Gen.(
+      let* n = int_range 2 10 in
+      let+ edges =
+        list_size (int_range 0 20) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+      in
+      (n, edges))
+  in
+  let arb_graph =
+    make
+      ~print:(fun (n, e) ->
+        Printf.sprintf "n=%d %s" n
+          (String.concat ";" (List.map (fun (u, v) -> Printf.sprintf "%d->%d" u v) e)))
+      gen_graph
+  in
+  [
+    Test.make ~count:300 ~name:"of_class_assignment roundtrip" arb_assignment (fun a ->
+        let p = Partition.of_class_assignment a in
+        Partition.equal p (Partition.of_class_assignment (Partition.to_class_assignment p)));
+    Test.make ~count:300 ~name:"group_by classes have constant key" arb_assignment
+      (fun a ->
+        let n = Array.length a in
+        let p = Partition.group_by n (fun i -> a.(i)) compare in
+        Array.for_all
+          (fun members ->
+            Array.for_all (fun x -> a.(x) = a.(members.(0))) members)
+          (Partition.classes p));
+    Test.make ~count:200 ~name:"refiner output refines initial and is stable" arb_graph
+      (fun (n, edges) ->
+        let spec = graph_spec edges n in
+        let initial = Partition.group_by n (fun i -> i mod 2) compare in
+        let result = Refiner.comp_lumping spec ~initial in
+        Partition.is_refinement_of result initial && Refiner.is_stable spec result);
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "trivial/discrete" `Quick test_trivial_discrete;
+    Alcotest.test_case "of_class_assignment" `Quick test_of_class_assignment;
+    Alcotest.test_case "group_by" `Quick test_group_by;
+    Alcotest.test_case "split" `Quick test_split;
+    Alcotest.test_case "split validation" `Quick test_split_validation;
+    Alcotest.test_case "split no-op" `Quick test_split_noop;
+    Alcotest.test_case "refine_class_by" `Quick test_refine_class_by;
+    Alcotest.test_case "equal" `Quick test_equal;
+    Alcotest.test_case "refiner bisimulation-like" `Quick test_refiner_bisimulation_like;
+    Alcotest.test_case "refiner respects initial" `Quick test_refiner_respects_initial;
+    Alcotest.test_case "refiner size mismatch" `Quick test_refiner_size_mismatch;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

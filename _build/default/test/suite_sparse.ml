@@ -1,0 +1,197 @@
+(* Unit and property tests for Mdl_sparse. *)
+
+module Vec = Mdl_sparse.Vec
+module Coo = Mdl_sparse.Coo
+module Csr = Mdl_sparse.Csr
+
+let matrix_testable =
+  Alcotest.testable Csr.pp (fun a b -> Csr.approx_equal a b)
+
+let test_coo_basics () =
+  let c = Coo.create ~rows:3 ~cols:4 in
+  Coo.add c 0 1 2.0;
+  Coo.add c 2 3 1.5;
+  Coo.add c 0 1 0.0;
+  (* zero ignored *)
+  Alcotest.(check int) "nnz" 2 (Coo.nnz c);
+  Alcotest.check_raises "row oob"
+    (Invalid_argument "Coo.add: (3,0) out of bounds for 3x4") (fun () -> Coo.add c 3 0 1.0)
+
+let test_csr_duplicate_folding () =
+  let m = Csr.of_triplets ~rows:2 ~cols:2 [ (0, 0, 1.0); (0, 0, 2.0); (1, 1, 5.0) ] in
+  Alcotest.(check int) "nnz after fold" 2 (Csr.nnz m);
+  Alcotest.(check (float 1e-12)) "folded value" 3.0 (Csr.get m 0 0)
+
+let test_csr_cancellation () =
+  let m = Csr.of_triplets ~rows:1 ~cols:1 [ (0, 0, 1.0); (0, 0, -1.0) ] in
+  Alcotest.(check int) "cancelled entry dropped" 0 (Csr.nnz m)
+
+let test_csr_get () =
+  let m = Csr.of_dense [| [| 1.0; 0.0; 2.0 |]; [| 0.0; 3.0; 0.0 |] |] in
+  Alcotest.(check (float 0.0)) "get (0,2)" 2.0 (Csr.get m 0 2);
+  Alcotest.(check (float 0.0)) "get absent" 0.0 (Csr.get m 1 0);
+  Alcotest.check_raises "oob" (Invalid_argument "Csr.get: index out of bounds") (fun () ->
+      ignore (Csr.get m 2 0))
+
+let test_csr_sums () =
+  let m = Csr.of_dense [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  Alcotest.(check (float 1e-12)) "row sum 0" 3.0 (Csr.row_sum m 0);
+  Alcotest.(check bool) "row sums" true (Vec.approx_equal (Csr.row_sums m) [| 3.0; 7.0 |]);
+  Alcotest.(check bool) "col sums" true (Vec.approx_equal (Csr.col_sums m) [| 4.0; 6.0 |])
+
+let test_csr_transpose () =
+  let m = Csr.of_dense [| [| 1.0; 2.0; 0.0 |]; [| 0.0; 3.0; 4.0 |] |] in
+  let mt = Csr.transpose m in
+  Alcotest.(check int) "rows" 3 (Csr.rows mt);
+  Alcotest.(check (float 0.0)) "entry" 4.0 (Csr.get mt 2 1);
+  Alcotest.check matrix_testable "double transpose" m (Csr.transpose mt)
+
+let test_csr_mul_vec () =
+  let m = Csr.of_dense [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  Alcotest.(check bool) "A x" true
+    (Vec.approx_equal (Csr.mul_vec m [| 1.0; 1.0 |]) [| 3.0; 7.0 |]);
+  Alcotest.(check bool) "x A" true
+    (Vec.approx_equal (Csr.vec_mul [| 1.0; 1.0 |] m) [| 4.0; 6.0 |]);
+  Alcotest.check_raises "dim" (Invalid_argument "Csr.mul_vec: dimension mismatch")
+    (fun () -> ignore (Csr.mul_vec m [| 1.0 |]))
+
+let test_csr_add_scale_map () =
+  let a = Csr.of_dense [| [| 1.0; 0.0 |]; [| 0.0; 2.0 |] |] in
+  let b = Csr.of_dense [| [| 0.0; 5.0 |]; [| 0.0; -2.0 |] |] in
+  let s = Csr.add a b in
+  Alcotest.(check (float 0.0)) "add" 5.0 (Csr.get s 0 1);
+  Alcotest.(check int) "add cancels" 2 (Csr.nnz s);
+  let d = Csr.scale 2.0 a in
+  Alcotest.(check (float 0.0)) "scale" 4.0 (Csr.get d 1 1);
+  let z = Csr.scale 0.0 a in
+  Alcotest.(check int) "scale by zero empties" 0 (Csr.nnz z);
+  let m = Csr.map (fun v -> v -. 1.0) a in
+  Alcotest.(check int) "map drops zeros" 1 (Csr.nnz m)
+
+let test_vec_ops () =
+  let x = [| 1.0; 2.0; 3.0 |] in
+  let y = [| 1.0; 1.0; 1.0 |] in
+  Alcotest.(check (float 1e-12)) "dot" 6.0 (Vec.dot x y);
+  Vec.axpy ~alpha:2.0 x y;
+  Alcotest.(check bool) "axpy" true (Vec.approx_equal y [| 3.0; 5.0; 7.0 |]);
+  Vec.normalize1 y;
+  Alcotest.(check (float 1e-12)) "normalize" 1.0 (Vec.sum y);
+  Alcotest.(check (float 1e-12)) "norm_inf" 3.0 (Vec.norm_inf x);
+  Alcotest.check_raises "dot dim"
+    (Invalid_argument "Vec.dot: dimension mismatch (3 vs 1)") (fun () ->
+      ignore (Vec.dot x [| 1.0 |]))
+
+let test_matrix_market_roundtrip () =
+  let m =
+    Csr.of_triplets ~rows:3 ~cols:4 [ (0, 1, 1.5); (2, 3, -2.25); (1, 0, 1e-17) ]
+  in
+  let s = Mdl_sparse.Matrix_market.to_string m in
+  let m' = Mdl_sparse.Matrix_market.of_string s in
+  Alcotest.check matrix_testable "roundtrip" m m';
+  Alcotest.(check int) "dims preserved" 4 (Csr.cols m')
+
+let test_matrix_market_rejects_garbage () =
+  let reject name s =
+    match Mdl_sparse.Matrix_market.of_string s with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected Failure")
+  in
+  reject "empty" "";
+  reject "bad header" "%%MatrixMarket matrix coordinate complex general\n1 1 0\n";
+  reject "bad size" "%%MatrixMarket matrix coordinate real general\n1 x\n";
+  reject "oob entry" "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+  reject "count mismatch" "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+
+let test_matrix_market_file_roundtrip () =
+  let path = Filename.temp_file "mdlump" ".mtx" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let m = Csr.of_triplets ~rows:3 ~cols:3 [ (0, 2, 1.25); (1, 1, -4.0) ] in
+      Mdl_sparse.Matrix_market.write_file m path;
+      Alcotest.check matrix_testable "file roundtrip" m
+        (Mdl_sparse.Matrix_market.read_file path))
+
+let test_identity () =
+  let i3 = Csr.identity 3 in
+  let x = [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check bool) "I x = x" true (Vec.approx_equal (Csr.mul_vec i3 x) x)
+
+(* Random sparse matrix generator for property tests. *)
+let gen_csr =
+  let open QCheck.Gen in
+  let* rows = int_range 1 8 in
+  let* cols = int_range 1 8 in
+  let* n = int_range 0 20 in
+  let+ triplets =
+    list_size (return n)
+      (triple (int_range 0 (rows - 1)) (int_range 0 (cols - 1))
+         (map (fun k -> float_of_int k /. 2.0) (int_range (-6) 6)))
+  in
+  (rows, cols, triplets)
+
+let arb_csr = QCheck.make ~print:(fun (r, c, t) ->
+    Printf.sprintf "%dx%d %s" r c
+      (String.concat ";" (List.map (fun (i, j, v) -> Printf.sprintf "(%d,%d,%g)" i j v) t)))
+    gen_csr
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~count:200 ~name:"matrix market roundtrips any csr" arb_csr
+      (fun (r, c, t) ->
+        let m = Csr.of_triplets ~rows:r ~cols:c t in
+        Csr.approx_equal m
+          (Mdl_sparse.Matrix_market.of_string (Mdl_sparse.Matrix_market.to_string m)));
+    Test.make ~count:300 ~name:"transpose involutive" arb_csr (fun (r, c, t) ->
+        let m = Csr.of_triplets ~rows:r ~cols:c t in
+        Csr.approx_equal m (Csr.transpose (Csr.transpose m)));
+    Test.make ~count:300 ~name:"mul_vec agrees with dense" arb_csr (fun (r, c, t) ->
+        let m = Csr.of_triplets ~rows:r ~cols:c t in
+        let d = Csr.to_dense m in
+        let x = Array.init c (fun j -> float_of_int (j + 1)) in
+        let expected =
+          Array.init r (fun i ->
+              let acc = ref 0.0 in
+              for j = 0 to c - 1 do
+                acc := !acc +. (d.(i).(j) *. x.(j))
+              done;
+              !acc)
+        in
+        Vec.approx_equal (Csr.mul_vec m x) expected);
+    Test.make ~count:300 ~name:"vec_mul is mul_vec of transpose" arb_csr
+      (fun (r, c, t) ->
+        let m = Csr.of_triplets ~rows:r ~cols:c t in
+        let x = Array.init r (fun i -> float_of_int i -. 2.0) in
+        Vec.approx_equal (Csr.vec_mul x m) (Csr.mul_vec (Csr.transpose m) x));
+    Test.make ~count:300 ~name:"row_sums match col_sums of transpose" arb_csr
+      (fun (r, c, t) ->
+        let m = Csr.of_triplets ~rows:r ~cols:c t in
+        Vec.approx_equal (Csr.row_sums m) (Csr.col_sums (Csr.transpose m)));
+    Test.make ~count:300 ~name:"add commutes" (pair arb_csr arb_csr)
+      (fun ((r, c, t1), (_, _, t2)) ->
+        let t2 = List.filter (fun (i, j, _) -> i < r && j < c) t2 in
+        let a = Csr.of_triplets ~rows:r ~cols:c t1 in
+        let b = Csr.of_triplets ~rows:r ~cols:c t2 in
+        Csr.approx_equal (Csr.add a b) (Csr.add b a));
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "coo basics" `Quick test_coo_basics;
+    Alcotest.test_case "csr duplicate folding" `Quick test_csr_duplicate_folding;
+    Alcotest.test_case "csr cancellation" `Quick test_csr_cancellation;
+    Alcotest.test_case "csr get" `Quick test_csr_get;
+    Alcotest.test_case "csr sums" `Quick test_csr_sums;
+    Alcotest.test_case "csr transpose" `Quick test_csr_transpose;
+    Alcotest.test_case "csr mul_vec" `Quick test_csr_mul_vec;
+    Alcotest.test_case "csr add/scale/map" `Quick test_csr_add_scale_map;
+    Alcotest.test_case "vec ops" `Quick test_vec_ops;
+    Alcotest.test_case "identity" `Quick test_identity;
+    Alcotest.test_case "matrix market roundtrip" `Quick test_matrix_market_roundtrip;
+    Alcotest.test_case "matrix market rejects garbage" `Quick
+      test_matrix_market_rejects_garbage;
+    Alcotest.test_case "matrix market file roundtrip" `Quick
+      test_matrix_market_file_roundtrip;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

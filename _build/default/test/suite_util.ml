@@ -1,0 +1,124 @@
+(* Unit and property tests for Mdl_util. *)
+
+module Dynarray = Mdl_util.Dynarray
+module Floatx = Mdl_util.Floatx
+module Prng = Mdl_util.Prng
+module Hashx = Mdl_util.Hashx
+
+let test_dynarray_push_get () =
+  let t = Dynarray.create () in
+  for i = 0 to 99 do
+    Dynarray.push t (i * i)
+  done;
+  Alcotest.(check int) "length" 100 (Dynarray.length t);
+  Alcotest.(check int) "get 7" 49 (Dynarray.get t 7);
+  Alcotest.(check int) "get 99" 9801 (Dynarray.get t 99)
+
+let test_dynarray_pop () =
+  let t = Dynarray.of_list [ 1; 2; 3 ] in
+  Alcotest.(check int) "pop" 3 (Dynarray.pop t);
+  Alcotest.(check int) "len after pop" 2 (Dynarray.length t);
+  Alcotest.(check int) "pop" 2 (Dynarray.pop t);
+  Alcotest.(check int) "pop" 1 (Dynarray.pop t);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Dynarray.pop: empty") (fun () ->
+      ignore (Dynarray.pop t))
+
+let test_dynarray_bounds () =
+  let t = Dynarray.of_list [ 10 ] in
+  Alcotest.check_raises "get oob"
+    (Invalid_argument "Dynarray.get: index 1 out of bounds [0,1)") (fun () ->
+      ignore (Dynarray.get t 1));
+  Alcotest.check_raises "set oob"
+    (Invalid_argument "Dynarray.set: index -1 out of bounds [0,1)") (fun () ->
+      Dynarray.set t (-1) 0)
+
+let test_dynarray_sort () =
+  let t = Dynarray.of_list [ 3; 1; 2 ] in
+  Dynarray.sort compare t;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Dynarray.to_list t)
+
+let test_dynarray_iterators () =
+  let t = Dynarray.of_list [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "fold" 10 (Dynarray.fold_left ( + ) 0 t);
+  Alcotest.(check bool) "exists" true (Dynarray.exists (fun x -> x = 3) t);
+  Alcotest.(check bool) "not exists" false (Dynarray.exists (fun x -> x = 9) t);
+  let sum = ref 0 in
+  Dynarray.iteri (fun i x -> sum := !sum + (i * x)) t;
+  Alcotest.(check int) "iteri" 20 !sum
+
+let test_floatx_approx () =
+  Alcotest.(check bool) "eq exact" true (Floatx.approx_eq 1.0 1.0);
+  Alcotest.(check bool) "eq close" true (Floatx.approx_eq 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "neq" false (Floatx.approx_eq 1.0 1.001);
+  Alcotest.(check bool) "near zero" true (Floatx.approx_eq 0.0 1e-12);
+  Alcotest.(check bool) "relative large" true (Floatx.approx_eq 1e12 (1e12 +. 1.0));
+  Alcotest.(check int) "compare eq" 0 (Floatx.compare_approx 2.0 (2.0 +. 1e-13));
+  Alcotest.(check bool) "compare lt" true (Floatx.compare_approx 1.0 2.0 < 0)
+
+let test_kahan () =
+  let a = Array.make 10_000 0.1 in
+  Alcotest.(check bool) "kahan sum" true
+    (Float.abs (Floatx.sum_kahan a -. 1000.0) < 1e-10)
+
+let test_prng_deterministic () =
+  let g1 = Prng.create 42L and g2 = Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.int64 g1) (Prng.int64 g2)
+  done
+
+let test_prng_split_independent () =
+  let g = Prng.create 7L in
+  let g' = Prng.split g in
+  let a = Prng.int64 g and b = Prng.int64 g' in
+  Alcotest.(check bool) "split streams differ" true (a <> b)
+
+let test_prng_bounds () =
+  let g = Prng.create 1L in
+  for _ = 1 to 1000 do
+    let x = Prng.int g 10 in
+    Alcotest.(check bool) "int in range" true (x >= 0 && x < 10);
+    let f = Prng.float g 2.0 in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 2.0)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_hashx () =
+  Alcotest.(check bool) "combine order-sensitive" true
+    (Hashx.combine 1 2 <> Hashx.combine 2 1);
+  Alcotest.(check bool) "float hash distinguishes" true
+    (Hashx.float 1.0 <> Hashx.float 2.0);
+  Alcotest.(check int) "int_array stable" (Hashx.int_array [| 1; 2; 3 |])
+    (Hashx.int_array [| 1; 2; 3 |])
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~count:200 ~name:"dynarray to_array of_array roundtrip"
+      (small_list int) (fun l ->
+        Dynarray.to_list (Dynarray.of_list l) = l);
+    Test.make ~count:200 ~name:"prng int bound respected"
+      (pair (int_bound 1000) small_int) (fun (bound, seed) ->
+        let bound = bound + 1 in
+        let g = Prng.create (Int64.of_int seed) in
+        let x = Prng.int g bound in
+        x >= 0 && x < bound);
+    Test.make ~count:200 ~name:"approx_eq reflexive" float (fun f ->
+        (Float.is_nan f) || Floatx.approx_eq f f);
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "dynarray push/get" `Quick test_dynarray_push_get;
+    Alcotest.test_case "dynarray pop" `Quick test_dynarray_pop;
+    Alcotest.test_case "dynarray bounds" `Quick test_dynarray_bounds;
+    Alcotest.test_case "dynarray sort" `Quick test_dynarray_sort;
+    Alcotest.test_case "dynarray iterators" `Quick test_dynarray_iterators;
+    Alcotest.test_case "floatx approx" `Quick test_floatx_approx;
+    Alcotest.test_case "kahan summation" `Quick test_kahan;
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng split" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "hashx" `Quick test_hashx;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "mdlump"
+    [
+      ("util", Suite_util.tests);
+      ("sparse", Suite_sparse.tests);
+      ("ctmc", Suite_ctmc.tests);
+      ("partition", Suite_partition.tests);
+      ("lumping", Suite_lumping.tests);
+      ("md", Suite_md.tests);
+      ("core", Suite_core.tests);
+      ("san", Suite_san.tests);
+      ("models", Suite_models.tests);
+      ("errors", Suite_errors.tests);
+    ]
