@@ -1,0 +1,34 @@
+(** Seeded random generators for multi-level structures: Kronecker /
+    SAN-style compositions and free-form matrix diagrams with shared
+    nodes and multi-term formal sums.
+
+    Two construction styles, because they stress different code paths:
+    {!kronecker} goes through {!Mdl_kron.Kronecker.to_md} (one node
+    chain per event, maximal suffix sharing — the shape real models
+    compile to), while {!direct} builds nodes bottom-up with randomly
+    shared children and 1–2-term formal sums (shapes, including zero
+    rows and unreachable corners, that no compilation emits). *)
+
+val local_matrix :
+  Mdl_util.Prng.t -> n:int -> symmetric:bool -> Mdl_sparse.Csr.t
+(** A random nonnegative [n x n] local transition matrix; when
+    [symmetric], invariant under swapping the last two states. *)
+
+val kronecker : Mdl_util.Prng.t -> Spec.kron -> Mdl_kron.Kronecker.t
+(** Random events over [spec.sizes]; when [spec.ring], one extra event
+    per level whose local matrix is the level ring (identity elsewhere),
+    making the flat chain irreducible over the full product space. *)
+
+val kron_md : Mdl_util.Prng.t -> Spec.kron -> Mdl_md.Md.t
+(** {!kronecker} compiled through {!Mdl_kron.Kronecker.to_md}, then
+    {!Mdl_md.Compact.merge_terms} when [spec.merged]. *)
+
+val direct : Mdl_util.Prng.t -> Spec.direct -> Mdl_md.Md.t
+(** Bottom-up random MD: per level a pool of [spec.width] nodes whose
+    entries are formal sums of 1–2 children drawn from the next level's
+    pool; hash-consing shares equal nodes.  When [spec.symmetric] each
+    node is symmetrised under swapping the level's last two states. *)
+
+val of_spec : Spec.model -> Mdl_md.Md.t
+(** Derive the matrix diagram a spec denotes (chains become 1-level
+    MDs via {!Gen_chain.md_of_csr}).  Deterministic in the spec. *)

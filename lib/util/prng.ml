@@ -17,6 +17,14 @@ let split t =
   let seed = int64 t in
   create (mix64 (Int64.logxor seed 0x5851f42d4c957f2dL))
 
+let of_seed seed = create (mix64 (Int64.of_int seed))
+
+let fork t key =
+  let keyed =
+    Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (key + 1)))
+  in
+  create (mix64 (Int64.logxor keyed 0x5851f42d4c957f2dL))
+
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   (* Shift by 2 so the value fits OCaml's 63-bit int without wrapping

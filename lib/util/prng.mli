@@ -13,6 +13,18 @@ val create : int64 -> t
 val split : t -> t
 (** [split t] derives an independent generator and advances [t]. *)
 
+val of_seed : int -> t
+(** [of_seed s] is [create] on a mixed version of [s] — small integer
+    seeds (CLI [--seed] values, loop counters) land on well-separated
+    states. *)
+
+val fork : t -> int -> t
+(** [fork t k] derives the [k]-th generator of an indexed family,
+    deterministically from [t]'s {e current} state, {e without}
+    advancing [t].  [fork t k] called twice yields identical streams;
+    different [k] yield independent streams.  This is how one master
+    seed reproducibly drives a numbered sequence of test cases. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

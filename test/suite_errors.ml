@@ -140,6 +140,17 @@ let test_restructure_errors () =
     (Invalid_argument "Restructure.merge_adjacent: bad level") (fun () ->
       ignore (Mdl_md.Restructure.merge_adjacent md 2))
 
+let test_matrix_market_errors () =
+  Alcotest.check_raises "unsupported header"
+    (Failure
+       "Matrix_market: unsupported header \"%%MatrixMarket matrix coordinate complex general\"")
+    (fun () ->
+      ignore
+        (Mdl_sparse.Matrix_market.of_string
+           "%%MatrixMarket matrix coordinate complex general\n1 1 0\n"));
+  Alcotest.check_raises "empty input" (Failure "Matrix_market: empty input") (fun () ->
+      ignore (Mdl_sparse.Matrix_market.of_string ""))
+
 let test_kron_guard () =
   (* potential space above the flattening guard *)
   let n = 2049 in
@@ -167,5 +178,6 @@ let tests =
     Alcotest.test_case "measures errors" `Quick test_measures_errors;
     Alcotest.test_case "mdd errors" `Quick test_mdd_errors;
     Alcotest.test_case "restructure errors" `Quick test_restructure_errors;
+    Alcotest.test_case "matrix market errors" `Quick test_matrix_market_errors;
     Alcotest.test_case "kronecker flatten guard" `Quick test_kron_guard;
   ]

@@ -545,6 +545,25 @@ let qcheck_tests =
         let k = build_descriptor spec in
         let md = Kronecker.to_md k in
         Csr.approx_equal (Kronecker.to_csr k) (Md.to_csr md));
+    (* The same transformation round-trips, but over the oracle's
+       free-form diagrams (shared nodes, multi-term sums) rather than
+       only Kronecker compilations. *)
+    Test.make ~count:150 ~name:"compact round-trips on free-form diagrams"
+      (Mdl_oracle.Qcheck_gen.md_model ()) (fun spec ->
+        let md = Mdl_oracle.Gen_md.of_spec spec in
+        let flat = Md.to_csr md in
+        Csr.approx_equal flat (Md.to_csr (Mdl_md.Compact.merge_terms md))
+        && Csr.approx_equal flat (Md.to_csr (Mdl_md.Compact.normalize md)));
+    Test.make ~count:150 ~name:"restructure round-trips on free-form diagrams"
+      (Mdl_oracle.Qcheck_gen.md_model ()) (fun spec ->
+        let md = Mdl_oracle.Gen_md.of_spec spec in
+        Md.levels md < 2
+        ||
+        let flat = Md.to_csr md in
+        let level = 1 + (Array.length (Md.sizes md) mod (Md.levels md - 1)) in
+        let merged = Mdl_md.Restructure.merge_adjacent md level in
+        Csr.approx_equal flat (Md.to_csr merged)
+        && Mdl_oracle.Invariants.md merged = []);
     Test.make ~count:200 ~name:"shuffle vec_mul matches flat" arb_descriptor (fun spec ->
         let k = build_descriptor spec in
         let n = Kronecker.potential_size k in

@@ -143,6 +143,19 @@ let qcheck_tests =
         let m = Csr.of_triplets ~rows:r ~cols:c t in
         Csr.approx_equal m
           (Mdl_sparse.Matrix_market.of_string (Mdl_sparse.Matrix_market.to_string m)));
+    Test.make ~count:100 ~name:"matrix market write_file/read_file roundtrip"
+      QCheck.(triple (int_range 1 12) (int_range 1 12) small_nat)
+      (fun (rows, cols, seed) ->
+        let prng = Mdl_util.Prng.of_seed seed in
+        let nnz = Mdl_util.Prng.int prng (rows * cols) in
+        let coo = Mdl_oracle.Gen_chain.coo prng ~rows ~cols ~nnz in
+        let m = Csr.of_coo coo in
+        let path = Filename.temp_file "mdlump_mm" ".mtx" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Mdl_sparse.Matrix_market.write_file m path;
+            Csr.approx_equal m (Mdl_sparse.Matrix_market.read_file path)));
     Test.make ~count:300 ~name:"transpose involutive" arb_csr (fun (r, c, t) ->
         let m = Csr.of_triplets ~rows:r ~cols:c t in
         Csr.approx_equal m (Csr.transpose (Csr.transpose m)));

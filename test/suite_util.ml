@@ -83,6 +83,30 @@ let test_prng_bounds () =
   Alcotest.check_raises "bad bound" (Invalid_argument "Prng.int: bound must be positive")
     (fun () -> ignore (Prng.int g 0))
 
+let test_prng_of_seed_fork () =
+  (* of_seed is deterministic in the int seed *)
+  let a = Prng.of_seed 42 and b = Prng.of_seed 42 in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "of_seed same stream" (Prng.int64 a) (Prng.int64 b)
+  done;
+  Alcotest.(check bool) "different seeds differ" true
+    (Prng.int64 (Prng.of_seed 1) <> Prng.int64 (Prng.of_seed 2));
+  (* fork is deterministic, keyed, and does not advance the parent *)
+  let master = Prng.of_seed 7 in
+  let before = Prng.int64 (Prng.fork master 0) in
+  let f1 = Prng.int64 (Prng.fork master 1) in
+  let f1' = Prng.int64 (Prng.fork master 1) in
+  Alcotest.(check int64) "fork keyed deterministically" f1 f1';
+  Alcotest.(check int64) "fork does not advance parent" before
+    (Prng.int64 (Prng.fork master 0));
+  Alcotest.(check bool) "distinct keys give distinct streams" true (before <> f1);
+  (* streams from distinct keys look independent: no pairwise
+     collisions across a modest family *)
+  let firsts = Array.init 64 (fun k -> Prng.int64 (Prng.fork master k)) in
+  let tbl = Hashtbl.create 64 in
+  Array.iter (fun x -> Hashtbl.replace tbl x ()) firsts;
+  Alcotest.(check int) "64 forks, 64 distinct first draws" 64 (Hashtbl.length tbl)
+
 let test_hashx () =
   Alcotest.(check bool) "combine order-sensitive" true
     (Hashx.combine 1 2 <> Hashx.combine 2 1);
@@ -119,6 +143,7 @@ let tests =
     Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
     Alcotest.test_case "prng split" `Quick test_prng_split_independent;
     Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng of_seed/fork" `Quick test_prng_of_seed_fork;
     Alcotest.test_case "hashx" `Quick test_hashx;
   ]
   @ List.map QCheck_alcotest.to_alcotest qcheck_tests

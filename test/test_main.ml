@@ -11,4 +11,5 @@ let () =
       ("san", Suite_san.tests);
       ("models", Suite_models.tests);
       ("errors", Suite_errors.tests);
+      ("oracle", Suite_oracle.tests);
     ]
