@@ -211,8 +211,8 @@ let p2_report (r : t1_row) =
     in
     let initial_p =
       Partition.group_by n
-        (fun s -> rewards_vec.(s))
-        (fun a b -> Mdl_util.Floatx.compare_approx a b)
+        (fun s -> Mdl_util.Floatx.quantize rewards_vec.(s))
+        Float.compare
     in
     let further, t =
       Mdl_util.Timer.time (fun () ->
@@ -398,8 +398,8 @@ let baseline_tests () =
       (Staged.stage (fun () ->
            let initial =
              Partition.group_by (Statespace.size ss)
-               (fun s -> rewards_vec.(s))
-               (fun a b -> Mdl_util.Floatx.compare_approx a b)
+               (fun s -> Mdl_util.Floatx.quantize rewards_vec.(s))
+               Float.compare
            in
            ignore (State_lumping.coarsest Ordinary flat ~initial)));
     Test.make ~name:"baseline compositional lumping (MD)"

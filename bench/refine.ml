@@ -1,0 +1,176 @@
+(* Head-to-head benchmark of the partition-refinement engines: the
+   seed's list-based [Refiner_reference] against the in-place
+   [Refiner] core, on the tandem model (flattened to CSR) and on
+   oracle-generated flat chains.
+
+   Each scenario runs both engines, checks that they compute the same
+   fixed point (Partition.equal), takes the min wall time over a few
+   repeats, and records the new engine's instrumentation counters.
+   Results go to BENCH_refine.json.
+
+   Usage: dune exec bench/refine.exe [-- --smoke] [-- --out FILE] *)
+
+module Partition = Mdl_partition.Partition
+module Refiner = Mdl_partition.Refiner
+module Refiner_reference = Mdl_partition.Refiner_reference
+module State_lumping = Mdl_lumping.State_lumping
+module Spec = Mdl_oracle.Spec
+module Gen_chain = Mdl_oracle.Gen_chain
+
+type scenario = {
+  name : string;
+  states : int;
+  nnz : int;
+  spec : float Refiner.spec;
+  initial : Partition.t;
+}
+
+type outcome = {
+  scenario : scenario;
+  classes : int;
+  ref_s : float;
+  new_s : float;
+  stats : Refiner.stats;
+}
+
+let min_time ~repeats f =
+  let best = ref infinity in
+  let out = ref None in
+  for _ = 1 to repeats do
+    let r, s = Mdl_util.Timer.time f in
+    if s < !best then best := s;
+    out := Some r
+  done;
+  (Option.get !out, !best)
+
+let chain_scenario ~name (c : Spec.chain) =
+  let r = Gen_chain.rate_matrix (Mdl_util.Prng.of_seed c.Spec.seed) c in
+  let n = Mdl_sparse.Csr.rows r in
+  {
+    name;
+    states = n;
+    nnz = Mdl_sparse.Csr.nnz r;
+    spec = State_lumping.refiner_spec Ordinary r;
+    initial = Partition.trivial n;
+  }
+
+let tandem_scenario ~name ~jobs ~hyper_dim =
+  let p = { (Mdl_models.Tandem.default ~jobs) with hyper_dim } in
+  let b = Mdl_models.Tandem.build p in
+  let ss = b.Mdl_models.Tandem.exploration.Mdl_san.Model.statespace in
+  let r = Mdl_md.Md_vector.to_csr b.Mdl_models.Tandem.md ss in
+  let n = Mdl_sparse.Csr.rows r in
+  let rewards =
+    Mdl_core.Decomposed.to_vector b.Mdl_models.Tandem.rewards_availability ss
+  in
+  let initial =
+    Partition.group_by n
+      (fun s -> Mdl_util.Floatx.quantize rewards.(s))
+      Float.compare
+  in
+  {
+    name;
+    states = n;
+    nnz = Mdl_sparse.Csr.nnz r;
+    spec = State_lumping.refiner_spec Ordinary r;
+    initial;
+  }
+
+let run_scenario ~repeats sc =
+  Printf.printf "%-24s %7d states %8d nnz ... %!" sc.name sc.states sc.nnz;
+  let p_ref, ref_s =
+    min_time ~repeats (fun () ->
+        Refiner_reference.comp_lumping sc.spec ~initial:sc.initial)
+  in
+  let stats = Refiner.create_stats () in
+  let p_new, new_s =
+    min_time ~repeats (fun () ->
+        let s = Refiner.create_stats () in
+        let p = Refiner.comp_lumping ~stats:s sc.spec ~initial:sc.initial in
+        Refiner.add_stats stats s;
+        p)
+  in
+  if not (Partition.equal p_ref p_new) then (
+    Printf.printf "ENGINES DISAGREE\n";
+    Printf.eprintf "FATAL: %s: reference and in-place engines disagree\n" sc.name;
+    exit 1);
+  (* add_stats ran once per repeat; report a single run's counters *)
+  let d v = v / repeats in
+  stats.Refiner.splitter_passes <- d stats.Refiner.splitter_passes;
+  stats.Refiner.key_evals <- d stats.Refiner.key_evals;
+  stats.Refiner.splits <- d stats.Refiner.splits;
+  stats.Refiner.blocks_created <- d stats.Refiner.blocks_created;
+  stats.Refiner.largest_skips <- d stats.Refiner.largest_skips;
+  stats.Refiner.wall_s <- stats.Refiner.wall_s /. float_of_int repeats;
+  Printf.printf "%d classes  seed %.4fs  new %.4fs  (%.2fx)\n" (Partition.num_classes p_new)
+    ref_s new_s (ref_s /. new_s);
+  { scenario = sc; classes = Partition.num_classes p_new; ref_s; new_s; stats }
+
+let json_of_outcome o =
+  Printf.sprintf
+    {|    {
+      "name": "%s",
+      "states": %d,
+      "nnz": %d,
+      "classes": %d,
+      "ref_s": %.6f,
+      "new_s": %.6f,
+      "speedup": %.3f,
+      "stats": {
+        "splitter_passes": %d,
+        "key_evals": %d,
+        "splits": %d,
+        "blocks_created": %d,
+        "largest_skips": %d,
+        "wall_s": %.6f
+      }
+    }|}
+    o.scenario.name o.scenario.states o.scenario.nnz o.classes o.ref_s o.new_s
+    (o.ref_s /. o.new_s) o.stats.Refiner.splitter_passes o.stats.Refiner.key_evals
+    o.stats.Refiner.splits o.stats.Refiner.blocks_created
+    o.stats.Refiner.largest_skips o.stats.Refiner.wall_s
+
+let () =
+  let smoke = ref false in
+  let out = ref "BENCH_refine.json" in
+  Arg.parse
+    [
+      ("--smoke", Arg.Set smoke, " small instances only (CI)");
+      ("--out", Arg.Set_string out, "FILE output path (default BENCH_refine.json)");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "refine [--smoke] [--out FILE]";
+  let chain ~name states extra planted seed =
+    chain_scenario ~name { Spec.states; extra; planted; seed }
+  in
+  let scenarios =
+    if !smoke then
+      [
+        tandem_scenario ~name:"tandem-j1-d2" ~jobs:1 ~hyper_dim:2;
+        chain ~name:"chain-300-planted" 300 1_200 true 7;
+        chain ~name:"chain-600-planted" 600 2_400 true 11;
+      ]
+    else
+      [
+        tandem_scenario ~name:"tandem-j1-d2" ~jobs:1 ~hyper_dim:2;
+        tandem_scenario ~name:"tandem-j1-d3" ~jobs:1 ~hyper_dim:3;
+        chain ~name:"chain-500-planted" 500 2_000 true 7;
+        chain ~name:"chain-1500-plain" 1_500 6_000 false 13;
+        chain ~name:"chain-3000-planted" 3_000 12_000 true 42;
+      ]
+  in
+  let repeats = if !smoke then 2 else 3 in
+  let outcomes = List.map (run_scenario ~repeats) scenarios in
+  let oc = open_out !out in
+  Printf.fprintf oc "{\n  \"bench\": \"refine\",\n  \"repeats\": %d,\n  \"scenarios\": [\n%s\n  ]\n}\n"
+    repeats
+    (String.concat ",\n" (List.map json_of_outcome outcomes));
+  close_out oc;
+  Printf.printf "wrote %s\n" !out;
+  let regressed = List.filter (fun o -> o.new_s > o.ref_s *. 1.05) outcomes in
+  List.iter
+    (fun o ->
+      Printf.eprintf "WARNING: %s: new core slower (%.4fs vs %.4fs)\n" o.scenario.name
+        o.new_s o.ref_s)
+    regressed;
+  if regressed <> [] then exit 1

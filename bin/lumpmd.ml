@@ -96,7 +96,7 @@ let setup_logging verbose =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
 
-let run inst mode key solve check_optimal dot_file export_file merge_level =
+let run inst mode key solve check_optimal dot_file export_file merge_level show_stats =
   Printf.printf "model: %s\n" inst.name;
   (* Optional level merging before lumping (exposes cross-level
      symmetries at the price of a bigger level; reward measures are not
@@ -127,6 +127,7 @@ let run inst mode key solve check_optimal dot_file export_file merge_level =
     (String.concat "/" (Array.to_list (Array.map string_of_int counts)))
     (String.concat "/" (Array.to_list (Array.map string_of_int entries)))
     (float_of_int (Md.memory_bytes inst.md) /. 1024.0);
+  let refine_stats = Mdl_partition.Refiner.create_stats () in
   let result, lump_time =
     Mdl_util.Timer.time (fun () ->
         let rewards =
@@ -134,7 +135,8 @@ let run inst mode key solve check_optimal dot_file export_file merge_level =
           | [] -> [ Decomposed.constant ~sizes:(Mdl_md.Md.sizes inst.md) 1.0 ]
           | l -> List.map snd l
         in
-        Compositional.lump ~key mode inst.md ~rewards ~initial:inst.initial)
+        Compositional.lump ~key ~stats:refine_stats mode inst.md ~rewards
+          ~initial:inst.initial)
   in
   Array.iteri
     (fun i p ->
@@ -147,6 +149,15 @@ let run inst mode key solve check_optimal dot_file export_file merge_level =
     (float_of_int (Statespace.size ss) /. float_of_int (Statespace.size lumped_ss))
     lump_time
     (float_of_int (Md.memory_bytes result.Compositional.lumped) /. 1024.0);
+  if show_stats then begin
+    let s = refine_stats in
+    Printf.printf
+      "refiner stats: %d splitter passes, %d key evaluations, %d splits, %d blocks \
+       created, %d largest-block skips, %.4f s refinement\n"
+      s.Mdl_partition.Refiner.splitter_passes s.Mdl_partition.Refiner.key_evals
+      s.Mdl_partition.Refiner.splits s.Mdl_partition.Refiner.blocks_created
+      s.Mdl_partition.Refiner.largest_skips s.Mdl_partition.Refiner.wall_s
+  end;
   let closed = Compositional.is_closed result ss in
   if not closed then print_endline "WARNING: reachable set not class-closed";
   Option.iter
@@ -197,8 +208,8 @@ let run inst mode key solve check_optimal dot_file export_file merge_level =
       in
       let initial_p =
         Partition.group_by n
-          (fun s -> List.map (fun v -> v.(s)) reward_vectors)
-          (List.compare (fun a b -> Mdl_util.Floatx.compare_approx a b))
+          (fun s -> List.map (fun v -> Mdl_util.Floatx.quantize v.(s)) reward_vectors)
+          (List.compare Float.compare)
       in
       let further =
         match mode with
@@ -206,8 +217,8 @@ let run inst mode key solve check_optimal dot_file export_file merge_level =
         | State_lumping.Exact ->
             let exit_p =
               Partition.group_by n
-                (fun s -> Mdl_sparse.Csr.row_sum flat s)
-                (fun a b -> Mdl_util.Floatx.compare_approx a b)
+                (fun s -> Mdl_util.Floatx.quantize (Mdl_sparse.Csr.row_sum flat s))
+                Float.compare
             in
             ignore initial_p;
             State_lumping.coarsest Exact flat ~initial:exit_p
@@ -239,6 +250,11 @@ let key_arg =
 
 let solve_arg = Arg.(value & flag & info [ "solve" ] ~doc:"Solve the lumped chain and print measures.")
 
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print aggregated partition-refinement counters (splitter passes, key evaluations, splits, blocks created, largest-block skips, refinement wall time).")
+
 let check_arg =
   Arg.(value & flag & info [ "check-optimal" ] ~doc:"Run flat state-level lumping on the lumped chain (Section 5's optimality check).")
 
@@ -263,71 +279,71 @@ let tandem_cmd =
   let hdim = Arg.(value & opt int 3 & info [ "hyper-dim" ] ~doc:"Hypercube dimension (2^d servers).") in
   let ms = Arg.(value & opt int 3 & info [ "msmq-servers" ] ~doc:"MSMQ servers.") in
   let mq = Arg.(value & opt int 4 & info [ "msmq-queues" ] ~doc:"MSMQ queues.") in
-  let f jobs hdim ms mq mode key solve check dot export merge verbose =
+  let f jobs hdim ms mq mode key solve check dot export merge stats verbose =
     setup_logging verbose;
-    run (build_tandem jobs hdim ms mq) mode key solve check dot export merge
+    run (build_tandem jobs hdim ms mq) mode key solve check dot export merge stats
   in
   Cmd.v
     (Cmd.info "tandem" ~doc:"The paper's tandem multi-processor system (Section 5).")
     Term.(
       const f $ jobs $ hdim $ ms $ mq $ mode_arg $ key_arg $ solve_arg $ check_arg
-      $ dot_arg $ export_arg $ merge_arg $ verbose_arg)
+      $ dot_arg $ export_arg $ merge_arg $ stats_arg $ verbose_arg)
 
 let polling_cmd =
   let customers =
     Arg.(value & opt int 4 & info [ "customers"; "c" ] ~doc:"Closed population.")
   in
-  let f customers mode key solve check dot export merge verbose =
+  let f customers mode key solve check dot export merge stats verbose =
     setup_logging verbose;
-    run (build_polling customers) mode key solve check dot export merge
+    run (build_polling customers) mode key solve check dot export merge stats
   in
   Cmd.v
     (Cmd.info "polling" ~doc:"The MSMQ polling station in isolation.")
     Term.(
       const f $ customers $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ verbose_arg)
 
 let workstations_cmd =
   let stations =
     Arg.(value & opt int 4 & info [ "stations"; "n" ] ~doc:"Number of workstations.")
   in
-  let f stations mode key solve check dot export merge verbose =
+  let f stations mode key solve check dot export merge stats verbose =
     setup_logging verbose;
-    run (build_workstations stations) mode key solve check dot export merge
+    run (build_workstations stations) mode key solve check dot export merge stats
   in
   Cmd.v
     (Cmd.info "workstations" ~doc:"Replicated workstation cluster with a spare store.")
     Term.(
       const f $ stations $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ verbose_arg)
 
 let multitier_cmd =
   let clients =
     Arg.(value & opt int 3 & info [ "clients"; "c" ] ~doc:"Closed population.")
   in
-  let f clients mode key solve check dot export merge verbose =
+  let f clients mode key solve check dot export merge stats verbose =
     setup_logging verbose;
-    run (build_multitier clients) mode key solve check dot export merge
+    run (build_multitier clients) mode key solve check dot export merge stats
   in
   Cmd.v
     (Cmd.info "multitier" ~doc:"Closed multi-tier service system (4-level MD).")
     Term.(
       const f $ clients $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ verbose_arg)
 
 let kanban_cmd =
   let cards =
     Arg.(value & opt int 2 & info [ "cards"; "n" ] ~doc:"Kanban cards per cell.")
   in
-  let f cards mode key solve check dot export merge verbose =
+  let f cards mode key solve check dot export merge stats verbose =
     setup_logging verbose;
-    run (build_kanban cards) mode key solve check dot export merge
+    run (build_kanban cards) mode key solve check dot export merge stats
   in
   Cmd.v
     (Cmd.info "kanban" ~doc:"The Kanban manufacturing system (4-level MD benchmark).")
     Term.(
       const f $ cards $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ verbose_arg)
 
 let main =
   Cmd.group

@@ -77,8 +77,8 @@ let check_optimal b result =
     in
     let initial_p =
       Partition.group_by n
-        (fun s -> rewards_vec.(s))
-        (fun a b -> Mdl_util.Floatx.compare_approx a b)
+        (fun s -> Mdl_util.Floatx.quantize rewards_vec.(s))
+        Float.compare
     in
     let further = State_lumping.coarsest Ordinary flat ~initial:initial_p in
     Printf.printf "  state-level lumping of the lumped chain: %d -> %d classes%s\n" n

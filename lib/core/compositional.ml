@@ -68,22 +68,28 @@ let lump_with_partitions mode md partitions =
     partitions;
   { lumped = rebuild mode md partitions; partitions }
 
-let lump ?eps ?key mode md ~rewards ~initial =
+let lump ?eps ?key ?stats mode md ~rewards ~initial =
   let partitions =
     Array.init (Md.levels md) (fun i ->
         let level = i + 1 in
         let p_ini =
           Level_lumping.initial_partition ?eps mode md ~level ~rewards ~initial
         in
+        let level_stats = Mdl_partition.Refiner.create_stats () in
         let p, dt =
           Mdl_util.Timer.time (fun () ->
-              Level_lumping.comp_lumping_level ?eps ?key mode md ~level ~initial:p_ini)
+              Level_lumping.comp_lumping_level ?eps ?key ~stats:level_stats mode md
+                ~level ~initial:p_ini)
         in
         Log.debug (fun m ->
-            m "level %d: %d -> %d classes (P_ini %d) in %.3fs" level (Partition.size p)
+            m "level %d: %d -> %d classes (P_ini %d) in %.3fs [refiner: %a]" level
+              (Partition.size p)
               (Partition.num_classes p)
               (Partition.num_classes p_ini)
-              dt);
+              dt Mdl_partition.Refiner.pp_stats level_stats);
+        (match stats with
+        | Some dst -> Mdl_partition.Refiner.add_stats dst level_stats
+        | None -> ());
         p)
   in
   lump_with_partitions mode md partitions
@@ -117,8 +123,27 @@ let is_closed r ss =
 let check_sizes r ss lumped_ss v fn =
   if Array.length v <> Statespace.size ss then
     invalid_arg (Printf.sprintf "Compositional.%s: vector size mismatch" fn);
-  ignore r;
-  ignore lumped_ss
+  (* The lumped side must actually be a lumped image under [r]: same
+     number of levels, every substate a valid class id.  Without this, a
+     statespace belonging to a different model slips through and the
+     per-class sums land in the wrong slots (or divide by zero in
+     [average_vector]). *)
+  let levels = Array.length r.partitions in
+  if Statespace.levels ss <> levels then
+    invalid_arg (Printf.sprintf "Compositional.%s: statespace level count mismatch" fn);
+  if Statespace.levels lumped_ss <> levels then
+    invalid_arg
+      (Printf.sprintf "Compositional.%s: lumped statespace level count mismatch" fn);
+  Statespace.iter
+    (fun _ ct ->
+      Array.iteri
+        (fun i ci ->
+          if ci < 0 || ci >= Partition.num_classes r.partitions.(i) then
+            invalid_arg
+              (Printf.sprintf "Compositional.%s: lumped statespace class id out of range"
+                 fn))
+        ct)
+    lumped_ss
 
 let aggregate_vector r ss lumped_ss v =
   check_sizes r ss lumped_ss v "aggregate_vector";
@@ -143,7 +168,16 @@ let average_vector r ss lumped_ss v =
           counts.(j) <- counts.(j) + 1
       | None -> invalid_arg "Compositional.average_vector: class tuple not in lumped space")
     ss;
-  Array.mapi (fun j total -> total /. float_of_int counts.(j)) out
+  Array.mapi
+    (fun j total ->
+      (* A lumped state no flat state maps to has no average; dividing
+         would silently poison the vector with a nan. *)
+      if counts.(j) = 0 then
+        invalid_arg
+          "Compositional.average_vector: lumped state receives no flat states (is \
+           lumped_ss the image of ss?)"
+      else total /. float_of_int counts.(j))
+    out
 
 let representative_pick r l c = Partition.representative r.partitions.(l - 1) c
 

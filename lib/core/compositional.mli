@@ -26,6 +26,7 @@ type result = {
 val lump :
   ?eps:float ->
   ?key:Local_key.choice ->
+  ?stats:Mdl_partition.Refiner.stats ->
   Mdl_lumping.State_lumping.mode ->
   Mdl_md.Md.t ->
   rewards:Decomposed.t list ->
@@ -34,7 +35,13 @@ val lump :
 (** Run the full algorithm: per-level initial partitions from the
     decomposed [rewards] (ordinary — every listed reward function is
     protected and remains computable on the lumped chain) or [initial]
-    (exact), per-level fixed-point refinement, then rebuild. *)
+    (exact), per-level fixed-point refinement, then rebuild.
+
+    Observability: each level's refinement counters and wall time are
+    logged on the [mdl.lump] source at debug level; pass [stats] to
+    additionally accumulate the {!Mdl_partition.Refiner.stats} of every
+    level into one record (the [--stats] flag of [bin/lumpmd] does
+    this). *)
 
 val lump_with_partitions :
   Mdl_lumping.State_lumping.mode ->
@@ -66,13 +73,17 @@ val is_closed : result -> Mdl_md.Statespace.t -> bool
 val aggregate_vector :
   result -> Mdl_md.Statespace.t -> Mdl_md.Statespace.t -> Mdl_sparse.Vec.t -> Mdl_sparse.Vec.t
 (** [aggregate_vector r ss lumped_ss v] sums [v] over each class —
-    probability aggregation.  @raise Invalid_argument on size
-    mismatches. *)
+    probability aggregation.  @raise Invalid_argument on size or level
+    mismatches, or when [lumped_ss] contains out-of-range class ids. *)
 
 val average_vector :
   result -> Mdl_md.Statespace.t -> Mdl_md.Statespace.t -> Mdl_sparse.Vec.t -> Mdl_sparse.Vec.t
 (** Class-averaged vector — Theorem 2's lumped rewards
-    [r~(i) = r(C_i)/|C_i|]. *)
+    [r~(i) = r(C_i)/|C_i|].
+    @raise Invalid_argument as {!aggregate_vector}, and additionally
+    when some state of [lumped_ss] receives {e no} state of [ss] (its
+    average is undefined; silently returning [nan] would poison
+    downstream measures). *)
 
 val lumped_rewards : result -> Decomposed.t -> Decomposed.t
 (** Carry a decomposed reward function to the lumped diagram by class

@@ -14,19 +14,24 @@ let full_row_sum md node s =
 let initial_partition ?eps mode md ~level ~rewards ~initial =
   check_level md level "initial_partition";
   let n = Md.size md level in
+  (* Float factors are grouped by their quantized representative:
+     [compare_approx] is not transitive, so using it as a group_by
+     comparator makes the classes depend on the state order (see
+     {!Mdl_util.Floatx.quantize}). *)
+  let q = Floatx.quantize ?eps in
   match mode with
   | Mdl_lumping.State_lumping.Ordinary ->
       Partition.group_by n
-        (fun s -> List.map (fun r -> Decomposed.factor r level s) rewards)
-        (List.compare (fun a b -> Floatx.compare_approx ?eps a b))
+        (fun s -> List.map (fun r -> q (Decomposed.factor r level s)) rewards)
+        (List.compare Float.compare)
   | Mdl_lumping.State_lumping.Exact ->
       let nodes = (Md.live_nodes md).(level - 1) in
       let key s =
-        ( Decomposed.factor initial level s,
+        ( q (Decomposed.factor initial level s),
           List.map (fun node -> full_row_sum md node s) nodes )
       in
       let cmp (f1, sums1) (f2, sums2) =
-        let c = Floatx.compare_approx ?eps f1 f2 in
+        let c = Float.compare f1 f2 in
         if c <> 0 then c
         else
           List.compare (fun a b -> Formal_sum.compare_approx ?eps a b) sums1 sums2
@@ -40,7 +45,7 @@ let node_spec ?eps ctx choice mode md node =
     splitter_keys = (fun c -> Local_key.splitter_keys ctx choice mode node c);
   }
 
-let comp_lumping_level ?eps ?(key = Local_key.Formal_sums) mode md ~level ~initial =
+let comp_lumping_level ?eps ?(key = Local_key.Formal_sums) ?stats mode md ~level ~initial =
   check_level md level "comp_lumping_level";
   if Partition.size initial <> Md.size md level then
     invalid_arg "Level_lumping.comp_lumping_level: partition size mismatch";
@@ -48,7 +53,8 @@ let comp_lumping_level ?eps ?(key = Local_key.Formal_sums) mode md ~level ~initi
   let ctx = Local_key.make_context md in
   let pass p =
     List.fold_left
-      (fun p node -> Refiner.comp_lumping (node_spec ?eps ctx key mode md node) ~initial:p)
+      (fun p node ->
+        Refiner.comp_lumping ?stats (node_spec ?eps ctx key mode md node) ~initial:p)
       p nodes
   in
   let rec fix p =

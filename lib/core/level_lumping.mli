@@ -27,6 +27,7 @@ val initial_partition :
 val comp_lumping_level :
   ?eps:float ->
   ?key:Local_key.choice ->
+  ?stats:Mdl_partition.Refiner.stats ->
   Mdl_lumping.State_lumping.mode ->
   Mdl_md.Md.t ->
   level:int ->
@@ -35,7 +36,9 @@ val comp_lumping_level :
 (** Fixed-point refinement over all live nodes of the level, starting
     from [initial].  [key] defaults to {!Local_key.Formal_sums} (the
     paper's choice); {!Local_key.Expanded_matrices} trades time for a
-    possibly coarser partition.
+    possibly coarser partition.  [stats] accumulates the refinement
+    engine's counters over every per-node run of the fixed point
+    ({!Mdl_partition.Refiner.stats}).
     @raise Invalid_argument on a bad level or partition size mismatch. *)
 
 val is_locally_lumpable :

@@ -19,37 +19,41 @@ let class_sums m c =
     c;
   Hashtbl.fold (fun s v l -> if v <> 0.0 then (s, v) :: l else l) acc []
 
-let coarsest ?eps mode r ~initial =
-  if Csr.rows r <> Csr.cols r then invalid_arg "State_lumping.coarsest: not square";
+let refiner_spec ?eps mode r =
+  if Csr.rows r <> Csr.cols r then invalid_arg "State_lumping.refiner_spec: not square";
   (* Ordinary: K(R, s, C) = R(s, C) = sum over j in C of R(s, j); the
      touched states of splitter C are the predecessors of C, found by
      walking columns of R, i.e. rows of R^T.  Exact: K(R, s, C) =
-     R(C, s); touched states are successors, rows of R itself. *)
+     R(C, s); touched states are successors, rows of R itself.  Keys are
+     grouped through the quantized representative — compare_approx is
+     not transitive and must not order a sort (see {!Mdl_util.Floatx}). *)
   let walk = match mode with Ordinary -> Csr.transpose r | Exact -> r in
-  let spec =
-    {
-      Refiner.size = Csr.rows r;
-      key_compare = (fun a b -> Floatx.compare_approx ?eps a b);
-      splitter_keys = (fun c -> class_sums walk c);
-    }
-  in
-  Refiner.comp_lumping spec ~initial
+  {
+    Refiner.size = Csr.rows r;
+    key_compare =
+      (fun a b -> Float.compare (Floatx.quantize ?eps a) (Floatx.quantize ?eps b));
+    splitter_keys = (fun c -> class_sums walk c);
+  }
+
+let coarsest ?eps ?stats mode r ~initial =
+  if Csr.rows r <> Csr.cols r then invalid_arg "State_lumping.coarsest: not square";
+  Refiner.comp_lumping ?stats (refiner_spec ?eps mode r) ~initial
 
 let initial_partition ?eps mode mrp =
   let n = Mdl_ctmc.Mrp.size mrp in
-  let cmp a b = Floatx.compare_approx ?eps a b in
+  let q = Floatx.quantize ?eps in
   match mode with
   | Ordinary ->
       let rewards = Mdl_ctmc.Mrp.rewards mrp in
-      Partition.group_by n (fun s -> rewards.(s)) cmp
+      Partition.group_by n (fun s -> q rewards.(s)) Float.compare
   | Exact ->
       let pi = Mdl_ctmc.Mrp.initial mrp in
       let exit s = Mdl_ctmc.Ctmc.exit_rate (Mdl_ctmc.Mrp.ctmc mrp) s in
       let pair_cmp (a1, a2) (b1, b2) =
-        let c = cmp a1 b1 in
-        if c <> 0 then c else cmp a2 b2
+        let c = Float.compare a1 b1 in
+        if c <> 0 then c else Float.compare a2 b2
       in
-      Partition.group_by n (fun s -> (pi.(s), exit s)) pair_cmp
+      Partition.group_by n (fun s -> (q pi.(s), q (exit s))) pair_cmp
 
 let coarsest_mrp ?eps mode mrp =
   let r = Mdl_ctmc.Ctmc.rates (Mdl_ctmc.Mrp.ctmc mrp) in

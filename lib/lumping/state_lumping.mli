@@ -10,8 +10,18 @@
 
 type mode = Ordinary | Exact
 
+val refiner_spec :
+  ?eps:float -> mode -> Mdl_sparse.Csr.t -> float Mdl_partition.Refiner.spec
+(** The flat-matrix refinement spec driving {!coarsest}: row-sum keys
+    [R(s, C)] (ordinary) or column-sum keys [R(C, s)] (exact), with
+    float keys grouped by their {!Mdl_util.Floatx.quantize}
+    representative.  Exposed for the differential refiner tests and the
+    refinement benchmark.
+    @raise Invalid_argument if [r] is not square. *)
+
 val coarsest :
   ?eps:float ->
+  ?stats:Mdl_partition.Refiner.stats ->
   mode ->
   Mdl_sparse.Csr.t ->
   initial:Mdl_partition.Partition.t ->
@@ -20,7 +30,8 @@ val coarsest :
     of the chain with rate matrix [r] refining [initial].  For exact
     lumping the caller must ensure [initial] already separates states
     with different total exit rates [R(s, S)] (use {!initial_partition}
-    or {!coarsest_mrp}).
+    or {!coarsest_mrp}).  [stats] accumulates the refinement engine's
+    counters ({!Mdl_partition.Refiner.stats}).
     @raise Invalid_argument if [r] is not square or sizes mismatch. *)
 
 val initial_partition : ?eps:float -> mode -> Mdl_ctmc.Mrp.t -> Mdl_partition.Partition.t

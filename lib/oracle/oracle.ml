@@ -183,13 +183,14 @@ let check_md ?(eps = Floatx.default_eps) ?inject mode md0 =
      algorithm's own output must satisfy Theorem 1. *)
   ran "flat-coarsest";
   let initial_p =
+    (* Quantized keys: group_by needs a total order, which the
+       non-transitive compare_approx is not. *)
     match mode with
-    | Ordinary ->
-        Partition.group_by n (fun s -> rvec.(s)) (fun a b -> Floatx.compare_approx a b)
+    | Ordinary -> Partition.group_by n (fun s -> Floatx.quantize rvec.(s)) Float.compare
     | Exact ->
         Partition.group_by n
-          (fun s -> Csr.row_sum flat s)
-          (fun a b -> Floatx.compare_approx a b)
+          (fun s -> Floatx.quantize (Csr.row_sum flat s))
+          Float.compare
   in
   let p_star = State_lumping.coarsest ~eps mode flat ~initial:initial_p in
   let star_ok =

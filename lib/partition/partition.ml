@@ -1,13 +1,22 @@
 module Dynarray = Mdl_util.Dynarray
+module Sortx = Mdl_util.Sortx
 
+(* In-place refinable partition: the elements live in one permutation
+   array [perm] in which every class is a contiguous slice, described by
+   the per-class [first]/[len] tables.  [pos] inverts [perm] so that any
+   element can be located — and therefore moved — in O(1), which is what
+   makes splitting pointer arithmetic instead of array rebuilding. *)
 type t = {
-  class_of : int array;
-  blocks : int array Dynarray.t; (* class id -> members *)
+  perm : int array; (* class members, each class a contiguous slice *)
+  pos : int array; (* pos.(perm.(i)) = i *)
+  class_of : int array; (* element -> class id *)
+  first : int Dynarray.t; (* class id -> slice offset in perm *)
+  len : int Dynarray.t; (* class id -> slice length *)
 }
 
-let size t = Array.length t.class_of
+let size t = Array.length t.perm
 
-let num_classes t = Dynarray.length t.blocks
+let num_classes t = Dynarray.length t.first
 
 let check_class t c fn =
   if c < 0 || c >= num_classes t then
@@ -17,37 +26,93 @@ let class_of t x =
   if x < 0 || x >= size t then invalid_arg "Partition.class_of: element out of bounds";
   t.class_of.(x)
 
+let view t c =
+  check_class t c "view";
+  (t.perm, Dynarray.get t.first c, Dynarray.get t.len c)
+
 let elements t c =
   check_class t c "elements";
-  Array.copy (Dynarray.get t.blocks c)
+  Array.sub t.perm (Dynarray.get t.first c) (Dynarray.get t.len c)
+
+let iter_class f t c =
+  check_class t c "iter_class";
+  let first = Dynarray.get t.first c in
+  for i = first to first + Dynarray.get t.len c - 1 do
+    f t.perm.(i)
+  done
 
 let class_size t c =
   check_class t c "class_size";
-  Array.length (Dynarray.get t.blocks c)
+  Dynarray.get t.len c
 
 let representative t c =
   check_class t c "representative";
-  (Dynarray.get t.blocks c).(0)
+  t.perm.(Dynarray.get t.first c)
 
 let trivial n =
   if n < 0 then invalid_arg "Partition.trivial: negative size";
-  let blocks = Dynarray.create () in
-  if n > 0 then Dynarray.push blocks (Array.init n Fun.id);
-  { class_of = Array.make n 0; blocks }
+  let first = Dynarray.create () and len = Dynarray.create () in
+  if n > 0 then begin
+    Dynarray.push first 0;
+    Dynarray.push len n
+  end;
+  {
+    perm = Array.init n Fun.id;
+    pos = Array.init n Fun.id;
+    class_of = Array.make n 0;
+    first;
+    len;
+  }
 
 let discrete n =
   if n < 0 then invalid_arg "Partition.discrete: negative size";
-  let blocks = Dynarray.create () in
+  let first = Dynarray.create () and len = Dynarray.create () in
   for i = 0 to n - 1 do
-    Dynarray.push blocks [| i |]
+    Dynarray.push first i;
+    Dynarray.push len 1
   done;
-  { class_of = Array.init n Fun.id; blocks }
+  {
+    perm = Array.init n Fun.id;
+    pos = Array.init n Fun.id;
+    class_of = Array.init n Fun.id;
+    first;
+    len;
+  }
+
+(* Build from a dense class assignment by counting sort: one pass to
+   count, one to place — no per-class buffers. *)
+let of_dense_assignment class_of k =
+  let n = Array.length class_of in
+  let counts = Array.make (max k 1) 0 in
+  Array.iter (fun c -> counts.(c) <- counts.(c) + 1) class_of;
+  let first = Array.make (max k 1) 0 in
+  let acc = ref 0 in
+  for c = 0 to k - 1 do
+    first.(c) <- !acc;
+    acc := !acc + counts.(c)
+  done;
+  let cursor = Array.copy first in
+  let perm = Array.make n 0 and pos = Array.make n 0 in
+  Array.iteri
+    (fun x c ->
+      let p = cursor.(c) in
+      cursor.(c) <- p + 1;
+      perm.(p) <- x;
+      pos.(x) <- p)
+    class_of;
+  {
+    perm;
+    pos;
+    class_of;
+    first = Dynarray.of_array (Array.sub first 0 k);
+    len = Dynarray.of_array (Array.sub counts 0 k);
+  }
 
 let of_class_assignment a =
   let n = Array.length a in
   let renumber = Hashtbl.create 16 in
   let class_of = Array.make n 0 in
-  let members = Dynarray.create () in
+  let k = ref 0 in
   Array.iteri
     (fun i label ->
       if label < 0 then invalid_arg "Partition.of_class_assignment: negative label";
@@ -55,63 +120,76 @@ let of_class_assignment a =
         match Hashtbl.find_opt renumber label with
         | Some c -> c
         | None ->
-            let c = Dynarray.length members in
+            let c = !k in
+            incr k;
             Hashtbl.add renumber label c;
-            Dynarray.push members (Dynarray.create ());
             c
       in
-      class_of.(i) <- c;
-      Dynarray.push (Dynarray.get members c) i)
+      class_of.(i) <- c)
     a;
-  let blocks = Dynarray.create () in
-  Dynarray.iter (fun m -> Dynarray.push blocks (Dynarray.to_array m)) members;
-  { class_of; blocks }
+  of_dense_assignment class_of !k
 
 (* Group elements of [items] into runs of cmp-equal keys.  Returns the
-   groups in key order; within a group the original order is kept (sort
-   is stable on the decorated index). *)
+   groups in key order; within a group the original order is kept (the
+   sort is stable and ties broken by position). *)
 let group_elements items key cmp =
-  let decorated = Array.map (fun x -> (key x, x)) items in
-  let by_key (k1, x1) (k2, x2) =
-    let c = cmp k1 k2 in
-    if c <> 0 then c else compare x1 x2
-  in
-  Array.sort by_key decorated;
-  let groups = Dynarray.create () in
-  let current = Dynarray.create () in
-  Array.iteri
-    (fun idx (k, x) ->
-      if idx > 0 then begin
-        let prev_k, _ = decorated.(idx - 1) in
-        if cmp prev_k k <> 0 then begin
-          Dynarray.push groups (Dynarray.to_array current);
-          Dynarray.clear current
-        end
-      end;
-      Dynarray.push current x)
-    decorated;
-  if not (Dynarray.is_empty current) then Dynarray.push groups (Dynarray.to_array current);
-  Dynarray.to_list groups
+  let m = Array.length items in
+  let keys = Array.map key items in
+  let ord = Array.init m Fun.id in
+  Sortx.sort_by
+    (fun i j ->
+      let c = cmp keys.(i) keys.(j) in
+      if c <> 0 then c else Int.compare items.(i) items.(j))
+    ord;
+  let groups = ref [] and current = ref [] in
+  for r = m - 1 downto 0 do
+    let i = ord.(r) in
+    current := items.(i) :: !current;
+    if r = 0 || cmp keys.(ord.(r - 1)) keys.(i) <> 0 then begin
+      groups := Array.of_list !current :: !groups;
+      current := []
+    end
+  done;
+  !groups
 
 let group_by n key cmp =
   if n < 0 then invalid_arg "Partition.group_by: negative size";
   let groups = group_elements (Array.init n Fun.id) key cmp in
   let class_of = Array.make n 0 in
-  let blocks = Dynarray.create () in
+  let k = ref 0 in
   List.iter
     (fun g ->
-      let c = Dynarray.length blocks in
-      Array.iter (fun x -> class_of.(x) <- c) g;
-      Dynarray.push blocks g)
+      let c = !k in
+      incr k;
+      Array.iter (fun x -> class_of.(x) <- c) g)
     groups;
-  { class_of; blocks }
+  of_dense_assignment class_of !k
+
+(* Move element [x] to slot [q] of [perm], swapping with the occupant. *)
+let swap_into t x q =
+  let p = t.pos.(x) in
+  let y = t.perm.(q) in
+  t.perm.(q) <- x;
+  t.perm.(p) <- y;
+  t.pos.(x) <- q;
+  t.pos.(y) <- p
+
+(* Register a fresh class over the slice [off, off+l) and relabel its
+   members.  Returns the new id. *)
+let push_class t off l =
+  let id = Dynarray.length t.first in
+  Dynarray.push t.first off;
+  Dynarray.push t.len l;
+  for p = off to off + l - 1 do
+    t.class_of.(t.perm.(p)) <- id
+  done;
+  id
 
 let split t c groups =
   check_class t c "split";
-  let old = Dynarray.get t.blocks c in
+  let f = Dynarray.get t.first c and l = Dynarray.get t.len c in
   let total = List.fold_left (fun acc g -> acc + Array.length g) 0 groups in
-  if total <> Array.length old then
-    invalid_arg "Partition.split: groups do not cover the class";
+  if total <> l then invalid_arg "Partition.split: groups do not cover the class";
   List.iter
     (fun g ->
       if Array.length g = 0 then invalid_arg "Partition.split: empty group";
@@ -124,42 +202,88 @@ let split t c groups =
   match groups with
   | [] -> invalid_arg "Partition.split: no groups"
   | [ _ ] -> [ c ]
-  | first :: rest ->
-      (* Disjointness follows from the count check plus membership: each
-         element belongs to class c and the group sizes sum to |c|, so a
-         duplicate would force a missing element.  Guard against
-         duplicates inside a single group explicitly. *)
-      let seen = Hashtbl.create (Array.length old) in
+  | groups ->
+      (* The count check plus membership makes the groups a cover as
+         soon as they are duplicate-free; check that explicitly. *)
+      let seen = Hashtbl.create l in
       List.iter
         (Array.iter (fun x ->
              if Hashtbl.mem seen x then invalid_arg "Partition.split: duplicate element";
              Hashtbl.add seen x ()))
         groups;
-      Dynarray.set t.blocks c first;
-      let ids =
-        List.map
-          (fun g ->
-            let id = Dynarray.length t.blocks in
-            Dynarray.push t.blocks g;
-            Array.iter (fun x -> t.class_of.(x) <- id) g;
-            id)
-          rest
-      in
-      c :: ids
+      (* Rearrange in place: lay the groups out in order from the start
+         of the slice, then cut.  The first group keeps id [c]. *)
+      let cursor = ref f in
+      List.iter
+        (Array.iter (fun x ->
+             swap_into t x !cursor;
+             incr cursor))
+        groups;
+      let ids = ref [] and off = ref f in
+      List.iteri
+        (fun gi g ->
+          let glen = Array.length g in
+          if gi = 0 then Dynarray.set t.len c glen
+          else ids := push_class t !off glen :: !ids;
+          off := !off + glen)
+        groups;
+      c :: List.rev !ids
+
+let split_runs t c ~members ~bounds ~nruns =
+  check_class t c "split_runs";
+  if nruns < 1 || bounds.(0) <> 0 then invalid_arg "Partition.split_runs: bad bounds";
+  let f = Dynarray.get t.first c and l = Dynarray.get t.len c in
+  let m = bounds.(nruns) in
+  if m > l then invalid_arg "Partition.split_runs: more members than the class holds";
+  let u = l - m in
+  if nruns = 1 && u = 0 then [ c ]
+  else begin
+    (* Sweep the runs to the back of the slice, last run first, so the
+       slice becomes [untouched | run 0 | .. | run nruns-1].  Only the
+       touched members move: cost O(m), independent of |c|. *)
+    let tail = ref (f + l) in
+    for r = nruns - 1 downto 0 do
+      if bounds.(r + 1) <= bounds.(r) then invalid_arg "Partition.split_runs: empty run";
+      for i = bounds.(r + 1) - 1 downto bounds.(r) do
+        let x = members.(i) in
+        if x < 0 || x >= size t || t.class_of.(x) <> c then
+          invalid_arg "Partition.split_runs: element not in class";
+        decr tail;
+        if t.pos.(x) > !tail then invalid_arg "Partition.split_runs: duplicate element";
+        swap_into t x !tail
+      done
+    done;
+    (* Cut.  With untouched members present they keep id [c] (so only
+       the moved members are relabelled); otherwise run 0 keeps it. *)
+    let ids = ref [] in
+    let base = f + u in
+    if u > 0 then begin
+      Dynarray.set t.len c u;
+      for r = 0 to nruns - 1 do
+        ids := push_class t (base + bounds.(r)) (bounds.(r + 1) - bounds.(r)) :: !ids
+      done
+    end
+    else begin
+      Dynarray.set t.len c (bounds.(1) - bounds.(0));
+      for r = 1 to nruns - 1 do
+        ids := push_class t (base + bounds.(r)) (bounds.(r + 1) - bounds.(r)) :: !ids
+      done
+    end;
+    c :: List.rev !ids
+  end
 
 let refine_class_by t c key cmp =
   check_class t c "refine_class_by";
-  let groups = group_elements (Dynarray.get t.blocks c) key cmp in
+  let groups = group_elements (elements t c) key cmp in
   split t c groups
 
 let to_class_assignment t = Array.copy t.class_of
 
-let classes t = Array.init (num_classes t) (fun c -> Array.copy (Dynarray.get t.blocks c))
+let classes t = Array.init (num_classes t) (fun c -> elements t c)
 
 let canonical_assignment t =
   (* Renumber classes by first appearance so equal partitions get equal
      assignments. *)
-  let a = t.class_of in
   let renumber = Hashtbl.create 16 in
   Array.map
     (fun c ->
@@ -169,7 +293,7 @@ let canonical_assignment t =
           let c' = Hashtbl.length renumber in
           Hashtbl.add renumber c c';
           c')
-    a
+    t.class_of
 
 let equal t1 t2 =
   size t1 = size t2 && canonical_assignment t1 = canonical_assignment t2
@@ -180,9 +304,8 @@ let is_refinement_of fine coarse =
   (* Each fine class must be contained in one coarse class. *)
   let ok = ref true in
   for c = 0 to num_classes fine - 1 do
-    let members = Dynarray.get fine.blocks c in
-    let target = coarse.class_of.(members.(0)) in
-    Array.iter (fun x -> if coarse.class_of.(x) <> target then ok := false) members
+    let target = coarse.class_of.(representative fine c) in
+    iter_class (fun x -> if coarse.class_of.(x) <> target then ok := false) fine c
   done;
   !ok
 
@@ -191,6 +314,6 @@ let pp ppf t =
   for c = 0 to num_classes t - 1 do
     if c > 0 then Format.fprintf ppf ",@ ";
     Format.fprintf ppf "{%s}"
-      (String.concat " " (List.map string_of_int (Array.to_list (Dynarray.get t.blocks c))))
+      (String.concat " " (List.map string_of_int (Array.to_list (elements t c))))
   done;
   Format.fprintf ppf "@]}"

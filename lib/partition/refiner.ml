@@ -1,74 +1,173 @@
+module Dynarray = Mdl_util.Dynarray
+module Sortx = Mdl_util.Sortx
+module Timer = Mdl_util.Timer
+
 type 'k spec = {
   size : int;
   key_compare : 'k -> 'k -> int;
   splitter_keys : int array -> (int * 'k) list;
 }
 
-(* Group an association list [(state, key)] into lists of states with
-   cmp-equal keys. *)
-let group_by_key cmp keyed =
-  let arr = Array.of_list keyed in
-  let by_key (k1, x1) (k2, x2) =
-    let c = cmp k1 k2 in
-    if c <> 0 then c else compare x1 x2
-  in
-  Array.sort (fun (x1, k1) (x2, k2) -> by_key (k1, x1) (k2, x2)) arr;
-  let groups = ref [] and current = ref [] in
-  Array.iteri
-    (fun idx (x, k) ->
-      (if idx > 0 then
-         let _, prev_k = arr.(idx - 1) in
-         if cmp prev_k k <> 0 then begin
-           groups := Array.of_list (List.rev !current) :: !groups;
-           current := []
-         end);
-      current := x :: !current)
-    arr;
-  if !current <> [] then groups := Array.of_list (List.rev !current) :: !groups;
-  List.rev !groups
+type stats = {
+  mutable splitter_passes : int;
+  mutable key_evals : int;
+  mutable splits : int;
+  mutable blocks_created : int;
+  mutable largest_skips : int;
+  mutable wall_s : float;
+}
 
-let split_by_splitter spec p splitter worklist =
-  let keyed = spec.splitter_keys splitter in
-  (* Bucket touched states by their (current) class. *)
-  let by_class = Hashtbl.create 16 in
-  List.iter
-    (fun (s, k) ->
-      let c = Partition.class_of p s in
-      match Hashtbl.find_opt by_class c with
-      | Some b -> b := (s, k) :: !b
-      | None -> Hashtbl.add by_class c (ref [ (s, k) ]))
-    keyed;
-  let affected = Hashtbl.fold (fun c b acc -> (c, !b) :: acc) by_class [] in
-  List.iter
-    (fun (c, touched) ->
-      let touched_set = Hashtbl.create (List.length touched) in
-      List.iter (fun (s, _) -> Hashtbl.replace touched_set s ()) touched;
-      let untouched =
-        Array.to_list (Partition.elements p c)
-        |> List.filter (fun s -> not (Hashtbl.mem touched_set s))
-      in
-      let key_groups = group_by_key spec.key_compare touched in
-      let groups =
-        match untouched with [] -> key_groups | _ -> Array.of_list untouched :: key_groups
-      in
-      if List.length groups > 1 then begin
-        let ids = Partition.split p c groups in
-        List.iter (fun id -> Queue.add (Partition.elements p id) worklist) ids
-      end)
-    affected
+let create_stats () =
+  {
+    splitter_passes = 0;
+    key_evals = 0;
+    splits = 0;
+    blocks_created = 0;
+    largest_skips = 0;
+    wall_s = 0.0;
+  }
 
-let comp_lumping spec ~initial =
+let add_stats dst src =
+  dst.splitter_passes <- dst.splitter_passes + src.splitter_passes;
+  dst.key_evals <- dst.key_evals + src.key_evals;
+  dst.splits <- dst.splits + src.splits;
+  dst.blocks_created <- dst.blocks_created + src.blocks_created;
+  dst.largest_skips <- dst.largest_skips + src.largest_skips;
+  dst.wall_s <- dst.wall_s +. src.wall_s
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "passes %d, key evals %d, splits %d, blocks created %d, largest skips %d, %.4fs"
+    s.splitter_passes s.key_evals s.splits s.blocks_created s.largest_skips s.wall_s
+
+(* The worklist holds class ids; [in_wl] tracks membership so the
+   Derisavi/Hermanns/Sanders bookkeeping can distinguish pending
+   splitters (whose sub-blocks must all stay pending) from settled ones
+   (whose largest sub-block may be skipped).  An id popped from the
+   queue denotes the class's members at pop time, which is exactly the
+   replace-parent-by-sub-blocks semantics of the original algorithm. *)
+let comp_lumping ?stats spec ~initial =
   if Partition.size initial <> spec.size then
     invalid_arg "Refiner.comp_lumping: partition size mismatch";
+  let timer = Timer.start () in
+  let st = create_stats () in
   let p = Partition.of_class_assignment (Partition.to_class_assignment initial) in
   let worklist = Queue.create () in
+  let in_wl = Dynarray.create () in
   for c = 0 to Partition.num_classes p - 1 do
-    Queue.add (Partition.elements p c) worklist
+    Queue.add c worklist;
+    Dynarray.push in_wl true
   done;
+  (* Scratch reused across splits of one pass. *)
+  let bounds = ref (Array.make 8 0) in
   while not (Queue.is_empty worklist) do
     let splitter = Queue.pop worklist in
-    split_by_splitter spec p splitter worklist
+    Dynarray.set in_wl splitter false;
+    st.splitter_passes <- st.splitter_passes + 1;
+    let keyed = spec.splitter_keys (Partition.elements p splitter) in
+    let m = List.length keyed in
+    st.key_evals <- st.key_evals + m;
+    if m > 0 then begin
+      (* Decorate into parallel arrays and sort indices once by
+         (current class, key, state): one sort both buckets the touched
+         states by class and groups them by key within each class. *)
+      let ts = Array.make m 0 in
+      let tk = Array.make m (snd (List.hd keyed)) in
+      List.iteri
+        (fun i (s, k) ->
+          ts.(i) <- s;
+          tk.(i) <- k)
+        keyed;
+      let ord = Array.init m Fun.id in
+      Sortx.sort_by
+        (fun i j ->
+          let c = Int.compare (Partition.class_of p ts.(i)) (Partition.class_of p ts.(j)) in
+          if c <> 0 then c
+          else
+            let c = spec.key_compare tk.(i) tk.(j) in
+            if c <> 0 then c else Int.compare ts.(i) ts.(j))
+        ord;
+      (* Record the class of every touched state before any split
+         relabels it. *)
+      let tc = Array.map (fun i -> Partition.class_of p ts.(i)) ord in
+      let members = Array.map (fun i -> ts.(i)) ord in
+      let a = ref 0 in
+      while !a < m do
+        (* [a, b) = touched states of one class [cc]. *)
+        let cc = tc.(!a) in
+        let b = ref (!a + 1) in
+        while !b < m && tc.(!b) = cc do incr b done;
+        let b = !b in
+        (* Cut [a, b) into runs of equal keys. *)
+        let nruns = ref 1 in
+        for i = !a + 1 to b - 1 do
+          if spec.key_compare tk.(ord.(i - 1)) tk.(ord.(i)) <> 0 then incr nruns
+        done;
+        let nruns = !nruns in
+        if Array.length !bounds < nruns + 1 then bounds := Array.make (nruns + 1) 0;
+        let bnd = !bounds in
+        bnd.(0) <- 0;
+        let r = ref 0 in
+        for i = !a + 1 to b - 1 do
+          if spec.key_compare tk.(ord.(i - 1)) tk.(ord.(i)) <> 0 then begin
+            incr r;
+            bnd.(!r) <- i - !a
+          end
+        done;
+        bnd.(nruns) <- b - !a;
+        let touched = b - !a in
+        if nruns > 1 || touched < Partition.class_size p cc then begin
+          let members = Array.sub members !a touched in
+          let ids = Partition.split_runs p cc ~members ~bounds:bnd ~nruns in
+          match ids with
+          | [ _ ] -> () (* whole class in one run: no split *)
+          | ids ->
+              st.splits <- st.splits + 1;
+              st.blocks_created <- st.blocks_created + List.length ids - 1;
+              (* Grow the membership table for the fresh ids. *)
+              while Dynarray.length in_wl < Partition.num_classes p do
+                Dynarray.push in_wl false
+              done;
+              if Dynarray.get in_wl cc then
+                (* Pending splitter split: its sub-blocks must all stay
+                   pending ([cc] already queued; queue the rest). *)
+                List.iter
+                  (fun id ->
+                    if not (Dynarray.get in_wl id) then begin
+                      Dynarray.set in_wl id true;
+                      Queue.add id worklist
+                    end)
+                  ids
+              else begin
+                (* Settled splitter: all sub-blocks but the largest
+                   become splitters.  Keys are additive over disjoint
+                   splitter unions, so stability against the parent and
+                   the small sub-blocks implies it for the largest. *)
+                let largest = ref cc and largest_size = ref (-1) in
+                List.iter
+                  (fun id ->
+                    let s = Partition.class_size p id in
+                    if s > !largest_size then begin
+                      largest := id;
+                      largest_size := s
+                    end)
+                  ids;
+                st.largest_skips <- st.largest_skips + 1;
+                List.iter
+                  (fun id ->
+                    if id <> !largest && not (Dynarray.get in_wl id) then begin
+                      Dynarray.set in_wl id true;
+                      Queue.add id worklist
+                    end)
+                  ids
+              end
+        end;
+        a := b
+      done
+    end
   done;
+  st.wall_s <- Timer.elapsed_s timer;
+  (match stats with Some dst -> add_stats dst st | None -> ());
   p
 
 let is_stable spec p =
@@ -78,9 +177,8 @@ let is_stable spec p =
     let key_of = Hashtbl.create 16 in
     List.iter (fun (s, k) -> Hashtbl.replace key_of s k) keyed;
     for c = 0 to Partition.num_classes p - 1 do
-      let members = Partition.elements p c in
-      let first = Hashtbl.find_opt key_of members.(0) in
-      Array.iter
+      let first = Hashtbl.find_opt key_of (Partition.representative p c) in
+      Partition.iter_class
         (fun s ->
           let k = Hashtbl.find_opt key_of s in
           let same =
@@ -90,7 +188,7 @@ let is_stable spec p =
             | None, Some _ | Some _, None -> false
           in
           if not same then stable := false)
-        members
+        p c
     done
   done;
   !stable

@@ -13,15 +13,36 @@
     the engine asks only for the states with a key different from the
     zero key — for row/column-sum keys those are the (predecessor /
     successor) states of the splitter — and groups the remaining states
-    of each class implicitly, which is how the [O(m log n)] behaviour of
-    the underlying state-level algorithm is obtained. *)
+    of each class implicitly.
+
+    The implementation is the in-place core of the optimal state-level
+    algorithm of Derisavi, Hermanns & Sanders [9]: classes are
+    contiguous slices of one permutation array ({!Partition}), a split
+    moves only the touched states, and the worklist holds class ids
+    driven by the {e process-all-but-the-largest-sub-block} rule — when
+    a class not pending as a splitter is split, all sub-blocks except
+    the largest join the worklist; when a pending splitter is split, all
+    its sub-blocks stay pending.
+
+    {b Key additivity.}  The largest-sub-block skip is sound only when
+    keys are additive over disjoint unions of splitters,
+    [K(s, B1 union B2) = K(s, B1) + K(s, B2)] (with [key_compare]
+    respecting sums): stability against a parent block and all but one
+    sub-block then implies stability against the remaining one.  Every
+    key in this repository — row/column rate sums, formal sums, expanded
+    matrices — is a sum over splitter members, so this holds by
+    construction; a hypothetical non-additive key (e.g. a max) would
+    need the exhaustive engine of {!Refiner_reference}. *)
 
 type 'k spec = {
   size : int;  (** number of states *)
   key_compare : 'k -> 'k -> int;
-      (** total order on keys; [0] means equal (may be tolerant for
-          floats).  States of a class are grouped by runs of equal
-          keys. *)
+      (** total order on keys; [0] means equal.  Beware using tolerant
+          float comparison here: {!Mdl_util.Floatx.compare_approx} is
+          not transitive, so grouping with it depends on input order —
+          quantize float keys ({!Mdl_util.Floatx.quantize}) and compare
+          exactly instead.  States of a class are grouped by runs of
+          equal keys. *)
   splitter_keys : int array -> (int * 'k) list;
       (** [splitter_keys c] lists [(s, K(s, C))] for every state [s]
           whose key w.r.t. splitter class [C] (given by its elements)
@@ -30,11 +51,33 @@ type 'k spec = {
           twice. *)
 }
 
-val comp_lumping : 'k spec -> initial:Partition.t -> Partition.t
+type stats = {
+  mutable splitter_passes : int;  (** worklist pops (splitters processed) *)
+  mutable key_evals : int;  (** (state, key) pairs returned by [splitter_keys] *)
+  mutable splits : int;  (** classes actually split *)
+  mutable blocks_created : int;  (** new class ids allocated by splits *)
+  mutable largest_skips : int;
+      (** splits whose largest sub-block was exempted from the worklist *)
+  mutable wall_s : float;  (** monotonic wall time spent in [comp_lumping] *)
+}
+(** Observability counters for one or more [comp_lumping] runs. *)
+
+val create_stats : unit -> stats
+(** A fresh all-zero counter record. *)
+
+val add_stats : stats -> stats -> unit
+(** [add_stats dst src] accumulates [src] into [dst] (counters add,
+    wall times add). *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val comp_lumping : ?stats:stats -> 'k spec -> initial:Partition.t -> Partition.t
 (** [comp_lumping spec ~initial] returns the coarsest refinement of
     [initial] that is stable under [spec.splitter_keys] splitting (the
-    input partition is not mutated).  Termination: a class is re-used as
-    a splitter only when freshly created by a split, and partitions only
+    input partition is not mutated).  When [stats] is given, the run's
+    counters and wall time are {e added} onto it (so one record can
+    aggregate several calls).  Termination: a class re-enters the
+    worklist only when freshly created by a split, and partitions only
     ever get finer. @raise Invalid_argument if [initial] is not over
     [spec.size] states. *)
 

@@ -1,0 +1,11 @@
+(** The seed repository's list-based refinement engine, preserved as a
+    correctness and performance baseline for {!Refiner}.
+
+    It computes the same coarsest stable refinement, but re-enqueues
+    {e every} sub-block after a split and shuttles states through lists,
+    fresh arrays and throwaway hash tables — the behaviour the property
+    tests pin the fast engine against, and the "seed" column of
+    [BENCH_refine.json]. *)
+
+val comp_lumping : 'k Refiner.spec -> initial:Partition.t -> Partition.t
+(** Same contract as {!Refiner.comp_lumping} (without stats). *)

@@ -38,9 +38,21 @@ let push t x =
 let pop t =
   if t.len = 0 then invalid_arg "Dynarray.pop: empty";
   t.len <- t.len - 1;
-  Array.unsafe_get t.data t.len
+  let x = Array.unsafe_get t.data t.len in
+  (* Junk-fill the freed slot so the popped element is collectable: a
+     reference left in the backing store keeps it alive for as long as
+     the dynarray exists (space leak).  A still-live element is the only
+     type-correct filler (a [Obj.magic] dummy would crash on unboxed
+     float arrays); when the array empties, drop the store entirely. *)
+  if t.len > 0 then Array.unsafe_set t.data t.len (Array.unsafe_get t.data 0)
+  else t.data <- [||];
+  x
 
-let clear t = t.len <- 0
+let clear t =
+  t.len <- 0;
+  (* Release the backing store: every slot holds a now-dead reference
+     and there is no live element left to junk-fill with. *)
+  t.data <- [||]
 
 let is_empty t = t.len = 0
 

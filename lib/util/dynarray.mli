@@ -26,11 +26,14 @@ val push : 'a t -> 'a -> unit
     needed. *)
 
 val pop : 'a t -> 'a
-(** [pop t] removes and returns the last element.
+(** [pop t] removes and returns the last element.  The freed slot is
+    junk-filled (overwritten with a still-live element) so the popped
+    value does not leak by staying reachable from the backing store.
     @raise Invalid_argument on an empty array. *)
 
 val clear : 'a t -> unit
-(** [clear t] removes all elements (the backing store is kept). *)
+(** [clear t] removes all elements and releases the backing store, so
+    the cleared elements become collectable immediately. *)
 
 val is_empty : 'a t -> bool
 

@@ -9,6 +9,12 @@ let approx_eq ?(eps = default_eps) a b =
 let compare_approx ?(eps = default_eps) a b =
   if approx_eq ~eps a b then 0 else compare a b
 
+let quantize ?(eps = default_eps) x =
+  if x = 0.0 then 0.0 (* merge -0.0 with 0.0 *)
+  else
+    let q = Float.round (x /. eps) in
+    if Float.is_finite q then q *. eps else x
+
 let sum_kahan a =
   let sum = ref 0.0 and comp = ref 0.0 in
   for i = 0 to Array.length a - 1 do

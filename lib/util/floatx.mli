@@ -14,8 +14,31 @@ val approx_eq : ?eps:float -> float -> float -> bool
 val compare_approx : ?eps:float -> float -> float -> int
 (** Three-way comparison compatible with {!approx_eq}: returns [0] when
     the two floats are approximately equal, and the sign of [a -. b]
-    otherwise.  Not a total order in the mathematical sense, but stable
-    enough to group keys whose components were computed identically. *)
+    otherwise.
+
+    {b Pitfall: this is not a total order.}  Approximate equality is not
+    transitive ([a ~ b] and [b ~ c] do not imply [a ~ c]), so using
+    [compare_approx] as a {e sort or grouping comparator} — e.g. in
+    {!Mdl_partition.Partition.group_by} or as a refinement key
+    comparator — can produce groups that depend on the input order, or
+    sorts that never settle.  It is safe for comparing two values whose
+    computation paths are identical (both sides accumulate the same
+    terms), which is how the lumpability {e checks} use it.  For
+    grouping and refinement keys, map each float through {!quantize}
+    first and compare the quantized representatives with the exact
+    [Float.compare]. *)
+
+val quantize : ?eps:float -> float -> float
+(** [quantize ~eps x] snaps [x] to the nearest multiple of [eps] — a
+    deterministic representative of [x]'s tolerance bucket.  Equality of
+    quantized values {e is} transitive, which makes
+    [fun a b -> Float.compare (quantize a) (quantize b)] a total order
+    suitable for sorting and grouping.  The trade-off: two values within
+    [eps] of each other but straddling a bucket boundary quantize apart
+    (grouping by a non-transitive relation exactly is impossible; the
+    grid is the deterministic approximation).  [0.0] and [-0.0] quantize
+    to [0.0]; values so large that [x /. eps] overflows are returned
+    unchanged. *)
 
 val sum_kahan : float array -> float
 (** Compensated (Kahan) summation, used where many small rates are

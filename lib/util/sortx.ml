@@ -1,0 +1,38 @@
+let sort_by cmp a =
+  let n = Array.length a in
+  if n > 1 then begin
+    let buf = Array.make n 0 in
+    (* Bottom-up stable merge sort, ping-ponging between [a] and [buf].
+       All reads/writes are on int arrays and the only calls are to the
+       caller's comparator — no polymorphic compare, no boxing. *)
+    let merge src dst lo mid hi =
+      let i = ref lo and j = ref mid in
+      for k = lo to hi - 1 do
+        if !i < mid && (!j >= hi || cmp (Array.unsafe_get src !i) (Array.unsafe_get src !j) <= 0)
+        then begin
+          Array.unsafe_set dst k (Array.unsafe_get src !i);
+          incr i
+        end
+        else begin
+          Array.unsafe_set dst k (Array.unsafe_get src !j);
+          incr j
+        end
+      done
+    in
+    let src = ref a and dst = ref buf in
+    let width = ref 1 in
+    while !width < n do
+      let lo = ref 0 in
+      while !lo < n do
+        let mid = min (!lo + !width) n in
+        let hi = min (!lo + (2 * !width)) n in
+        merge !src !dst !lo mid hi;
+        lo := hi
+      done;
+      let t = !src in
+      src := !dst;
+      dst := t;
+      width := !width * 2
+    done;
+    if !src != a then Array.blit !src 0 a 0 n
+  end

@@ -1,0 +1,13 @@
+(** Non-polymorphic sorting for the refinement hot path.
+
+    The partition refiner sorts (index arrays into) key arrays on every
+    splitter pass; going through [Stdlib.compare] or tuple-allocating
+    comparators there costs more than the key evaluation itself.  This
+    module provides one specialised routine: a stable merge sort of an
+    [int array] under an explicit three-way comparator. *)
+
+val sort_by : (int -> int -> int) -> int array -> unit
+(** [sort_by cmp a] sorts [a] in place, stably, by [cmp].  [cmp] is
+    typically an index comparator closing over parallel key arrays.
+    O(n log n) comparisons, one O(n) scratch allocation, no polymorphic
+    compare. *)

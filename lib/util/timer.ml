@@ -1,8 +1,10 @@
-type t = float
+type t = int64 (* monotonic nanoseconds *)
 
-let start () = Unix.gettimeofday ()
+external monotonic_ns : unit -> int64 = "mdl_timer_monotonic_ns"
 
-let elapsed_s t = Unix.gettimeofday () -. t
+let start () = monotonic_ns ()
+
+let elapsed_s t = Int64.to_float (Int64.sub (monotonic_ns ()) t) *. 1e-9
 
 let time f =
   let t = start () in

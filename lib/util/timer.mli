@@ -1,5 +1,11 @@
-(** Wall-clock timing used by the benchmark harness and the CLI
-    reporters. *)
+(** Monotonic timing used by the benchmark harness and the CLI
+    reporters.
+
+    Readings come from the OS monotonic clock
+    ([clock_gettime(CLOCK_MONOTONIC)]), not the wall clock: NTP steps
+    adjust the wall clock and can make [gettimeofday]-based durations
+    negative or wildly wrong, which would corrupt benchmark output.
+    Elapsed times from this module are always [>= 0]. *)
 
 type t
 
@@ -7,8 +13,9 @@ val start : unit -> t
 (** [start ()] is a timer started now. *)
 
 val elapsed_s : t -> float
-(** Seconds elapsed since [start]. *)
+(** Seconds elapsed since [start]; nanosecond resolution, never
+    negative. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result with the elapsed
-    wall-clock seconds. *)
+    monotonic seconds. *)

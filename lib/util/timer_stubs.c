@@ -1,0 +1,29 @@
+/* Monotonic clock for Mdl_util.Timer.
+
+   Benchmark and per-level lumping timings must never go backwards; the
+   wall clock (gettimeofday) can, whenever NTP steps the system time.
+   CLOCK_MONOTONIC is immune to clock steps; fall back to the wall clock
+   only on platforms without it. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value mdl_timer_monotonic_ns(value unit)
+{
+  CAMLparam1(unit);
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    CAMLreturn(caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL
+                               + (int64_t)ts.tv_nsec));
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    CAMLreturn(caml_copy_int64((int64_t)tv.tv_sec * 1000000000LL
+                               + (int64_t)tv.tv_usec * 1000LL));
+  }
+}

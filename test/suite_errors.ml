@@ -52,6 +52,46 @@ let test_compositional_errors () =
     (Invalid_argument "Compositional.aggregate_vector: vector size mismatch") (fun () ->
       ignore (Compositional.aggregate_vector r ss lumped_ss [| 1.0 |]))
 
+let test_compositional_lumped_validation () =
+  (* Regression: check_sizes used to ignore the lumped side entirely, so
+     a statespace from a different model silently produced garbage. *)
+  let md = tiny_md () in
+  let r =
+    Compositional.lump_with_partitions Ordinary md
+      [| Partition.discrete 2; Partition.discrete 2 |]
+  in
+  let ss = Statespace.of_tuples ~levels:2 [ [| 0; 0 |]; [| 0; 1 |] ] in
+  let v = [| 0.25; 0.75 |] in
+  let bad_levels = Statespace.of_tuples ~levels:3 [ [| 0; 0; 0 |] ] in
+  Alcotest.check_raises "lumped level count"
+    (Invalid_argument "Compositional.aggregate_vector: lumped statespace level count mismatch")
+    (fun () -> ignore (Compositional.aggregate_vector r ss bad_levels v));
+  let bad_class = Statespace.of_tuples ~levels:2 [ [| 0; 0 |]; [| 0; 5 |] ] in
+  Alcotest.check_raises "lumped class id range"
+    (Invalid_argument "Compositional.aggregate_vector: lumped statespace class id out of range")
+    (fun () -> ignore (Compositional.aggregate_vector r ss bad_class v))
+
+let test_average_vector_empty_class () =
+  (* Regression: a lumped state receiving no flat state used to yield
+     [0.0 /. 0 = nan] and poison every downstream measure silently. *)
+  let md = tiny_md () in
+  let r =
+    Compositional.lump_with_partitions Ordinary md
+      [| Partition.discrete 2; Partition.discrete 2 |]
+  in
+  let ss = Statespace.of_tuples ~levels:2 [ [| 0; 0 |]; [| 0; 1 |] ] in
+  let v = [| 1.0; 3.0 |] in
+  (* the honest image: averages are just the values back *)
+  let ok = Compositional.average_vector r ss (Compositional.lump_statespace r ss) v in
+  Alcotest.(check (array (float 1e-12))) "identity partitions average" [| 1.0; 3.0 |] ok;
+  (* (1,0) is a valid class tuple but no state of [ss] maps to it *)
+  let holey = Statespace.of_tuples ~levels:2 [ [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |] ] in
+  Alcotest.check_raises "empty lumped state"
+    (Invalid_argument
+       "Compositional.average_vector: lumped state receives no flat states (is \
+        lumped_ss the image of ss?)")
+    (fun () -> ignore (Compositional.average_vector r ss holey v))
+
 let test_level_lumping_errors () =
   let md = tiny_md () in
   Alcotest.check_raises "bad level"
@@ -171,6 +211,9 @@ let test_kron_guard () =
 let tests =
   [
     Alcotest.test_case "compositional errors" `Quick test_compositional_errors;
+    Alcotest.test_case "compositional lumped-side validation" `Quick
+      test_compositional_lumped_validation;
+    Alcotest.test_case "average_vector empty class" `Quick test_average_vector_empty_class;
     Alcotest.test_case "level lumping errors" `Quick test_level_lumping_errors;
     Alcotest.test_case "md_solve errors" `Quick test_md_solve_errors;
     Alcotest.test_case "decomposed errors" `Quick test_decomposed_errors;

@@ -118,6 +118,174 @@ let test_refiner_size_mismatch () =
     (Invalid_argument "Refiner.comp_lumping: partition size mismatch") (fun () ->
       ignore (Refiner.comp_lumping spec ~initial:(Partition.trivial 3)))
 
+let test_view_iter_class () =
+  let p = Partition.of_class_assignment [| 0; 1; 0; 1; 0 |] in
+  let c0 = Partition.class_of p 0 in
+  let perm, first, len = Partition.view p c0 in
+  Alcotest.(check int) "slice length" 3 len;
+  let slice = Array.sub perm first len in
+  Array.sort compare slice;
+  Alcotest.(check (array int)) "slice members" [| 0; 2; 4 |] slice;
+  let seen = ref [] in
+  Partition.iter_class (fun x -> seen := x :: !seen) p c0;
+  Alcotest.(check (array int)) "iter_class agrees" slice
+    (let a = Array.of_list !seen in
+     Array.sort compare a;
+     a);
+  Alcotest.(check bool) "representative in class" true
+    (Partition.class_of p (Partition.representative p c0) = c0)
+
+let test_split_runs () =
+  (* split {0..5} into runs [0;1], [2;3], [4;5] laid out as sorted members *)
+  let p = Partition.trivial 6 in
+  let members = [| 0; 1; 2; 3; 4; 5 |] in
+  let bounds = [| 0; 2; 4; 6; 0; 0 |] in
+  let ids = Partition.split_runs p 0 ~members ~bounds ~nruns:3 in
+  Alcotest.(check int) "three ids" 3 (List.length ids);
+  Alcotest.(check int) "three classes" 3 (Partition.num_classes p);
+  Alcotest.(check int) "run 0 keeps id" 0 (List.hd ids);
+  Alcotest.(check int) "0 with 1" (Partition.class_of p 0) (Partition.class_of p 1);
+  Alcotest.(check int) "2 with 3" (Partition.class_of p 2) (Partition.class_of p 3);
+  Alcotest.(check bool) "0 apart from 2" true
+    (Partition.class_of p 0 <> Partition.class_of p 2);
+  (* single-run split is a no-op returning the original id *)
+  let q = Partition.trivial 3 in
+  let ids = Partition.split_runs q 0 ~members:[| 2; 0; 1 |] ~bounds:[| 0; 3 |] ~nruns:1 in
+  Alcotest.(check (list int)) "no-op" [ 0 ] ids;
+  Alcotest.(check int) "still one class" 1 (Partition.num_classes q)
+
+let test_split_runs_partial () =
+  (* runs covering only part of the class: untouched members keep id *)
+  let p = Partition.trivial 5 in
+  let ids = Partition.split_runs p 0 ~members:[| 3; 4 |] ~bounds:[| 0; 2 |] ~nruns:1 in
+  Alcotest.(check int) "two classes" 2 (Partition.num_classes p);
+  Alcotest.(check int) "untouched keep id 0" 0 (Partition.class_of p 0);
+  Alcotest.(check int) "0 with 1" (Partition.class_of p 0) (Partition.class_of p 1);
+  (match ids with
+  | [ old_id; fresh ] ->
+      Alcotest.(check int) "parent id first" 0 old_id;
+      Alcotest.(check int) "moved members in fresh class" fresh (Partition.class_of p 3);
+      Alcotest.(check int) "3 with 4" (Partition.class_of p 3) (Partition.class_of p 4)
+  | _ -> Alcotest.fail "expected [parent; fresh]")
+
+(* ---- worklist bookkeeping / stats instrumentation ---- *)
+
+let test_stats_all_discrete () =
+  (* Discrete initial partition: nothing to split; every class is passed
+     over as a splitter exactly once and no blocks are created. *)
+  let n = 7 in
+  let spec = graph_spec [ (0, 1); (1, 2); (2, 3) ] n in
+  let stats = Refiner.create_stats () in
+  let result = Refiner.comp_lumping ~stats spec ~initial:(Partition.discrete n) in
+  Alcotest.(check int) "still discrete" n (Partition.num_classes result);
+  Alcotest.(check int) "no splits" 0 stats.Refiner.splits;
+  Alcotest.(check int) "no blocks created" 0 stats.Refiner.blocks_created;
+  Alcotest.(check int) "one pass per initial class" n stats.Refiner.splitter_passes
+
+let test_stats_giant_class () =
+  (* One giant class refined to the bisimulation fixed point; block
+     accounting must balance: final = initial + blocks_created. *)
+  let edges = [ (0, 1); (1, 2); (3, 4); (4, 2) ] in
+  let spec = graph_spec edges 5 in
+  let stats = Refiner.create_stats () in
+  let result = Refiner.comp_lumping ~stats spec ~initial:(Partition.trivial 5) in
+  Alcotest.(check int) "blocks_created = final - initial"
+    (Partition.num_classes result - 1)
+    stats.Refiner.blocks_created;
+  Alcotest.(check bool) "some splits happened" true (stats.Refiner.splits > 0);
+  Alcotest.(check bool) "splits <= blocks created" true
+    (stats.Refiner.splits <= stats.Refiner.blocks_created);
+  Alcotest.(check bool) "wall time recorded" true (stats.Refiner.wall_s >= 0.0)
+
+let test_stats_singleton_mixed () =
+  (* Singletons mixed with a large class; largest-block skips only make
+     sense once a settled class splits. *)
+  let n = 8 in
+  let edges = [ (2, 0); (3, 0); (4, 1); (5, 1); (6, 0); (6, 1); (7, 0); (7, 1) ] in
+  let spec = graph_spec edges n in
+  let initial = Partition.of_class_assignment [| 1; 2; 0; 0; 0; 0; 0; 0 |] in
+  let stats = Refiner.create_stats () in
+  let result = Refiner.comp_lumping ~stats spec ~initial in
+  Alcotest.(check bool) "stable" true (Refiner.is_stable spec result);
+  Alcotest.(check int) "blocks_created = final - initial"
+    (Partition.num_classes result - Partition.num_classes initial)
+    stats.Refiner.blocks_created;
+  (* classes: {0} {1} {2,3} {4,5} {6,7} *)
+  Alcotest.(check int) "fixed point" 5 (Partition.num_classes result);
+  Alcotest.(check bool) "key evaluations counted" true (stats.Refiner.key_evals > 0)
+
+let test_add_stats () =
+  let a = Refiner.create_stats () in
+  let b = Refiner.create_stats () in
+  a.Refiner.splits <- 2;
+  a.Refiner.wall_s <- 0.5;
+  b.Refiner.splits <- 3;
+  b.Refiner.key_evals <- 7;
+  b.Refiner.wall_s <- 0.25;
+  Refiner.add_stats a b;
+  Alcotest.(check int) "splits summed" 5 a.Refiner.splits;
+  Alcotest.(check int) "key_evals summed" 7 a.Refiner.key_evals;
+  Alcotest.(check (float 1e-9)) "wall summed" 0.75 a.Refiner.wall_s
+
+(* ---- differential: in-place engine vs the preserved seed engine ---- *)
+
+module Refiner_reference = Mdl_partition.Refiner_reference
+
+let test_differential_oracle_chains () =
+  (* Oracle-generated flat chains through the real float-keyed spec. *)
+  List.iter
+    (fun (states, extra, planted, seed) ->
+      let c = { Mdl_oracle.Spec.states; extra; planted; seed } in
+      let r = Mdl_oracle.Gen_chain.rate_matrix (Mdl_util.Prng.of_seed seed) c in
+      List.iter
+        (fun mode ->
+          let spec = Mdl_lumping.State_lumping.refiner_spec mode r in
+          let initial =
+            match mode with
+            | Mdl_lumping.State_lumping.Ordinary -> Partition.trivial states
+            | Mdl_lumping.State_lumping.Exact ->
+                Partition.group_by states
+                  (fun s -> Mdl_util.Floatx.quantize (Mdl_sparse.Csr.row_sum r s))
+                  Float.compare
+          in
+          let p_ref = Refiner_reference.comp_lumping spec ~initial in
+          let p_new = Refiner.comp_lumping spec ~initial in
+          Alcotest.check partition_testable
+            (Printf.sprintf "chain n=%d seed=%d same fixed point" states seed)
+            p_ref p_new;
+          Alcotest.(check bool) "stable" true (Refiner.is_stable spec p_new))
+        [ Mdl_lumping.State_lumping.Ordinary; Mdl_lumping.State_lumping.Exact ])
+    [ (20, 40, true, 3); (40, 120, true, 17); (60, 200, false, 23); (80, 0, true, 5) ]
+
+let qcheck_differential =
+  let open QCheck in
+  let gen_graph =
+    Gen.(
+      let* n = int_range 2 14 in
+      let+ edges =
+        list_size (int_range 0 30) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+      in
+      (n, edges))
+  in
+  let arb_graph =
+    make
+      ~print:(fun (n, e) ->
+        Printf.sprintf "n=%d %s" n
+          (String.concat ";" (List.map (fun (u, v) -> Printf.sprintf "%d->%d" u v) e)))
+      gen_graph
+  in
+  [
+    Test.make ~count:300 ~name:"in-place engine matches seed engine on random graphs"
+      arb_graph (fun (n, edges) ->
+        let spec = graph_spec edges n in
+        let initial = Partition.group_by n (fun i -> i mod 3) compare in
+        let p_ref = Refiner_reference.comp_lumping spec ~initial in
+        let p_new = Refiner.comp_lumping spec ~initial in
+        Partition.equal p_ref p_new
+        && Refiner.is_stable spec p_new
+        && Partition.is_refinement_of p_new initial);
+  ]
+
 let qcheck_tests =
   let open QCheck in
   let gen_assignment =
@@ -180,5 +348,13 @@ let tests =
     Alcotest.test_case "refiner bisimulation-like" `Quick test_refiner_bisimulation_like;
     Alcotest.test_case "refiner respects initial" `Quick test_refiner_respects_initial;
     Alcotest.test_case "refiner size mismatch" `Quick test_refiner_size_mismatch;
+    Alcotest.test_case "view/iter_class" `Quick test_view_iter_class;
+    Alcotest.test_case "split_runs" `Quick test_split_runs;
+    Alcotest.test_case "split_runs partial cover" `Quick test_split_runs_partial;
+    Alcotest.test_case "stats: all-discrete initial" `Quick test_stats_all_discrete;
+    Alcotest.test_case "stats: one giant class" `Quick test_stats_giant_class;
+    Alcotest.test_case "stats: singletons + large class" `Quick test_stats_singleton_mixed;
+    Alcotest.test_case "stats: add_stats" `Quick test_add_stats;
+    Alcotest.test_case "differential: oracle chains" `Quick test_differential_oracle_chains;
   ]
-  @ List.map QCheck_alcotest.to_alcotest qcheck_tests
+  @ List.map QCheck_alcotest.to_alcotest (qcheck_tests @ qcheck_differential)

@@ -55,6 +55,78 @@ let test_floatx_approx () =
   Alcotest.(check int) "compare eq" 0 (Floatx.compare_approx 2.0 (2.0 +. 1e-13));
   Alcotest.(check bool) "compare lt" true (Floatx.compare_approx 1.0 2.0 < 0)
 
+let test_floatx_quantize () =
+  (* same bucket -> identical representative (bucket equality is
+     transitive, unlike compare_approx) *)
+  Alcotest.(check (float 0.0)) "close values identical" (Floatx.quantize 1.0)
+    (Floatx.quantize (1.0 +. 1e-12));
+  Alcotest.(check bool) "distant values differ" true
+    (Floatx.quantize 1.0 <> Floatx.quantize 1.001);
+  Alcotest.(check (float 0.0)) "negative zero merged" (Floatx.quantize 0.0)
+    (Floatx.quantize (-0.0));
+  Alcotest.(check bool) "plus zero positive sign" true
+    (1.0 /. Floatx.quantize (-0.0) > 0.0);
+  Alcotest.(check (float 0.0)) "idempotent" (Floatx.quantize 2.5)
+    (Floatx.quantize (Floatx.quantize 2.5));
+  (* overflow-of-the-grid passthrough *)
+  Alcotest.(check (float 0.0)) "huge value passes through" Float.max_float
+    (Floatx.quantize Float.max_float);
+  Alcotest.(check bool) "infinity passes through" true
+    (Floatx.quantize Float.infinity = Float.infinity);
+  (* explicit eps *)
+  Alcotest.(check (float 0.0)) "eps grid" 1.5 (Floatx.quantize ~eps:0.5 1.4)
+
+let test_timer_monotonic () =
+  let t = Mdl_util.Timer.start () in
+  let x = ref 0 in
+  for i = 1 to 100_000 do
+    x := !x + i
+  done;
+  let e1 = Mdl_util.Timer.elapsed_s t in
+  Alcotest.(check bool) "elapsed non-negative" true (e1 >= 0.0);
+  let e2 = Mdl_util.Timer.elapsed_s t in
+  Alcotest.(check bool) "elapsed non-decreasing" true (e2 >= e1);
+  let r, s = Mdl_util.Timer.time (fun () -> !x) in
+  Alcotest.(check bool) "time returns result" true (r > 0);
+  Alcotest.(check bool) "time non-negative" true (s >= 0.0)
+
+let test_dynarray_no_leak () =
+  (* pop and clear must drop references to the stored elements so the GC
+     can collect them (the slots are junk-filled / released) *)
+  let t = Dynarray.create () in
+  let w = Weak.create 2 in
+  Dynarray.push t (Bytes.create 16);
+  Dynarray.push t (Bytes.create 16);
+  Weak.set w 0 (Some (Dynarray.get t 0));
+  Weak.set w 1 (Some (Dynarray.get t 1));
+  ignore (Sys.opaque_identity (Dynarray.pop t));
+  Gc.full_major ();
+  Alcotest.(check bool) "popped element collectable" true (Weak.get w 1 = None);
+  Alcotest.(check bool) "remaining element alive" true (Weak.get w 0 <> None);
+  Dynarray.clear t;
+  Gc.full_major ();
+  Alcotest.(check bool) "cleared elements collectable" true (Weak.get w 0 = None);
+  Alcotest.(check int) "cleared length" 0 (Dynarray.length t);
+  (* still usable after clear *)
+  Dynarray.push t (Bytes.create 16);
+  Alcotest.(check int) "push after clear" 1 (Dynarray.length t)
+
+let test_sortx () =
+  let n = 200 in
+  let g = Prng.of_seed 99 in
+  let keys = Array.init n (fun _ -> Prng.int g 20) in
+  let idx = Array.init n (fun i -> i) in
+  Mdl_util.Sortx.sort_by (fun a b -> compare keys.(a) keys.(b)) idx;
+  for i = 1 to n - 1 do
+    let a = idx.(i - 1) and b = idx.(i) in
+    if keys.(a) > keys.(b) then Alcotest.fail "not sorted";
+    (* stability: equal keys keep original order *)
+    if keys.(a) = keys.(b) && a > b then Alcotest.fail "not stable"
+  done;
+  let empty = [||] in
+  Mdl_util.Sortx.sort_by compare empty;
+  Alcotest.(check (array int)) "empty ok" [||] empty
+
 let test_kahan () =
   let a = Array.make 10_000 0.1 in
   Alcotest.(check bool) "kahan sum" true
@@ -139,6 +211,10 @@ let tests =
     Alcotest.test_case "dynarray sort" `Quick test_dynarray_sort;
     Alcotest.test_case "dynarray iterators" `Quick test_dynarray_iterators;
     Alcotest.test_case "floatx approx" `Quick test_floatx_approx;
+    Alcotest.test_case "floatx quantize" `Quick test_floatx_quantize;
+    Alcotest.test_case "timer monotonic" `Quick test_timer_monotonic;
+    Alcotest.test_case "dynarray no space leak" `Quick test_dynarray_no_leak;
+    Alcotest.test_case "sortx stable sort" `Quick test_sortx;
     Alcotest.test_case "kahan summation" `Quick test_kahan;
     Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
     Alcotest.test_case "prng split" `Quick test_prng_split_independent;
