@@ -1,12 +1,20 @@
-(* Head-to-head benchmark of the partition-refinement engines: the
-   seed's list-based [Refiner_reference] against the in-place
-   [Refiner] core, on the tandem model (flattened to CSR) and on
-   oracle-generated flat chains.
+(* Benchmark of the partition-refinement key pipelines.
 
-   Each scenario runs both engines, checks that they compute the same
-   fixed point (Partition.equal), takes the min wall time over a few
-   repeats, and records the new engine's instrumentation counters.
-   Results go to BENCH_refine.json.
+   Flat scenarios race three engines on the same spec — the seed's
+   list-based [Refiner_reference], the in-place core through the generic
+   closure pipeline, and the monomorphic float pipeline — check that all
+   three compute the same fixed point, and fail if the float pipeline
+   does not beat the generic one (or the in-place core regresses against
+   the seed).
+
+   Multi-level scenarios time [Compositional.lump] end to end (per-level
+   initial partitions, fixed-point refinement through the interned-key
+   pipeline, diagram rebuild) against the same run forced through the
+   generic pipeline, checking both produce identical partitions.
+
+   Every scenario records the refiner's per-pipeline counters.  Results
+   go to BENCH_refine.json (schema checked by
+   scripts/check_bench_schema.py in CI).
 
    Usage: dune exec bench/refine.exe [-- --smoke] [-- --out FILE] *)
 
@@ -14,23 +22,31 @@ module Partition = Mdl_partition.Partition
 module Refiner = Mdl_partition.Refiner
 module Refiner_reference = Mdl_partition.Refiner_reference
 module State_lumping = Mdl_lumping.State_lumping
+module Compositional = Mdl_core.Compositional
 module Spec = Mdl_oracle.Spec
 module Gen_chain = Mdl_oracle.Gen_chain
 
-type scenario = {
+type flat_scenario = {
   name : string;
   states : int;
   nnz : int;
   spec : float Refiner.spec;
+  fspec : Refiner.float_spec;
   initial : Partition.t;
 }
 
+type multilevel_scenario = {
+  ml_name : string;
+  md : Mdl_md.Md.t;
+  statespace : Mdl_md.Statespace.t;
+  rewards : Mdl_core.Decomposed.t list;
+  ml_initial : Mdl_core.Decomposed.t;
+}
+
 type outcome = {
-  scenario : scenario;
-  classes : int;
-  ref_s : float;
-  new_s : float;
-  stats : Refiner.stats;
+  json : string;
+  o_name : string;
+  regression : string option;
 }
 
 let min_time ~repeats f =
@@ -43,6 +59,28 @@ let min_time ~repeats f =
   done;
   (Option.get !out, !best)
 
+let stats_json s =
+  Printf.sprintf
+    {|"stats": {
+        "splitter_passes": %d,
+        "key_evals": %d,
+        "splits": %d,
+        "blocks_created": %d,
+        "largest_skips": %d,
+        "float_passes": %d,
+        "interned_passes": %d,
+        "counting_sort_passes": %d,
+        "fallback_passes": %d,
+        "intern_keys": %d,
+        "wall_s": %.6f
+      }|}
+    s.Refiner.splitter_passes s.Refiner.key_evals s.Refiner.splits
+    s.Refiner.blocks_created s.Refiner.largest_skips s.Refiner.float_passes
+    s.Refiner.interned_passes s.Refiner.counting_sort_passes s.Refiner.fallback_passes
+    s.Refiner.intern_keys s.Refiner.wall_s
+
+(* ---- flat scenarios ---- *)
+
 let chain_scenario ~name (c : Spec.chain) =
   let r = Gen_chain.rate_matrix (Mdl_util.Prng.of_seed c.Spec.seed) c in
   let n = Mdl_sparse.Csr.rows r in
@@ -51,10 +89,11 @@ let chain_scenario ~name (c : Spec.chain) =
     states = n;
     nnz = Mdl_sparse.Csr.nnz r;
     spec = State_lumping.refiner_spec Ordinary r;
+    fspec = State_lumping.float_spec Ordinary r;
     initial = Partition.trivial n;
   }
 
-let tandem_scenario ~name ~jobs ~hyper_dim =
+let tandem_flat_scenario ~name ~jobs ~hyper_dim =
   let p = { (Mdl_models.Tandem.default ~jobs) with hyper_dim } in
   let b = Mdl_models.Tandem.build p in
   let ss = b.Mdl_models.Tandem.exploration.Mdl_san.Model.statespace in
@@ -73,62 +112,138 @@ let tandem_scenario ~name ~jobs ~hyper_dim =
     states = n;
     nnz = Mdl_sparse.Csr.nnz r;
     spec = State_lumping.refiner_spec Ordinary r;
+    fspec = State_lumping.float_spec Ordinary r;
     initial;
   }
 
-let run_scenario ~repeats sc =
+let run_flat ~repeats sc =
   Printf.printf "%-24s %7d states %8d nnz ... %!" sc.name sc.states sc.nnz;
   let p_ref, ref_s =
     min_time ~repeats (fun () ->
         Refiner_reference.comp_lumping sc.spec ~initial:sc.initial)
   in
-  let stats = Refiner.create_stats () in
-  let p_new, new_s =
-    min_time ~repeats (fun () ->
-        let s = Refiner.create_stats () in
-        let p = Refiner.comp_lumping ~stats:s sc.spec ~initial:sc.initial in
-        Refiner.add_stats stats s;
-        p)
+  let p_gen, generic_s =
+    min_time ~repeats (fun () -> Refiner.comp_lumping sc.spec ~initial:sc.initial)
   in
-  if not (Partition.equal p_ref p_new) then (
-    Printf.printf "ENGINES DISAGREE\n";
-    Printf.eprintf "FATAL: %s: reference and in-place engines disagree\n" sc.name;
-    exit 1);
-  (* add_stats ran once per repeat; report a single run's counters *)
-  let d v = v / repeats in
-  stats.Refiner.splitter_passes <- d stats.Refiner.splitter_passes;
-  stats.Refiner.key_evals <- d stats.Refiner.key_evals;
-  stats.Refiner.splits <- d stats.Refiner.splits;
-  stats.Refiner.blocks_created <- d stats.Refiner.blocks_created;
-  stats.Refiner.largest_skips <- d stats.Refiner.largest_skips;
-  stats.Refiner.wall_s <- stats.Refiner.wall_s /. float_of_int repeats;
-  Printf.printf "%d classes  seed %.4fs  new %.4fs  (%.2fx)\n" (Partition.num_classes p_new)
-    ref_s new_s (ref_s /. new_s);
-  { scenario = sc; classes = Partition.num_classes p_new; ref_s; new_s; stats }
-
-let json_of_outcome o =
-  Printf.sprintf
-    {|    {
+  let p_flt, float_s =
+    min_time ~repeats (fun () ->
+        Refiner.comp_lumping_float sc.fspec ~initial:sc.initial)
+  in
+  if not (Partition.equal p_ref p_gen && Partition.equal p_gen p_flt) then begin
+    Printf.printf "PIPELINES DISAGREE\n";
+    Printf.eprintf "FATAL: %s: pipelines compute different fixed points\n" sc.name;
+    exit 1
+  end;
+  (* One instrumented run (outside the timing loop) for the counters. *)
+  let stats = Refiner.create_stats () in
+  ignore (Refiner.comp_lumping_float ~stats sc.fspec ~initial:sc.initial);
+  Printf.printf "%d classes  seed %.4fs  generic %.4fs  float %.4fs  (%.2fx vs generic)\n"
+    (Partition.num_classes p_flt) ref_s generic_s float_s (generic_s /. float_s);
+  let json =
+    Printf.sprintf
+      {|    {
+      "kind": "flat",
       "name": "%s",
       "states": %d,
       "nnz": %d,
       "classes": %d,
       "ref_s": %.6f,
-      "new_s": %.6f,
-      "speedup": %.3f,
-      "stats": {
-        "splitter_passes": %d,
-        "key_evals": %d,
-        "splits": %d,
-        "blocks_created": %d,
-        "largest_skips": %d,
-        "wall_s": %.6f
-      }
+      "generic_s": %.6f,
+      "float_s": %.6f,
+      "speedup_vs_ref": %.3f,
+      "speedup_vs_generic": %.3f,
+      %s
     }|}
-    o.scenario.name o.scenario.states o.scenario.nnz o.classes o.ref_s o.new_s
-    (o.ref_s /. o.new_s) o.stats.Refiner.splitter_passes o.stats.Refiner.key_evals
-    o.stats.Refiner.splits o.stats.Refiner.blocks_created
-    o.stats.Refiner.largest_skips o.stats.Refiner.wall_s
+      sc.name sc.states sc.nnz (Partition.num_classes p_flt) ref_s generic_s float_s
+      (ref_s /. float_s) (generic_s /. float_s) (stats_json stats)
+  in
+  let regression =
+    if generic_s > ref_s *. 1.05 then
+      Some
+        (Printf.sprintf "%s: in-place generic core slower than seed (%.4fs vs %.4fs)"
+           sc.name generic_s ref_s)
+    else if float_s > generic_s then
+      Some
+        (Printf.sprintf "%s: float pipeline slower than generic (%.4fs vs %.4fs)" sc.name
+           float_s generic_s)
+    else None
+  in
+  { json; o_name = sc.name; regression }
+
+(* ---- multi-level end-to-end scenarios ---- *)
+
+let tandem_ml_scenario ~name ~jobs ~hyper_dim =
+  let p = { (Mdl_models.Tandem.default ~jobs) with hyper_dim } in
+  let b = Mdl_models.Tandem.build p in
+  {
+    ml_name = name;
+    md = b.Mdl_models.Tandem.md;
+    statespace = b.Mdl_models.Tandem.exploration.Mdl_san.Model.statespace;
+    rewards =
+      [ b.Mdl_models.Tandem.rewards_availability; b.Mdl_models.Tandem.rewards_msmq_jobs ];
+    ml_initial = b.Mdl_models.Tandem.initial;
+  }
+
+let kanban_ml_scenario ~name ~cards =
+  let b = Mdl_models.Kanban.build (Mdl_models.Kanban.default ~cards) in
+  {
+    ml_name = name;
+    md = b.Mdl_models.Kanban.md;
+    statespace = b.Mdl_models.Kanban.exploration.Mdl_san.Model.statespace;
+    rewards = [ b.Mdl_models.Kanban.rewards_in_system ];
+    ml_initial = b.Mdl_models.Kanban.initial;
+  }
+
+let run_multilevel ~repeats sc =
+  let states = Mdl_md.Statespace.size sc.statespace in
+  Printf.printf "%-24s %7d states %8d levels .. %!" sc.ml_name states
+    (Mdl_md.Md.levels sc.md);
+  let lump ~specialised () =
+    Compositional.lump ~specialised Mdl_lumping.State_lumping.Ordinary sc.md
+      ~rewards:sc.rewards ~initial:sc.ml_initial
+  in
+  (* End-to-end: initial partitions + refinement + diagram rebuild. *)
+  let r_gen, generic_s = min_time ~repeats (lump ~specialised:false) in
+  let r_spec, specialised_s = min_time ~repeats (lump ~specialised:true) in
+  let same =
+    Array.length r_gen.Compositional.partitions
+    = Array.length r_spec.Compositional.partitions
+    && Array.for_all2 Partition.equal r_gen.Compositional.partitions
+         r_spec.Compositional.partitions
+  in
+  if not same then begin
+    Printf.printf "PIPELINES DISAGREE\n";
+    Printf.eprintf "FATAL: %s: specialised and generic lump partitions differ\n"
+      sc.ml_name;
+    exit 1
+  end;
+  let stats = Refiner.create_stats () in
+  ignore
+    (Compositional.lump ~specialised:true ~stats Mdl_lumping.State_lumping.Ordinary sc.md
+       ~rewards:sc.rewards ~initial:sc.ml_initial);
+  let lumped_states =
+    Mdl_md.Statespace.size
+      (Compositional.lump_statespace r_spec sc.statespace)
+  in
+  Printf.printf "%d lumped  generic %.4fs  interned %.4fs  (%.2fx end-to-end)\n"
+    lumped_states generic_s specialised_s (generic_s /. specialised_s);
+  let json =
+    Printf.sprintf
+      {|    {
+      "kind": "multilevel",
+      "name": "%s",
+      "states": %d,
+      "levels": %d,
+      "lumped_states": %d,
+      "generic_s": %.6f,
+      "specialised_s": %.6f,
+      "speedup_vs_generic": %.3f,
+      %s
+    }|}
+      sc.ml_name states (Mdl_md.Md.levels sc.md) lumped_states generic_s specialised_s
+      (generic_s /. specialised_s) (stats_json stats)
+  in
+  { json; o_name = sc.ml_name; regression = None }
 
 let () =
   let smoke = ref false in
@@ -143,34 +258,38 @@ let () =
   let chain ~name states extra planted seed =
     chain_scenario ~name { Spec.states; extra; planted; seed }
   in
-  let scenarios =
+  let flat, multilevel =
     if !smoke then
-      [
-        tandem_scenario ~name:"tandem-j1-d2" ~jobs:1 ~hyper_dim:2;
-        chain ~name:"chain-300-planted" 300 1_200 true 7;
-        chain ~name:"chain-600-planted" 600 2_400 true 11;
-      ]
+      ( [
+          tandem_flat_scenario ~name:"tandem-j1-d2" ~jobs:1 ~hyper_dim:2;
+          chain ~name:"chain-300-planted" 300 1_200 true 7;
+          chain ~name:"chain-600-planted" 600 2_400 true 11;
+        ],
+        [ tandem_ml_scenario ~name:"lump-tandem-j1-d2" ~jobs:1 ~hyper_dim:2 ] )
     else
-      [
-        tandem_scenario ~name:"tandem-j1-d2" ~jobs:1 ~hyper_dim:2;
-        tandem_scenario ~name:"tandem-j1-d3" ~jobs:1 ~hyper_dim:3;
-        chain ~name:"chain-500-planted" 500 2_000 true 7;
-        chain ~name:"chain-1500-plain" 1_500 6_000 false 13;
-        chain ~name:"chain-3000-planted" 3_000 12_000 true 42;
-      ]
+      ( [
+          tandem_flat_scenario ~name:"tandem-j1-d2" ~jobs:1 ~hyper_dim:2;
+          tandem_flat_scenario ~name:"tandem-j1-d3" ~jobs:1 ~hyper_dim:3;
+          chain ~name:"chain-500-planted" 500 2_000 true 7;
+          chain ~name:"chain-1500-plain" 1_500 6_000 false 13;
+          chain ~name:"chain-3000-planted" 3_000 12_000 true 42;
+        ],
+        [
+          tandem_ml_scenario ~name:"lump-tandem-j1-d3" ~jobs:1 ~hyper_dim:3;
+          kanban_ml_scenario ~name:"lump-kanban-n2" ~cards:2;
+        ] )
   in
   let repeats = if !smoke then 2 else 3 in
-  let outcomes = List.map (run_scenario ~repeats) scenarios in
+  let outcomes =
+    List.map (run_flat ~repeats) flat @ List.map (run_multilevel ~repeats) multilevel
+  in
   let oc = open_out !out in
-  Printf.fprintf oc "{\n  \"bench\": \"refine\",\n  \"repeats\": %d,\n  \"scenarios\": [\n%s\n  ]\n}\n"
+  Printf.fprintf oc
+    "{\n  \"bench\": \"refine\",\n  \"repeats\": %d,\n  \"scenarios\": [\n%s\n  ]\n}\n"
     repeats
-    (String.concat ",\n" (List.map json_of_outcome outcomes));
+    (String.concat ",\n" (List.map (fun o -> o.json) outcomes));
   close_out oc;
   Printf.printf "wrote %s\n" !out;
-  let regressed = List.filter (fun o -> o.new_s > o.ref_s *. 1.05) outcomes in
-  List.iter
-    (fun o ->
-      Printf.eprintf "WARNING: %s: new core slower (%.4fs vs %.4fs)\n" o.scenario.name
-        o.new_s o.ref_s)
-    regressed;
+  let regressed = List.filter_map (fun o -> o.regression) outcomes in
+  List.iter (fun msg -> Printf.eprintf "WARNING: %s\n" msg) regressed;
   if regressed <> [] then exit 1

@@ -96,7 +96,8 @@ let setup_logging verbose =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
 
-let run inst mode key solve check_optimal dot_file export_file merge_level show_stats =
+let run inst mode key solve check_optimal dot_file export_file merge_level show_stats
+    generic_refiner =
   Printf.printf "model: %s\n" inst.name;
   (* Optional level merging before lumping (exposes cross-level
      symmetries at the price of a bigger level; reward measures are not
@@ -135,7 +136,8 @@ let run inst mode key solve check_optimal dot_file export_file merge_level show_
           | [] -> [ Decomposed.constant ~sizes:(Mdl_md.Md.sizes inst.md) 1.0 ]
           | l -> List.map snd l
         in
-        Compositional.lump ~key ~stats:refine_stats mode inst.md ~rewards
+        Compositional.lump ~key ~stats:refine_stats
+          ~specialised:(not generic_refiner) mode inst.md ~rewards
           ~initial:inst.initial)
   in
   Array.iteri
@@ -156,7 +158,13 @@ let run inst mode key solve check_optimal dot_file export_file merge_level show_
        created, %d largest-block skips, %.4f s refinement\n"
       s.Mdl_partition.Refiner.splitter_passes s.Mdl_partition.Refiner.key_evals
       s.Mdl_partition.Refiner.splits s.Mdl_partition.Refiner.blocks_created
-      s.Mdl_partition.Refiner.largest_skips s.Mdl_partition.Refiner.wall_s
+      s.Mdl_partition.Refiner.largest_skips s.Mdl_partition.Refiner.wall_s;
+    Printf.printf
+      "refiner pipelines: %d float-path passes, %d interned-key passes (%d counting \
+       sorted), %d generic fallback passes, %d max interned alphabet\n"
+      s.Mdl_partition.Refiner.float_passes s.Mdl_partition.Refiner.interned_passes
+      s.Mdl_partition.Refiner.counting_sort_passes
+      s.Mdl_partition.Refiner.fallback_passes s.Mdl_partition.Refiner.intern_keys
   end;
   let closed = Compositional.is_closed result ss in
   if not closed then print_endline "WARNING: reachable set not class-closed";
@@ -213,7 +221,9 @@ let run inst mode key solve check_optimal dot_file export_file merge_level show_
       in
       let further =
         match mode with
-        | State_lumping.Ordinary -> State_lumping.coarsest Ordinary flat ~initial:initial_p
+        | State_lumping.Ordinary ->
+            State_lumping.coarsest ~generic:generic_refiner Ordinary flat
+              ~initial:initial_p
         | State_lumping.Exact ->
             let exit_p =
               Partition.group_by n
@@ -221,7 +231,7 @@ let run inst mode key solve check_optimal dot_file export_file merge_level show_
                 Float.compare
             in
             ignore initial_p;
-            State_lumping.coarsest Exact flat ~initial:exit_p
+            State_lumping.coarsest ~generic:generic_refiner Exact flat ~initial:exit_p
       in
       Printf.printf "state-level lumping of the lumped chain: %d -> %d classes%s\n" n
         (Partition.num_classes further)
@@ -253,7 +263,12 @@ let solve_arg = Arg.(value & flag & info [ "solve" ] ~doc:"Solve the lumped chai
 let stats_arg =
   Arg.(value & flag
        & info [ "stats" ]
-           ~doc:"Print aggregated partition-refinement counters (splitter passes, key evaluations, splits, blocks created, largest-block skips, refinement wall time).")
+           ~doc:"Print aggregated partition-refinement counters (splitter passes, key evaluations, splits, blocks created, largest-block skips, refinement wall time) and the per-pipeline breakdown (float-path / interned-key / counting-sort / generic-fallback passes, max interned alphabet).")
+
+let generic_refiner_arg =
+  Arg.(value & flag
+       & info [ "generic-refiner" ]
+           ~doc:"Refine through the generic closure-based key pipeline instead of the specialised (interned-key / float) pipelines. Same partitions, slower; for comparison and debugging.")
 
 let check_arg =
   Arg.(value & flag & info [ "check-optimal" ] ~doc:"Run flat state-level lumping on the lumped chain (Section 5's optimality check).")
@@ -279,71 +294,71 @@ let tandem_cmd =
   let hdim = Arg.(value & opt int 3 & info [ "hyper-dim" ] ~doc:"Hypercube dimension (2^d servers).") in
   let ms = Arg.(value & opt int 3 & info [ "msmq-servers" ] ~doc:"MSMQ servers.") in
   let mq = Arg.(value & opt int 4 & info [ "msmq-queues" ] ~doc:"MSMQ queues.") in
-  let f jobs hdim ms mq mode key solve check dot export merge stats verbose =
+  let f jobs hdim ms mq mode key solve check dot export merge stats generic verbose =
     setup_logging verbose;
-    run (build_tandem jobs hdim ms mq) mode key solve check dot export merge stats
+    run (build_tandem jobs hdim ms mq) mode key solve check dot export merge stats generic
   in
   Cmd.v
     (Cmd.info "tandem" ~doc:"The paper's tandem multi-processor system (Section 5).")
     Term.(
       const f $ jobs $ hdim $ ms $ mq $ mode_arg $ key_arg $ solve_arg $ check_arg
-      $ dot_arg $ export_arg $ merge_arg $ stats_arg $ verbose_arg)
+      $ dot_arg $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ verbose_arg)
 
 let polling_cmd =
   let customers =
     Arg.(value & opt int 4 & info [ "customers"; "c" ] ~doc:"Closed population.")
   in
-  let f customers mode key solve check dot export merge stats verbose =
+  let f customers mode key solve check dot export merge stats generic verbose =
     setup_logging verbose;
-    run (build_polling customers) mode key solve check dot export merge stats
+    run (build_polling customers) mode key solve check dot export merge stats generic
   in
   Cmd.v
     (Cmd.info "polling" ~doc:"The MSMQ polling station in isolation.")
     Term.(
       const f $ customers $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ stats_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ verbose_arg)
 
 let workstations_cmd =
   let stations =
     Arg.(value & opt int 4 & info [ "stations"; "n" ] ~doc:"Number of workstations.")
   in
-  let f stations mode key solve check dot export merge stats verbose =
+  let f stations mode key solve check dot export merge stats generic verbose =
     setup_logging verbose;
-    run (build_workstations stations) mode key solve check dot export merge stats
+    run (build_workstations stations) mode key solve check dot export merge stats generic
   in
   Cmd.v
     (Cmd.info "workstations" ~doc:"Replicated workstation cluster with a spare store.")
     Term.(
       const f $ stations $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ stats_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ verbose_arg)
 
 let multitier_cmd =
   let clients =
     Arg.(value & opt int 3 & info [ "clients"; "c" ] ~doc:"Closed population.")
   in
-  let f clients mode key solve check dot export merge stats verbose =
+  let f clients mode key solve check dot export merge stats generic verbose =
     setup_logging verbose;
-    run (build_multitier clients) mode key solve check dot export merge stats
+    run (build_multitier clients) mode key solve check dot export merge stats generic
   in
   Cmd.v
     (Cmd.info "multitier" ~doc:"Closed multi-tier service system (4-level MD).")
     Term.(
       const f $ clients $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ stats_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ verbose_arg)
 
 let kanban_cmd =
   let cards =
     Arg.(value & opt int 2 & info [ "cards"; "n" ] ~doc:"Kanban cards per cell.")
   in
-  let f cards mode key solve check dot export merge stats verbose =
+  let f cards mode key solve check dot export merge stats generic verbose =
     setup_logging verbose;
-    run (build_kanban cards) mode key solve check dot export merge stats
+    run (build_kanban cards) mode key solve check dot export merge stats generic
   in
   Cmd.v
     (Cmd.info "kanban" ~doc:"The Kanban manufacturing system (4-level MD benchmark).")
     Term.(
       const f $ cards $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ stats_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ verbose_arg)
 
 let main =
   Cmd.group

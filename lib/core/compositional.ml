@@ -68,7 +68,7 @@ let lump_with_partitions mode md partitions =
     partitions;
   { lumped = rebuild mode md partitions; partitions }
 
-let lump ?eps ?key ?stats mode md ~rewards ~initial =
+let lump ?eps ?key ?stats ?specialised mode md ~rewards ~initial =
   let partitions =
     Array.init (Md.levels md) (fun i ->
         let level = i + 1 in
@@ -78,8 +78,8 @@ let lump ?eps ?key ?stats mode md ~rewards ~initial =
         let level_stats = Mdl_partition.Refiner.create_stats () in
         let p, dt =
           Mdl_util.Timer.time (fun () ->
-              Level_lumping.comp_lumping_level ?eps ?key ~stats:level_stats mode md
-                ~level ~initial:p_ini)
+              Level_lumping.comp_lumping_level ?eps ?key ~stats:level_stats ?specialised
+                mode md ~level ~initial:p_ini)
         in
         Log.debug (fun m ->
             m "level %d: %d -> %d classes (P_ini %d) in %.3fs [refiner: %a]" level

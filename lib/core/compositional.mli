@@ -27,6 +27,7 @@ val lump :
   ?eps:float ->
   ?key:Local_key.choice ->
   ?stats:Mdl_partition.Refiner.stats ->
+  ?specialised:bool ->
   Mdl_lumping.State_lumping.mode ->
   Mdl_md.Md.t ->
   rewards:Decomposed.t list ->
@@ -36,6 +37,8 @@ val lump :
     decomposed [rewards] (ordinary — every listed reward function is
     protected and remains computable on the lumped chain) or [initial]
     (exact), per-level fixed-point refinement, then rebuild.
+    [specialised] (default [true]) selects the interned-key refinement
+    pipeline per level — see {!Level_lumping.comp_lumping_level}.
 
     Observability: each level's refinement counters and wall time are
     logged on the [mdl.lump] source at debug level; pass [stats] to

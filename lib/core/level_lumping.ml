@@ -17,7 +17,8 @@ let initial_partition ?eps mode md ~level ~rewards ~initial =
   (* Float factors are grouped by their quantized representative:
      [compare_approx] is not transitive, so using it as a group_by
      comparator makes the classes depend on the state order (see
-     {!Mdl_util.Floatx.quantize}). *)
+     {!Mdl_util.Floatx.quantize}).  Same for the formal-sum factors of
+     the exact branch: quantize the sums, compare exactly. *)
   let q = Floatx.quantize ?eps in
   match mode with
   | Mdl_lumping.State_lumping.Ordinary ->
@@ -28,35 +29,54 @@ let initial_partition ?eps mode md ~level ~rewards ~initial =
       let nodes = (Md.live_nodes md).(level - 1) in
       let key s =
         ( q (Decomposed.factor initial level s),
-          List.map (fun node -> full_row_sum md node s) nodes )
+          List.map (fun node -> Formal_sum.quantize ?eps (full_row_sum md node s)) nodes )
       in
       let cmp (f1, sums1) (f2, sums2) =
         let c = Float.compare f1 f2 in
-        if c <> 0 then c
-        else
-          List.compare (fun a b -> Formal_sum.compare_approx ?eps a b) sums1 sums2
+        if c <> 0 then c else List.compare Formal_sum.compare sums1 sums2
       in
       Partition.group_by n key cmp
 
+(* [splitter_keys] emits quantized canonical keys, so the generic spec
+   can compare exactly — and the interned spec below can hash-cons with
+   the structural equality, grouping exactly the same keys together. *)
 let node_spec ?eps ctx choice mode md node =
   {
     Refiner.size = Md.size md (Md.node_level md node);
-    key_compare = (fun a b -> Local_key.compare ?eps a b);
-    splitter_keys = (fun c -> Local_key.splitter_keys ctx choice mode node c);
+    key_compare = Local_key.compare_exact;
+    splitter_keys = (fun c -> Local_key.splitter_keys ?eps ctx choice mode node c);
   }
 
-let comp_lumping_level ?eps ?(key = Local_key.Formal_sums) ?stats mode md ~level ~initial =
+let node_interned_spec ?eps ctx choice mode md node ~table =
+  {
+    Refiner.isize = Md.size md (Md.node_level md node);
+    itable = table;
+    isplitter_keys = (fun c -> Local_key.splitter_keys ?eps ctx choice mode node c);
+  }
+
+let key_intern_table () =
+  Refiner.intern_table ~hash:Local_key.hash ~equal:Local_key.equal ()
+
+let comp_lumping_level ?eps ?(key = Local_key.Formal_sums) ?stats
+    ?(specialised = true) mode md ~level ~initial =
   check_level md level "comp_lumping_level";
   if Partition.size initial <> Md.size md level then
     invalid_arg "Level_lumping.comp_lumping_level: partition size mismatch";
   let nodes = (Md.live_nodes md).(level - 1) in
   let ctx = Local_key.make_context md in
-  let pass p =
-    List.fold_left
-      (fun p node ->
-        Refiner.comp_lumping ?stats (node_spec ?eps ctx key mode md node) ~initial:p)
-      p nodes
+  (* One interning table for the whole fixed point: cleared per splitter
+     pass but its storage persists across every per-node run, so steady
+     state allocates nothing for the table. *)
+  let table = if specialised then Some (key_intern_table ()) else None in
+  let refine node p =
+    match table with
+    | Some table ->
+        Refiner.comp_lumping_interned ?stats
+          (node_interned_spec ?eps ctx key mode md node ~table)
+          ~initial:p
+    | None -> Refiner.comp_lumping ?stats (node_spec ?eps ctx key mode md node) ~initial:p
   in
+  let pass p = List.fold_left (fun p node -> refine node p) p nodes in
   let rec fix p =
     let p' = pass p in
     if Partition.equal p p' then p' else fix p'

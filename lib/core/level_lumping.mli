@@ -28,6 +28,7 @@ val comp_lumping_level :
   ?eps:float ->
   ?key:Local_key.choice ->
   ?stats:Mdl_partition.Refiner.stats ->
+  ?specialised:bool ->
   Mdl_lumping.State_lumping.mode ->
   Mdl_md.Md.t ->
   level:int ->
@@ -39,7 +40,21 @@ val comp_lumping_level :
     possibly coarser partition.  [stats] accumulates the refinement
     engine's counters over every per-node run of the fixed point
     ({!Mdl_partition.Refiner.stats}).
+
+    [specialised] (default [true]) runs every per-node refinement
+    through the interned-key pipeline
+    ({!Mdl_partition.Refiner.comp_lumping_interned}), sharing one
+    {!Mdl_partition.Refiner.intern_table} across the whole fixed point;
+    [~specialised:false] forces the generic closure-based pipeline.
+    Both compute the same partition ({!Local_key.splitter_keys} emits
+    quantized canonical keys, on which structural equality {e is}
+    lumping-key equality — pinned by the differential tests).
     @raise Invalid_argument on a bad level or partition size mismatch. *)
+
+val key_intern_table : unit -> Local_key.t Mdl_partition.Refiner.intern_table
+(** A fresh interning table over {!Local_key.equal}/{!Local_key.hash} —
+    what [comp_lumping_level] shares across its fixed point.  Exposed
+    for the intern-table reuse tests. *)
 
 val is_locally_lumpable :
   ?eps:float ->

@@ -2,20 +2,26 @@ module Md = Mdl_md.Md
 module Formal_sum = Mdl_md.Formal_sum
 module Csr = Mdl_sparse.Csr
 module Coo = Mdl_sparse.Coo
+module Floatx = Mdl_util.Floatx
+module Hashx = Mdl_util.Hashx
 
 type choice = Formal_sums | Expanded_matrices
 
 type t = Sum of Formal_sum.t | Matrix of Csr.t
 
-let compare_matrices ?eps a b =
-  let c = compare (Csr.rows a) (Csr.rows b) in
+let quantize ?eps = function
+  | Sum s -> Sum (Formal_sum.quantize ?eps s)
+  | Matrix m -> Matrix (Csr.map (Floatx.quantize ?eps) m)
+
+let compare_matrices_exact a b =
+  let c = Int.compare (Csr.rows a) (Csr.rows b) in
   if c <> 0 then c
   else
-    let c = compare (Csr.cols a) (Csr.cols b) in
+    let c = Int.compare (Csr.cols a) (Csr.cols b) in
     if c <> 0 then c
     else begin
       (* Both matrices are in canonical (row-major sorted) form; compare
-         entry streams with tolerant values. *)
+         entry streams. *)
       let entries m =
         let acc = ref [] in
         Csr.iter (fun i j v -> acc := (i, j, v) :: !acc) m;
@@ -30,18 +36,30 @@ let compare_matrices ?eps a b =
             let c = compare (i1, j1) (i2, j2) in
             if c <> 0 then c
             else
-              let c = Mdl_util.Floatx.compare_approx ?eps v1 v2 in
+              let c = Float.compare v1 v2 in
               if c <> 0 then c else loop ra rb
       in
       loop (entries a) (entries b)
     end
 
-let compare ?eps a b =
+let compare_exact a b =
   match (a, b) with
-  | Sum sa, Sum sb -> Formal_sum.compare_approx ?eps sa sb
-  | Matrix ma, Matrix mb -> compare_matrices ?eps ma mb
+  | Sum sa, Sum sb -> Formal_sum.compare sa sb
+  | Matrix ma, Matrix mb -> compare_matrices_exact ma mb
   | Sum _, Matrix _ -> -1
   | Matrix _, Sum _ -> 1
+
+let compare ?eps a b = compare_exact (quantize ?eps a) (quantize ?eps b)
+
+let equal a b =
+  match (a, b) with
+  | Sum sa, Sum sb -> Formal_sum.equal sa sb
+  | Matrix ma, Matrix mb -> Csr.equal ma mb
+  | Sum _, Matrix _ | Matrix _, Sum _ -> false
+
+let hash = function
+  | Sum s -> Hashx.combine 1 (Formal_sum.hash s)
+  | Matrix m -> Hashx.combine 2 (Csr.hash m)
 
 type context = {
   md : Md.t;
@@ -95,7 +113,7 @@ let expand ctx sum =
         (Csr.scale w0 (flatten ctx child0))
         rest
 
-let splitter_keys ctx choice mode node c =
+let splitter_keys ?eps ctx choice mode node (perm, first, len) =
   (* Accumulate formal sums per touched state: over columns of the
      splitter for ordinary lumping (row sums R_n(s, C)), over rows for
      exact lumping (column sums R_n(C, s)). *)
@@ -106,21 +124,26 @@ let splitter_keys ctx choice mode node c =
   in
   (match mode with
   | Mdl_lumping.State_lumping.Ordinary ->
-      Array.iter
-        (fun col -> List.iter (fun (r, sum) -> touch r sum) (Md.node_col ctx.md node col))
-        c
+      for i = first to first + len - 1 do
+        List.iter (fun (r, sum) -> touch r sum) (Md.node_col ctx.md node perm.(i))
+      done
   | Mdl_lumping.State_lumping.Exact ->
-      Array.iter
-        (fun row -> List.iter (fun (cl, sum) -> touch cl sum) (Md.node_row ctx.md node row))
-        c);
+      for i = first to first + len - 1 do
+        List.iter (fun (cl, sum) -> touch cl sum) (Md.node_row ctx.md node perm.(i))
+      done);
+  (* Quantize at emission: every pipeline downstream (generic compare,
+     interning, reference engine) then sees the same canonical key, and
+     a sum whose coefficients all quantize away is dropped here exactly
+     like the implicit zero key of an untouched state. *)
   Hashtbl.fold
     (fun s sum l ->
+      let sum = Formal_sum.quantize ?eps sum in
       if Formal_sum.is_empty sum then l
       else
         let key =
           match choice with
           | Formal_sums -> Sum sum
-          | Expanded_matrices -> Matrix (expand ctx sum)
+          | Expanded_matrices -> Matrix (Csr.map (Floatx.quantize ?eps) (expand ctx sum))
         in
         (s, key) :: l)
     acc []

@@ -15,15 +15,53 @@
       the coarseness/time ablation (experiment P3 of DESIGN.md).
 
     Keys are row sums over a splitter class for ordinary lumping and
-    column sums for exact lumping (Definition 3 / Proposition 1). *)
+    column sums for exact lumping (Definition 3 / Proposition 1).
+
+    {b Quantization invariant.}  Tolerant float comparison
+    ({!Mdl_util.Floatx.compare_approx}) is not transitive, so it must
+    never decide how keys are grouped, sorted or interned — the classes
+    would depend on state order.  Instead, {!splitter_keys} quantizes
+    every coefficient (matrix entry) {e at emission} onto the
+    [Floatx.quantize] grid and re-canonicalises (coefficients that
+    quantize to zero drop out, a key that quantizes to the empty sum is
+    not emitted at all, matching the implicit zero key of untouched
+    states).  On such canonical keys the exact structural relations
+    {!compare_exact} / {!equal} / {!hash} agree with lumping-key
+    equality, which is what makes hash-consing keys to integer ranks
+    ({!Mdl_partition.Refiner.intern_table}) sound: two keys intern to
+    the same rank iff the generic pipeline's comparator calls them
+    equal. *)
 
 type choice = Formal_sums | Expanded_matrices
 
 type t
 (** A key value: either a formal sum or an expanded matrix. *)
 
+val quantize : ?eps:float -> t -> t
+(** Quantize all float content onto the tolerance grid and
+    re-canonicalise.  Keys returned by {!splitter_keys} are already
+    quantized; the function is idempotent. *)
+
+val compare_exact : t -> t -> int
+(** Exact structural total order ([Float.compare] on coefficients).  On
+    {!quantize}d keys, [compare_exact a b = 0] iff [a] and [b] are equal
+    as lumping keys — the comparator to use in refinement specs fed by
+    {!splitter_keys}. *)
+
 val compare : ?eps:float -> t -> t -> int
-(** Total order; [0] = equal as lumping keys. *)
+(** [compare_exact] of the {!quantize}d operands — a transitive total
+    order; [0] = equal as lumping keys.  (Kept for callers holding raw,
+    un-quantized keys; on {!splitter_keys} output it coincides with
+    {!compare_exact}.) *)
+
+val equal : t -> t -> bool
+(** Exact structural equality (bit-level floats); the interning equality.
+    Agrees with [compare_exact _ _ = 0] on canonical keys: zero
+    coefficients are never stored, and equal nonzero grid values are
+    bit-identical. *)
+
+val hash : t -> int
+(** Consistent with {!equal}. *)
 
 type context
 (** Per-diagram memoisation (expanded-matrix flattening cache). *)
@@ -31,13 +69,17 @@ type context
 val make_context : Mdl_md.Md.t -> context
 
 val splitter_keys :
+  ?eps:float ->
   context ->
   choice ->
   Mdl_lumping.State_lumping.mode ->
   Mdl_md.Md.node_id ->
-  int array ->
+  Mdl_partition.Refiner.slice ->
   (int * t) list
 (** [splitter_keys ctx choice mode node c] lists [(s, K(node, s, C))]
     for every level-local state [s] whose key w.r.t. splitter class [C]
-    is nonzero.  Ordinary mode sums the entries of columns [C] per row;
-    exact mode sums the entries of rows [C] per column. *)
+    (a zero-copy {!Mdl_partition.Refiner.slice} of its members) is
+    nonzero after quantization, with all float content quantized by
+    [eps] (default {!Mdl_util.Floatx.default_eps}).  Ordinary mode sums
+    the entries of columns [C] per row; exact mode sums the entries of
+    rows [C] per column. *)

@@ -9,15 +9,16 @@ type mode = Ordinary | Exact
    sum_{j in c} m(s, j) per state s, where [m] is R for exact keys over
    the transpose, or R^T for ordinary keys (columns of R).  [m] must be
    the matrix whose row [j] lists the states touched by member [j]. *)
-let class_sums m c =
+let class_sums m (perm, first, len) =
   let acc = Hashtbl.create 64 in
-  Array.iter
-    (fun j ->
-      Csr.iter_row m j (fun s v ->
-          let prev = Option.value ~default:0.0 (Hashtbl.find_opt acc s) in
-          Hashtbl.replace acc s (prev +. v)))
-    c;
+  for i = first to first + len - 1 do
+    Csr.iter_row m perm.(i) (fun s v ->
+        let prev = Option.value ~default:0.0 (Hashtbl.find_opt acc s) in
+        Hashtbl.replace acc s (prev +. v))
+  done;
   Hashtbl.fold (fun s v l -> if v <> 0.0 then (s, v) :: l else l) acc []
+
+let walk_matrix mode r = match mode with Ordinary -> Csr.transpose r | Exact -> r
 
 let refiner_spec ?eps mode r =
   if Csr.rows r <> Csr.cols r then invalid_arg "State_lumping.refiner_spec: not square";
@@ -27,7 +28,7 @@ let refiner_spec ?eps mode r =
      R(C, s); touched states are successors, rows of R itself.  Keys are
      grouped through the quantized representative — compare_approx is
      not transitive and must not order a sort (see {!Mdl_util.Floatx}). *)
-  let walk = match mode with Ordinary -> Csr.transpose r | Exact -> r in
+  let walk = walk_matrix mode r in
   {
     Refiner.size = Csr.rows r;
     key_compare =
@@ -35,9 +36,44 @@ let refiner_spec ?eps mode r =
     splitter_keys = (fun c -> class_sums walk c);
   }
 
-let coarsest ?eps ?stats mode r ~initial =
+let float_spec ?eps mode r =
+  if Csr.rows r <> Csr.cols r then invalid_arg "State_lumping.float_spec: not square";
+  let n = Csr.rows r in
+  let walk = walk_matrix mode r in
+  (* Accumulate splitter sums into dense per-state scratch instead of a
+     hashtable: [acc] holds running sums, [touched] the states hit this
+     pass.  Both are reset state-by-state after emission, so a pass
+     costs O(touched), not O(n).  The same drop rule as [class_sums]
+     applies (exact 0.0 sums are not emitted; the engine quantizes the
+     emitted keys inline). *)
+  let acc = Array.make n 0.0 in
+  let seen = Array.make n false in
+  let touched = Array.make n 0 in
+  let fsplitter_keys (perm, first, len) buf =
+    let nt = ref 0 in
+    for i = first to first + len - 1 do
+      Csr.iter_row walk perm.(i) (fun s v ->
+          if not seen.(s) then begin
+            seen.(s) <- true;
+            touched.(!nt) <- s;
+            incr nt
+          end;
+          acc.(s) <- acc.(s) +. v)
+    done;
+    for t = 0 to !nt - 1 do
+      let s = touched.(t) in
+      let v = acc.(s) in
+      if v <> 0.0 then Refiner.emit buf s v;
+      acc.(s) <- 0.0;
+      seen.(s) <- false
+    done
+  in
+  { Refiner.fsize = n; feps = eps; fsplitter_keys }
+
+let coarsest ?eps ?stats ?(generic = false) mode r ~initial =
   if Csr.rows r <> Csr.cols r then invalid_arg "State_lumping.coarsest: not square";
-  Refiner.comp_lumping ?stats (refiner_spec ?eps mode r) ~initial
+  if generic then Refiner.comp_lumping ?stats (refiner_spec ?eps mode r) ~initial
+  else Refiner.comp_lumping_float ?stats (float_spec ?eps mode r) ~initial
 
 let initial_partition ?eps mode mrp =
   let n = Mdl_ctmc.Mrp.size mrp in

@@ -78,6 +78,24 @@ let hash t =
     (fun h (n, c) -> Mdl_util.Hashx.combine (Mdl_util.Hashx.combine h n) (Mdl_util.Hashx.float c))
     (Array.length t) t
 
+let quantize ?eps t =
+  of_list (List.map (fun (n, c) -> (n, Mdl_util.Floatx.quantize ?eps c)) (terms t))
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec loop i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let n1, c1 = a.(i) and n2, c2 = b.(i) in
+      if n1 <> n2 then Stdlib.compare n1 n2
+      else
+        let c = Float.compare c1 c2 in
+        if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
 let compare_approx ?eps a b =
   let la = Array.length a and lb = Array.length b in
   let rec loop i =
@@ -86,7 +104,7 @@ let compare_approx ?eps a b =
     else if i >= lb then 1
     else
       let n1, c1 = a.(i) and n2, c2 = b.(i) in
-      if n1 <> n2 then compare n1 n2
+      if n1 <> n2 then Stdlib.compare n1 n2
       else
         let c = Mdl_util.Floatx.compare_approx ?eps c1 c2 in
         if c <> 0 then c else loop (i + 1)

@@ -48,9 +48,24 @@ val equal : t -> t -> bool
 
 val hash : t -> int
 
+val quantize : ?eps:float -> t -> t
+(** Snap every coefficient to its {!Mdl_util.Floatx.quantize} grid
+    representative (re-canonicalised: coefficients that quantize to [0.]
+    drop out).  Quantize-then-{!compare} is the transitive replacement
+    for {!compare_approx} wherever sums are grouped, sorted or interned. *)
+
+val compare : t -> t -> int
+(** Exact total order (term-lexicographic, [Float.compare] on
+    coefficients).  On {!quantize}d operands this agrees with {!equal}
+    as an equivalence: canonical form stores no zeros, so numerically
+    equal nonzero coefficients on the same grid are bit-identical. *)
+
 val compare_approx : ?eps:float -> t -> t -> int
 (** Total-order comparison with tolerant coefficient comparison; [0]
     means the sums are equal as lumping keys.  Sums with different
-    children sets never compare equal. *)
+    children sets never compare equal.  {b Not transitive} — never use
+    it to order a sort or group a partition; use
+    [compare (quantize a) (quantize b)] there (see
+    {!Mdl_util.Floatx.compare_approx}). *)
 
 val pp : Format.formatter -> t -> unit

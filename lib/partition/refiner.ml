@@ -1,11 +1,14 @@
 module Dynarray = Mdl_util.Dynarray
 module Sortx = Mdl_util.Sortx
 module Timer = Mdl_util.Timer
+module Floatx = Mdl_util.Floatx
+
+type slice = int array * int * int
 
 type 'k spec = {
   size : int;
   key_compare : 'k -> 'k -> int;
-  splitter_keys : int array -> (int * 'k) list;
+  splitter_keys : slice -> (int * 'k) list;
 }
 
 type stats = {
@@ -14,6 +17,11 @@ type stats = {
   mutable splits : int;
   mutable blocks_created : int;
   mutable largest_skips : int;
+  mutable float_passes : int;
+  mutable interned_passes : int;
+  mutable counting_sort_passes : int;
+  mutable fallback_passes : int;
+  mutable intern_keys : int;
   mutable wall_s : float;
 }
 
@@ -24,6 +32,11 @@ let create_stats () =
     splits = 0;
     blocks_created = 0;
     largest_skips = 0;
+    float_passes = 0;
+    interned_passes = 0;
+    counting_sort_passes = 0;
+    fallback_passes = 0;
+    intern_keys = 0;
     wall_s = 0.0;
   }
 
@@ -33,24 +46,47 @@ let add_stats dst src =
   dst.splits <- dst.splits + src.splits;
   dst.blocks_created <- dst.blocks_created + src.blocks_created;
   dst.largest_skips <- dst.largest_skips + src.largest_skips;
+  dst.float_passes <- dst.float_passes + src.float_passes;
+  dst.interned_passes <- dst.interned_passes + src.interned_passes;
+  dst.counting_sort_passes <- dst.counting_sort_passes + src.counting_sort_passes;
+  dst.fallback_passes <- dst.fallback_passes + src.fallback_passes;
+  dst.intern_keys <- max dst.intern_keys src.intern_keys;
   dst.wall_s <- dst.wall_s +. src.wall_s
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "passes %d, key evals %d, splits %d, blocks created %d, largest skips %d, %.4fs"
-    s.splitter_passes s.key_evals s.splits s.blocks_created s.largest_skips s.wall_s
+    "passes %d (float %d, interned %d [counting %d], generic %d), key evals %d, splits \
+     %d, blocks created %d, largest skips %d, intern alphabet %d, %.4fs"
+    s.splitter_passes s.float_passes s.interned_passes s.counting_sort_passes
+    s.fallback_passes s.key_evals s.splits s.blocks_created s.largest_skips
+    s.intern_keys s.wall_s
+
+(* One splitter pass's keyed states after sorting, shared by all three
+   pipelines: [pd_states]/[pd_classes] hold the touched states and their
+   classes (recorded before any split of this pass relabels them),
+   sorted by (class, key, state); [pd_newkey.(i)] marks positions whose
+   key differs from position [i-1] (consulted only within one class's
+   span, [pd_newkey.(0)] is never read across class boundaries).  The
+   arrays are pipeline-owned scratch, valid in positions [0 .. m-1]. *)
+type pass_data = {
+  mutable pd_states : int array;
+  mutable pd_classes : int array;
+  mutable pd_newkey : bool array;
+}
 
 (* The worklist holds class ids; [in_wl] tracks membership so the
    Derisavi/Hermanns/Sanders bookkeeping can distinguish pending
    splitters (whose sub-blocks must all stay pending) from settled ones
    (whose largest sub-block may be skipped).  An id popped from the
    queue denotes the class's members at pop time, which is exactly the
-   replace-parent-by-sub-blocks semantics of the original algorithm. *)
-let comp_lumping ?stats spec ~initial =
-  if Partition.size initial <> spec.size then
-    invalid_arg "Refiner.comp_lumping: partition size mismatch";
+   replace-parent-by-sub-blocks semantics of the original algorithm.
+   [prepare pd p slice] is the pipeline-specific part: evaluate the
+   splitter's keys and leave them sorted in [pd], returning the pair
+   count. *)
+let core st ~fn ~size ~prepare ~initial =
+  if Partition.size initial <> size then
+    invalid_arg (Printf.sprintf "Refiner.%s: partition size mismatch" fn);
   let timer = Timer.start () in
-  let st = create_stats () in
   let p = Partition.of_class_assignment (Partition.to_class_assignment initial) in
   let worklist = Queue.create () in
   let in_wl = Dynarray.create () in
@@ -60,37 +96,17 @@ let comp_lumping ?stats spec ~initial =
   done;
   (* Scratch reused across splits of one pass. *)
   let bounds = ref (Array.make 8 0) in
+  let pd = { pd_states = [||]; pd_classes = [||]; pd_newkey = [||] } in
   while not (Queue.is_empty worklist) do
     let splitter = Queue.pop worklist in
     Dynarray.set in_wl splitter false;
     st.splitter_passes <- st.splitter_passes + 1;
-    let keyed = spec.splitter_keys (Partition.elements p splitter) in
-    let m = List.length keyed in
+    let m = prepare pd p (Partition.view p splitter) in
     st.key_evals <- st.key_evals + m;
     if m > 0 then begin
-      (* Decorate into parallel arrays and sort indices once by
-         (current class, key, state): one sort both buckets the touched
-         states by class and groups them by key within each class. *)
-      let ts = Array.make m 0 in
-      let tk = Array.make m (snd (List.hd keyed)) in
-      List.iteri
-        (fun i (s, k) ->
-          ts.(i) <- s;
-          tk.(i) <- k)
-        keyed;
-      let ord = Array.init m Fun.id in
-      Sortx.sort_by
-        (fun i j ->
-          let c = Int.compare (Partition.class_of p ts.(i)) (Partition.class_of p ts.(j)) in
-          if c <> 0 then c
-          else
-            let c = spec.key_compare tk.(i) tk.(j) in
-            if c <> 0 then c else Int.compare ts.(i) ts.(j))
-        ord;
-      (* Record the class of every touched state before any split
-         relabels it. *)
-      let tc = Array.map (fun i -> Partition.class_of p ts.(i)) ord in
-      let members = Array.map (fun i -> ts.(i)) ord in
+      let tc = pd.pd_classes in
+      let all_members = pd.pd_states in
+      let nk = pd.pd_newkey in
       let a = ref 0 in
       while !a < m do
         (* [a, b) = touched states of one class [cc]. *)
@@ -101,7 +117,7 @@ let comp_lumping ?stats spec ~initial =
         (* Cut [a, b) into runs of equal keys. *)
         let nruns = ref 1 in
         for i = !a + 1 to b - 1 do
-          if spec.key_compare tk.(ord.(i - 1)) tk.(ord.(i)) <> 0 then incr nruns
+          if nk.(i) then incr nruns
         done;
         let nruns = !nruns in
         if Array.length !bounds < nruns + 1 then bounds := Array.make (nruns + 1) 0;
@@ -109,7 +125,7 @@ let comp_lumping ?stats spec ~initial =
         bnd.(0) <- 0;
         let r = ref 0 in
         for i = !a + 1 to b - 1 do
-          if spec.key_compare tk.(ord.(i - 1)) tk.(ord.(i)) <> 0 then begin
+          if nk.(i) then begin
             incr r;
             bnd.(!r) <- i - !a
           end
@@ -117,7 +133,7 @@ let comp_lumping ?stats spec ~initial =
         bnd.(nruns) <- b - !a;
         let touched = b - !a in
         if nruns > 1 || touched < Partition.class_size p cc then begin
-          let members = Array.sub members !a touched in
+          let members = Array.sub all_members !a touched in
           let ids = Partition.split_runs p cc ~members ~bounds:bnd ~nruns in
           match ids with
           | [ _ ] -> () (* whole class in one run: no split *)
@@ -166,14 +182,346 @@ let comp_lumping ?stats spec ~initial =
       done
     end
   done;
-  st.wall_s <- Timer.elapsed_s timer;
-  (match stats with Some dst -> add_stats dst st | None -> ());
+  st.wall_s <- st.wall_s +. Timer.elapsed_s timer;
   p
+
+let merge_stats stats st =
+  match stats with Some dst -> add_stats dst st | None -> ()
+
+(* ---- generic (fallback) pipeline ---- *)
+
+let comp_lumping ?stats spec ~initial =
+  let st = create_stats () in
+  let prepare pd p slice =
+    st.fallback_passes <- st.fallback_passes + 1;
+    let keyed = spec.splitter_keys slice in
+    match keyed with
+    | [] -> 0
+    | (_, k0) :: _ ->
+        let m = List.length keyed in
+        (* Decorate into parallel arrays and sort indices once by
+           (current class, key, state): one sort both buckets the
+           touched states by class and groups them by key within each
+           class. *)
+        let ts = Array.make m 0 in
+        let tk = Array.make m k0 in
+        List.iteri
+          (fun i (s, k) ->
+            ts.(i) <- s;
+            tk.(i) <- k)
+          keyed;
+        let ord = Array.init m Fun.id in
+        Sortx.sort_by
+          (fun i j ->
+            let c =
+              Int.compare (Partition.class_of p ts.(i)) (Partition.class_of p ts.(j))
+            in
+            if c <> 0 then c
+            else
+              let c = spec.key_compare tk.(i) tk.(j) in
+              if c <> 0 then c else Int.compare ts.(i) ts.(j))
+          ord;
+        if Array.length pd.pd_states < m then begin
+          let cap = max m (2 * Array.length pd.pd_states) in
+          pd.pd_states <- Array.make cap 0;
+          pd.pd_classes <- Array.make cap 0;
+          pd.pd_newkey <- Array.make cap true
+        end;
+        for i = 0 to m - 1 do
+          let s = ts.(ord.(i)) in
+          pd.pd_states.(i) <- s;
+          pd.pd_classes.(i) <- Partition.class_of p s
+        done;
+        pd.pd_newkey.(0) <- true;
+        for i = 1 to m - 1 do
+          pd.pd_newkey.(i) <- spec.key_compare tk.(ord.(i - 1)) tk.(ord.(i)) <> 0
+        done;
+        m
+  in
+  let p = core st ~fn:"comp_lumping" ~size:spec.size ~prepare ~initial in
+  merge_stats stats st;
+  p
+
+(* ---- monomorphic float pipeline ---- *)
+
+type float_buf = {
+  mutable fb_states : int array;
+  mutable fb_keys : float array;
+  mutable fb_len : int;
+}
+
+let[@inline] emit buf s k =
+  let i = buf.fb_len in
+  if i = Array.length buf.fb_states then begin
+    let cap = max 64 (2 * i) in
+    let states = Array.make cap 0 in
+    let keys = Array.make cap 0.0 in
+    Array.blit buf.fb_states 0 states 0 i;
+    Array.blit buf.fb_keys 0 keys 0 i;
+    buf.fb_states <- states;
+    buf.fb_keys <- keys
+  end;
+  buf.fb_states.(i) <- s;
+  buf.fb_keys.(i) <- k;
+  buf.fb_len <- i + 1
+
+type float_spec = {
+  fsize : int;
+  feps : float option;
+  fsplitter_keys : slice -> float_buf -> unit;
+}
+
+let comp_lumping_float ?stats fspec ~initial =
+  let st = create_stats () in
+  let buf = { fb_states = [||]; fb_keys = [||]; fb_len = 0 } in
+  let cls = ref [||] in
+  let nk = ref [||] in
+  let eps = fspec.feps in
+  let prepare pd p slice =
+    st.float_passes <- st.float_passes + 1;
+    buf.fb_len <- 0;
+    fspec.fsplitter_keys slice buf;
+    let m = buf.fb_len in
+    if m > 0 then begin
+      let states = buf.fb_states in
+      let keys = buf.fb_keys in
+      (* Quantize inline: grouping happens on the deterministic grid
+         representative, never on a non-transitive tolerant compare. *)
+      for i = 0 to m - 1 do
+        keys.(i) <- Floatx.quantize ?eps keys.(i)
+      done;
+      if Array.length !cls < Array.length states then begin
+        cls := Array.make (Array.length states) 0;
+        nk := Array.make (Array.length states) true
+      end;
+      let cls = !cls in
+      for i = 0 to m - 1 do
+        cls.(i) <- Partition.class_of p states.(i)
+      done;
+      (* Fused sort over the scratch buffers themselves. *)
+      Sortx.sort_runs_float ~cls ~keys ~states m;
+      let nk = !nk in
+      nk.(0) <- true;
+      for i = 1 to m - 1 do
+        nk.(i) <- keys.(i - 1) <> keys.(i)
+      done;
+      pd.pd_states <- states;
+      pd.pd_classes <- cls;
+      pd.pd_newkey <- nk
+    end;
+    m
+  in
+  let p = core st ~fn:"comp_lumping_float" ~size:fspec.fsize ~prepare ~initial in
+  merge_stats stats st;
+  p
+
+(* ---- interned-key pipeline ---- *)
+
+type 'k intern_table = {
+  it_hash : 'k -> int;
+  it_equal : 'k -> 'k -> bool;
+  mutable it_buckets : (int * 'k * int) list array; (* (hash, key, rank) *)
+  mutable it_used : int list; (* non-empty bucket indices, for O(distinct) clears *)
+  mutable it_count : int;
+  mutable it_hwm : int;
+}
+
+let intern_table ~hash ~equal () =
+  {
+    it_hash = hash;
+    it_equal = equal;
+    it_buckets = Array.make 256 [];
+    it_used = [];
+    it_count = 0;
+    it_hwm = 0;
+  }
+
+let intern_table_size t = max t.it_hwm t.it_count
+
+let intern_clear t =
+  if t.it_count > t.it_hwm then t.it_hwm <- t.it_count;
+  List.iter (fun b -> t.it_buckets.(b) <- []) t.it_used;
+  t.it_used <- [];
+  t.it_count <- 0
+
+let intern_grow t =
+  let cap = 2 * Array.length t.it_buckets in
+  let buckets = Array.make cap [] in
+  let used = ref [] in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun ((h, _, _) as entry) ->
+          let b' = h land (cap - 1) in
+          if buckets.(b') = [] then used := b' :: !used;
+          buckets.(b') <- entry :: buckets.(b'))
+        t.it_buckets.(b))
+    t.it_used;
+  t.it_buckets <- buckets;
+  t.it_used <- !used
+
+(* Rank of [k]: existing rank if interned this pass, else the next
+   dense integer. *)
+let intern t k =
+  if t.it_count >= Array.length t.it_buckets then intern_grow t;
+  let h = t.it_hash k land max_int in
+  let b = h land (Array.length t.it_buckets - 1) in
+  let rec find = function
+    | [] ->
+        let r = t.it_count in
+        if t.it_buckets.(b) = [] then t.it_used <- b :: t.it_used;
+        t.it_buckets.(b) <- (h, k, r) :: t.it_buckets.(b);
+        t.it_count <- r + 1;
+        r
+    | (h', k', r) :: rest -> if h' = h && t.it_equal k k' then r else find rest
+  in
+  find t.it_buckets.(b)
+
+type 'k interned_spec = {
+  isize : int;
+  itable : 'k intern_table;
+  isplitter_keys : slice -> (int * 'k) list;
+}
+
+(* Counting sort costs two stable scatter passes plus O(alphabet)
+   bucket resets; it wins when keys actually repeat and the pass is not
+   tiny.  With no repetition (alphabet ~ m) the fused comparison sort's
+   cache behaviour wins despite the log factor. *)
+let use_counting_sort ~m ~alphabet = m >= 16 && 2 * alphabet <= m
+
+let ensure_int r n =
+  if Array.length !r < n then r := Array.make (max n (2 * Array.length !r)) 0
+
+let comp_lumping_interned ?stats ispec ~initial =
+  let st = create_stats () in
+  let table = ispec.itable in
+  (* Parallel (state, rank, class) triples plus a ping buffer for the
+     two counting-sort scatter passes. *)
+  let a_states = ref [||] and a_ranks = ref [||] and a_cls = ref [||] in
+  let b_states = ref [||] and b_ranks = ref [||] and b_cls = ref [||] in
+  let nk = ref [||] in
+  let rank_counts = ref [||] in
+  let dense_counts = ref [||] in
+  (* class id -> dense first-seen id during one counting pass; entries
+     are reset to -1 for exactly the touched classes afterwards. *)
+  let class_remap = Array.make (max ispec.isize 1) (-1) in
+  let prepare pd p slice =
+    st.interned_passes <- st.interned_passes + 1;
+    intern_clear table;
+    let keyed = ispec.isplitter_keys slice in
+    let m = List.length keyed in
+    if m > 0 then begin
+      ensure_int a_states m;
+      ensure_int a_ranks m;
+      ensure_int a_cls m;
+      if Array.length !nk < m then nk := Array.make (max m (2 * Array.length !nk)) true;
+      let sa = !a_states and ra = !a_ranks and ca = !a_cls in
+      List.iteri
+        (fun i (s, k) ->
+          sa.(i) <- s;
+          ra.(i) <- intern table k;
+          ca.(i) <- Partition.class_of p s)
+        keyed;
+      let alphabet = table.it_count in
+      if alphabet > st.intern_keys then st.intern_keys <- alphabet;
+      if use_counting_sort ~m ~alphabet then begin
+        st.counting_sort_passes <- st.counting_sort_passes + 1;
+        ensure_int b_states m;
+        ensure_int b_ranks m;
+        ensure_int b_cls m;
+        let sb = !b_states and rb = !b_ranks and cb = !b_cls in
+        (* Scatter 1: stable counting sort by rank, a -> b. *)
+        ensure_int rank_counts alphabet;
+        let rc = !rank_counts in
+        Array.fill rc 0 alphabet 0;
+        for i = 0 to m - 1 do
+          rc.(ra.(i)) <- rc.(ra.(i)) + 1
+        done;
+        let acc = ref 0 in
+        for r = 0 to alphabet - 1 do
+          let c = rc.(r) in
+          rc.(r) <- !acc;
+          acc := !acc + c
+        done;
+        for i = 0 to m - 1 do
+          let r = ra.(i) in
+          let dst = rc.(r) in
+          rc.(r) <- dst + 1;
+          sb.(dst) <- sa.(i);
+          rb.(dst) <- r;
+          cb.(dst) <- ca.(i)
+        done;
+        (* Scatter 2: stable counting sort by class, b -> a.  Classes
+           are remapped to dense first-seen ids so the buckets stay
+           O(touched classes), not O(num_classes); any class order is
+           fine — the core only needs each class's span contiguous. *)
+        let dclasses = ref 0 in
+        for i = 0 to m - 1 do
+          let c = cb.(i) in
+          if class_remap.(c) < 0 then begin
+            class_remap.(c) <- !dclasses;
+            incr dclasses
+          end
+        done;
+        ensure_int dense_counts !dclasses;
+        let dc = !dense_counts in
+        Array.fill dc 0 !dclasses 0;
+        for i = 0 to m - 1 do
+          let d = class_remap.(cb.(i)) in
+          dc.(d) <- dc.(d) + 1
+        done;
+        let acc = ref 0 in
+        for d = 0 to !dclasses - 1 do
+          let c = dc.(d) in
+          dc.(d) <- !acc;
+          acc := !acc + c
+        done;
+        for i = 0 to m - 1 do
+          let c = cb.(i) in
+          let d = class_remap.(c) in
+          let dst = dc.(d) in
+          dc.(d) <- dst + 1;
+          sa.(dst) <- sb.(i);
+          ra.(dst) <- rb.(i);
+          ca.(dst) <- c
+        done;
+        for i = 0 to m - 1 do
+          class_remap.(ca.(i)) <- -1
+        done
+      end
+      else Sortx.sort_runs_int ~cls:ca ~keys:ra ~states:sa m;
+      let nk = !nk in
+      nk.(0) <- true;
+      for i = 1 to m - 1 do
+        nk.(i) <- ra.(i - 1) <> ra.(i)
+      done;
+      pd.pd_states <- sa;
+      pd.pd_classes <- ca;
+      pd.pd_newkey <- nk
+    end;
+    m
+  in
+  let p = core st ~fn:"comp_lumping_interned" ~size:ispec.isize ~prepare ~initial in
+  merge_stats stats st;
+  p
+
+(* ---- pipeline selection ---- *)
+
+type packed =
+  | Spec : 'k spec -> packed
+  | Float_spec : float_spec -> packed
+  | Interned_spec : 'k interned_spec -> packed
+
+let run ?stats packed ~initial =
+  match packed with
+  | Spec spec -> comp_lumping ?stats spec ~initial
+  | Float_spec spec -> comp_lumping_float ?stats spec ~initial
+  | Interned_spec spec -> comp_lumping_interned ?stats spec ~initial
 
 let is_stable spec p =
   let stable = ref true in
   for splitter = 0 to Partition.num_classes p - 1 do
-    let keyed = spec.splitter_keys (Partition.elements p splitter) in
+    let keyed = spec.splitter_keys (Partition.view p splitter) in
     let key_of = Hashtbl.create 16 in
     List.iter (fun (s, k) -> Hashtbl.replace key_of s k) keyed;
     for c = 0 to Partition.num_classes p - 1 do

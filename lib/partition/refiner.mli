@@ -24,6 +24,28 @@
     the largest join the worklist; when a pending splitter is split, all
     its sub-blocks stay pending.
 
+    {b Key pipelines.}  The same core runs behind three key pipelines:
+
+    - the {b generic} pipeline ({!comp_lumping} over an ['k spec]) —
+      polymorphic keys through a closure, an intermediate
+      [(state, key) list] and a comparison sort.  The fallback, and the
+      differential baseline for the other two;
+    - the {b monomorphic float} pipeline ({!comp_lumping_float}) — flat
+      row/column-sum keys written into reusable unboxed scratch buffers
+      ({!float_buf}), quantized inline ({!Mdl_util.Floatx.quantize}) and
+      sorted by a fused three-array merge: no list, no boxed float, no
+      comparator closure;
+    - the {b interned-key} pipeline ({!comp_lumping_interned}) — each
+      distinct (pre-quantized) key is hash-consed to a dense integer
+      rank per pass ({!intern_table}), so key comparison collapses to
+      integer compare; when the rank alphabet is small relative to the
+      pass ({!use_counting_sort}) the (class, rank) pairs are
+      counting-sorted in O(m + alphabet) instead of comparison-sorted.
+
+    All three compute the identical coarsest stable refinement (pinned
+    by differential property tests); {!run} dispatches a {!packed} spec
+    to its pipeline.
+
     {b Key additivity.}  The largest-sub-block skip is sound only when
     keys are additive over disjoint unions of splitters,
     [K(s, B1 union B2) = K(s, B1) + K(s, B2)] (with [key_compare]
@@ -34,6 +56,13 @@
     construction; a hypothetical non-additive key (e.g. a max) would
     need the exhaustive engine of {!Refiner_reference}. *)
 
+type slice = int array * int * int
+(** A zero-copy class view as returned by {!Partition.view}:
+    [(perm, first, len)] — the members are
+    [perm.(first) .. perm.(first + len - 1)].  Valid only for the
+    duration of one [splitter_keys] call (the next split invalidates
+    it); must not be mutated. *)
+
 type 'k spec = {
   size : int;  (** number of states *)
   key_compare : 'k -> 'k -> int;
@@ -43,12 +72,12 @@ type 'k spec = {
           quantize float keys ({!Mdl_util.Floatx.quantize}) and compare
           exactly instead.  States of a class are grouped by runs of
           equal keys. *)
-  splitter_keys : int array -> (int * 'k) list;
+  splitter_keys : slice -> (int * 'k) list;
       (** [splitter_keys c] lists [(s, K(s, C))] for every state [s]
-          whose key w.r.t. splitter class [C] (given by its elements)
-          is different from the zero key.  States not listed are treated
-          as sharing the common zero key.  Must not list a state
-          twice. *)
+          whose key w.r.t. splitter class [C] (given as a zero-copy
+          {!slice} of its elements) is different from the zero key.
+          States not listed are treated as sharing the common zero key.
+          Must not list a state twice. *)
 }
 
 type stats = {
@@ -58,16 +87,27 @@ type stats = {
   mutable blocks_created : int;  (** new class ids allocated by splits *)
   mutable largest_skips : int;
       (** splits whose largest sub-block was exempted from the worklist *)
-  mutable wall_s : float;  (** monotonic wall time spent in [comp_lumping] *)
+  mutable float_passes : int;  (** passes through the monomorphic float pipeline *)
+  mutable interned_passes : int;  (** passes through the interned-key pipeline *)
+  mutable counting_sort_passes : int;
+      (** interned passes that counting-sorted (vs the fused comparison
+          sort); always [<= interned_passes] *)
+  mutable fallback_passes : int;  (** passes through the generic fallback pipeline *)
+  mutable intern_keys : int;
+      (** largest interned-key alphabet (distinct keys) seen in any one
+          pass; [add_stats] takes the max, not the sum *)
+  mutable wall_s : float;  (** monotonic wall time spent refining *)
 }
-(** Observability counters for one or more [comp_lumping] runs. *)
+(** Observability counters for one or more refinement runs, including
+    the per-pipeline breakdown ([splitter_passes = float_passes +
+    interned_passes + fallback_passes] for runs through this module). *)
 
 val create_stats : unit -> stats
 (** A fresh all-zero counter record. *)
 
 val add_stats : stats -> stats -> unit
 (** [add_stats dst src] accumulates [src] into [dst] (counters add,
-    wall times add). *)
+    wall times add, [intern_keys] takes the max). *)
 
 val pp_stats : Format.formatter -> stats -> unit
 
@@ -81,7 +121,92 @@ val comp_lumping : ?stats:stats -> 'k spec -> initial:Partition.t -> Partition.t
     ever get finer. @raise Invalid_argument if [initial] is not over
     [spec.size] states. *)
 
+(** {2 Monomorphic float pipeline} *)
+
+type float_buf
+(** Reusable scratch holding the [(state, key)] pairs of one float-keyed
+    splitter pass in parallel unboxed arrays. *)
+
+val emit : float_buf -> int -> float -> unit
+(** [emit buf s k] appends the pair [(s, k)] — the float-pipeline
+    equivalent of consing onto the generic [splitter_keys] result.  Keys
+    are emitted {e raw}; the engine quantizes them inline. *)
+
+type float_spec = {
+  fsize : int;  (** number of states *)
+  feps : float option;
+      (** quantization tolerance applied inline to every emitted key
+          ([None] = {!Mdl_util.Floatx.default_eps}) *)
+  fsplitter_keys : slice -> float_buf -> unit;
+      (** same contract as the generic [splitter_keys], emitting into
+          the engine's scratch buffer instead of building a list *)
+}
+
+val comp_lumping_float :
+  ?stats:stats -> float_spec -> initial:Partition.t -> Partition.t
+(** {!comp_lumping} through the allocation-free float pipeline: same
+    fixed point as the generic engine over the spec
+    [{ key_compare = Float.compare on quantized keys; ... }]. *)
+
+(** {2 Interned-key pipeline} *)
+
+type 'k intern_table
+(** A hash-consing table mapping distinct keys to dense integer ranks
+    [0, 1, 2, ..] in order of first appearance.  The table is cleared
+    at the start of every splitter pass but its storage is reused, so
+    one table can (and should) be shared across all the refinement runs
+    of a fixed-point iteration — e.g. every per-node run of
+    [CompLumpingLevel]. *)
+
+val intern_table :
+  hash:('k -> int) -> equal:('k -> 'k -> bool) -> unit -> 'k intern_table
+(** [hash]/[equal] must agree ([equal a b] implies [hash a = hash b])
+    and [equal] must be the same equivalence [key_compare ... = 0] of
+    the generic spec being specialised — for float-coefficient keys that
+    means {e quantize before interning} (see {!Mdl_core.Local_key}). *)
+
+val intern_table_size : 'k intern_table -> int
+(** High-water number of distinct keys interned in any single pass so
+    far — the alphabet size the counting-sort decision is based on. *)
+
+type 'k interned_spec = {
+  isize : int;  (** number of states *)
+  itable : 'k intern_table;  (** shared, reusable interning table *)
+  isplitter_keys : slice -> (int * 'k) list;
+      (** same contract as the generic [splitter_keys]; keys must
+          already be quantized/canonical so that the table's structural
+          [equal] coincides with lumping-key equality *)
+}
+
+val comp_lumping_interned :
+  ?stats:stats -> 'k interned_spec -> initial:Partition.t -> Partition.t
+(** {!comp_lumping} through the interned-key pipeline: each pass interns
+    the keys to ranks, then orders the (class, rank, state) triples by
+    counting sort when {!use_counting_sort} says the alphabet is small
+    enough, by fused integer comparison sort otherwise. *)
+
+val use_counting_sort : m:int -> alphabet:int -> bool
+(** The counting-sort threshold: true when a pass of [m] pairs over
+    [alphabet] distinct key ranks is cheaper to counting-sort
+    (O(m + alphabet), two stable scatter passes plus bucket resets) than
+    to comparison-sort (O(m log m)).  Requires keys to actually repeat
+    ([2 * alphabet <= m]) and the pass not to be tiny ([m >= 16]).
+    Exposed for the threshold-selection unit tests. *)
+
+(** {2 Pipeline selection} *)
+
+type packed =
+  | Spec : 'k spec -> packed
+  | Float_spec : float_spec -> packed
+  | Interned_spec : 'k interned_spec -> packed
+      (** A refinement spec packed with its pipeline choice; lets
+          callers carry "which engine" as a value. *)
+
+val run : ?stats:stats -> packed -> initial:Partition.t -> Partition.t
+(** Dispatch to {!comp_lumping} / {!comp_lumping_float} /
+    {!comp_lumping_interned}. *)
+
 val is_stable : 'k spec -> Partition.t -> bool
 (** [is_stable spec p] checks directly that every class of [p] is
     key-constant w.r.t. every class of [p] as splitter — the
-    post-condition of {!comp_lumping}, used by tests. *)
+    post-condition of the [comp_lumping] family, used by tests. *)

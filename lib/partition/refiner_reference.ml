@@ -28,7 +28,7 @@ let group_by_key cmp keyed =
   List.rev !groups
 
 let split_by_splitter (spec : _ Refiner.spec) p splitter worklist =
-  let keyed = spec.Refiner.splitter_keys splitter in
+  let keyed = spec.Refiner.splitter_keys (splitter, 0, Array.length splitter) in
   (* Bucket touched states by their (current) class. *)
   let by_class = Hashtbl.create 16 in
   List.iter

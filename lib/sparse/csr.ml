@@ -175,6 +175,25 @@ let approx_equal ?eps a b =
   iter (fun i j v -> if not (Mdl_util.Floatx.approx_eq ?eps v (get a i j)) then ok := false) b;
   !ok
 
+let equal a b =
+  a.rows = b.rows && a.cols = b.cols
+  && a.row_ptr = b.row_ptr && a.col_idx = b.col_idx
+  &&
+  let n = Array.length a.values in
+  let rec loop k =
+    k >= n
+    || Int64.bits_of_float a.values.(k) = Int64.bits_of_float b.values.(k) && loop (k + 1)
+  in
+  loop 0
+
+let hash t =
+  let h = ref (Mdl_util.Hashx.combine t.rows t.cols) in
+  iter
+    (fun i j v ->
+      h := Mdl_util.Hashx.combine (Mdl_util.Hashx.combine (Mdl_util.Hashx.combine !h i) j) (Mdl_util.Hashx.float v))
+    t;
+  !h
+
 let identity n = of_triplets ~rows:n ~cols:n (List.init n (fun i -> (i, i, 1.0)))
 
 let pp ppf t =

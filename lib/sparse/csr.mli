@@ -60,6 +60,17 @@ val to_dense : t -> float array array
 val approx_equal : ?eps:float -> t -> t -> bool
 (** Entrywise approximate equality (structure-independent). *)
 
+val equal : t -> t -> bool
+(** Exact structural equality: same dimensions, same stored structure,
+    bit-level equal values.  Since construction drops exact zeros,
+    matrices with bit-equal entries always have equal structure — this
+    is the hash-consing equality for key interning (pair it with
+    {!hash}); quantize values first when tolerant key equality is
+    wanted. *)
+
+val hash : t -> int
+(** Consistent with {!equal}. *)
+
 val identity : int -> t
 
 val pp : Format.formatter -> t -> unit

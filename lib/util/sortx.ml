@@ -36,3 +36,100 @@ let sort_by cmp a =
     done;
     if !src != a then Array.blit !src 0 a 0 n
   end
+
+(* The two fused pipeline sorts below move the parallel (class, key,
+   state) triples themselves instead of sorting an index permutation:
+   no comparator closure at all, every comparison is a machine compare
+   on an int or an unboxed float loaded straight from its array.  Both
+   are bottom-up stable merges sorting only the first [n] entries. *)
+
+let sort_runs_float ~cls ~keys ~states n =
+  if n > 1 then begin
+    let bc = Array.make n 0 and bk = Array.make n 0.0 and bs = Array.make n 0 in
+    let merge sc sk ss dc dk ds lo mid hi =
+      let i = ref lo and j = ref mid in
+      for k = lo to hi - 1 do
+        let take_left =
+          !i < mid
+          && (!j >= hi
+             ||
+             let ci = Array.unsafe_get sc !i and cj = Array.unsafe_get sc !j in
+             if ci <> cj then ci < cj
+             else
+               let ki = Array.unsafe_get sk !i and kj = Array.unsafe_get sk !j in
+               if ki < kj then true
+               else if ki > kj then false
+               else Array.unsafe_get ss !i <= Array.unsafe_get ss !j)
+        in
+        let src = if take_left then i else j in
+        Array.unsafe_set dc k (Array.unsafe_get sc !src);
+        Array.unsafe_set dk k (Array.unsafe_get sk !src);
+        Array.unsafe_set ds k (Array.unsafe_get ss !src);
+        incr src
+      done
+    in
+    let flip = ref false in
+    let width = ref 1 in
+    while !width < n do
+      let lo = ref 0 in
+      while !lo < n do
+        let mid = min (!lo + !width) n in
+        let hi = min (!lo + (2 * !width)) n in
+        if !flip then merge bc bk bs cls keys states !lo mid hi
+        else merge cls keys states bc bk bs !lo mid hi;
+        lo := hi
+      done;
+      flip := not !flip;
+      width := !width * 2
+    done;
+    if !flip then begin
+      Array.blit bc 0 cls 0 n;
+      Array.blit bk 0 keys 0 n;
+      Array.blit bs 0 states 0 n
+    end
+  end
+
+let sort_runs_int ~cls ~keys ~states n =
+  if n > 1 then begin
+    let bc = Array.make n 0 and bk = Array.make n 0 and bs = Array.make n 0 in
+    let merge sc sk ss dc dk ds lo mid hi =
+      let i = ref lo and j = ref mid in
+      for k = lo to hi - 1 do
+        let take_left =
+          !i < mid
+          && (!j >= hi
+             ||
+             let ci = Array.unsafe_get sc !i and cj = Array.unsafe_get sc !j in
+             if ci <> cj then ci < cj
+             else
+               let ki = Array.unsafe_get sk !i and kj = Array.unsafe_get sk !j in
+               if ki <> kj then ki < kj
+               else Array.unsafe_get ss !i <= Array.unsafe_get ss !j)
+        in
+        let src = if take_left then i else j in
+        Array.unsafe_set dc k (Array.unsafe_get sc !src);
+        Array.unsafe_set dk k (Array.unsafe_get sk !src);
+        Array.unsafe_set ds k (Array.unsafe_get ss !src);
+        incr src
+      done
+    in
+    let flip = ref false in
+    let width = ref 1 in
+    while !width < n do
+      let lo = ref 0 in
+      while !lo < n do
+        let mid = min (!lo + !width) n in
+        let hi = min (!lo + (2 * !width)) n in
+        if !flip then merge bc bk bs cls keys states !lo mid hi
+        else merge cls keys states bc bk bs !lo mid hi;
+        lo := hi
+      done;
+      flip := not !flip;
+      width := !width * 2
+    done;
+    if !flip then begin
+      Array.blit bc 0 cls 0 n;
+      Array.blit bk 0 keys 0 n;
+      Array.blit bs 0 states 0 n
+    end
+  end

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate the schema of BENCH_refine.json.
+
+Fails (exit 1) when a scenario is missing the per-pipeline refiner
+stats, when flat scenarios lack the three-engine timings, or when no
+multi-level end-to-end scenario was recorded.  CI runs this after the
+bench smoke so a refactor cannot silently drop the instrumentation the
+performance claims rest on.
+
+Usage: scripts/check_bench_schema.py [BENCH_refine.json]
+"""
+
+import json
+import sys
+
+STATS_FIELDS = [
+    "splitter_passes",
+    "key_evals",
+    "splits",
+    "blocks_created",
+    "largest_skips",
+    "float_passes",
+    "interned_passes",
+    "counting_sort_passes",
+    "fallback_passes",
+    "intern_keys",
+    "wall_s",
+]
+
+FLAT_FIELDS = [
+    "name",
+    "states",
+    "nnz",
+    "classes",
+    "ref_s",
+    "generic_s",
+    "float_s",
+    "speedup_vs_ref",
+    "speedup_vs_generic",
+    "stats",
+]
+
+MULTILEVEL_FIELDS = [
+    "name",
+    "states",
+    "levels",
+    "lumped_states",
+    "generic_s",
+    "specialised_s",
+    "speedup_vs_generic",
+    "stats",
+]
+
+
+def fail(msg):
+    print(f"BENCH_refine.json schema error: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_fields(obj, fields, where):
+    for f in fields:
+        if f not in obj:
+            fail(f"{where}: missing field '{f}'")
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_refine.json"
+    with open(path) as fh:
+        doc = json.load(fh)
+
+    for f in ("bench", "repeats", "scenarios"):
+        if f not in doc:
+            fail(f"top level: missing field '{f}'")
+    scenarios = doc["scenarios"]
+    if not scenarios:
+        fail("no scenarios recorded")
+
+    kinds = {"flat": 0, "multilevel": 0}
+    for sc in scenarios:
+        kind = sc.get("kind")
+        if kind not in kinds:
+            fail(f"scenario {sc.get('name', '?')}: unknown kind {kind!r}")
+        kinds[kind] += 1
+        where = f"scenario {sc.get('name', '?')} ({kind})"
+        check_fields(sc, FLAT_FIELDS if kind == "flat" else MULTILEVEL_FIELDS, where)
+        check_fields(sc["stats"], STATS_FIELDS, f"{where}: stats")
+        s = sc["stats"]
+        pipeline = s["float_passes"] + s["interned_passes"] + s["fallback_passes"]
+        if pipeline != s["splitter_passes"]:
+            fail(
+                f"{where}: pipeline passes {pipeline} != splitter passes "
+                f"{s['splitter_passes']} (per-path stats incomplete)"
+            )
+        if s["counting_sort_passes"] > s["interned_passes"]:
+            fail(f"{where}: counting_sort_passes exceeds interned_passes")
+
+    if kinds["flat"] == 0:
+        fail("no flat scenario recorded")
+    if kinds["multilevel"] == 0:
+        fail("no multi-level end-to-end scenario recorded")
+
+    print(
+        f"{path}: OK ({kinds['flat']} flat, {kinds['multilevel']} multi-level scenarios, "
+        f"per-pipeline stats present)"
+    )
+
+
+if __name__ == "__main__":
+    main()

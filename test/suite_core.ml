@@ -18,6 +18,7 @@ module Local_key = Mdl_core.Local_key
 module Level_lumping = Mdl_core.Level_lumping
 module Compositional = Mdl_core.Compositional
 module Md_solve = Mdl_core.Md_solve
+module Refiner = Mdl_partition.Refiner
 
 let partition_testable = Alcotest.testable Partition.pp Partition.equal
 
@@ -542,6 +543,79 @@ let test_md_solve_matches_flat () =
   let pi_flat, _ = Solver.steady_state ~tol:1e-13 ctmc in
   Alcotest.(check bool) "md solver = flat solver" true (Vec.diff_inf pi_md pi_flat < 1e-8)
 
+(* ----- specialised interned-key pipeline vs generic at level scope ----- *)
+
+let test_specialised_level_refinement_matches_generic =
+  QCheck.Test.make ~count:60
+    ~name:"interned level pipeline matches generic at every level (both modes)"
+    arb_sym_descriptor (fun spec ->
+      let k = build_symmetric_descriptor spec in
+      let md = Kronecker.to_md k in
+      let ok = ref true in
+      List.iter
+        (fun mode ->
+          for level = 1 to Md.levels md do
+            let initial = Partition.trivial (Md.size md level) in
+            let st_s = Refiner.create_stats () in
+            let st_g = Refiner.create_stats () in
+            let p_spec =
+              Level_lumping.comp_lumping_level ~stats:st_s mode md ~level ~initial
+            in
+            let p_gen =
+              Level_lumping.comp_lumping_level ~stats:st_g ~specialised:false mode md
+                ~level ~initial
+            in
+            if not (Partition.equal p_spec p_gen) then ok := false;
+            (* Every specialised pass must go through the interned
+               pipeline; every generic pass through the fallback. *)
+            if
+              st_s.Refiner.interned_passes <> st_s.Refiner.splitter_passes
+              || st_s.Refiner.fallback_passes <> 0
+            then ok := false;
+            if st_g.Refiner.fallback_passes <> st_g.Refiner.splitter_passes then
+              ok := false
+          done)
+        [ State_lumping.Ordinary; State_lumping.Exact ];
+      !ok)
+
+let test_level_intern_table_reuse () =
+  (* One table shared across the whole fixed point (as
+     [comp_lumping_level] does): re-running the same per-node
+     refinements must reuse the interned storage — the high-water mark
+     must not grow — and compute the same partition. *)
+  let md, _sizes = concrete_md () in
+  let ctx = Local_key.make_context md in
+  let table = Level_lumping.key_intern_table () in
+  let level = 2 in
+  let nodes = (Md.live_nodes md).(level - 1) in
+  let n = Md.size md level in
+  let spec_of node =
+    {
+      Refiner.isize = n;
+      itable = table;
+      isplitter_keys =
+        (fun c ->
+          Local_key.splitter_keys ctx Local_key.Formal_sums State_lumping.Ordinary node
+            c);
+    }
+  in
+  let run () =
+    List.fold_left
+      (fun p node -> Refiner.comp_lumping_interned (spec_of node) ~initial:p)
+      (Partition.trivial n) nodes
+  in
+  let p1 = run () in
+  let size1 = Refiner.intern_table_size table in
+  let p2 = run () in
+  let size2 = Refiner.intern_table_size table in
+  Alcotest.check partition_testable "same fixed point on reuse" p1 p2;
+  Alcotest.(check int) "intern storage high-water stable across reuse" size1 size2;
+  Alcotest.(check bool) "some keys interned" true (size1 > 0);
+  Alcotest.check partition_testable "matches comp_lumping_level"
+    (Level_lumping.comp_lumping_level State_lumping.Ordinary md ~level
+       ~initial:(Partition.trivial n))
+    p1
+
 let qcheck_tests =
   [
     test_single_level_ordinary;
@@ -551,6 +625,7 @@ let qcheck_tests =
     test_lumped_md_is_quotient_ordinary;
     test_lumped_md_is_quotient_exact;
     test_expanded_matrices_key_at_least_as_coarse;
+    test_specialised_level_refinement_matches_generic;
   ]
 
 let tests =
@@ -560,6 +635,8 @@ let tests =
     Alcotest.test_case "decomposed constant/vector" `Quick test_decomposed_constant_and_vector;
     Alcotest.test_case "concrete 2-level lump" `Quick test_concrete_lump;
     Alcotest.test_case "local lumpability checker" `Quick test_local_lumpability_checker;
+    Alcotest.test_case "intern table reuse across level fixed point" `Quick
+      test_level_intern_table_reuse;
     Alcotest.test_case "sufficiency gap: expanded key coarser than formal key" `Quick
       test_sufficiency_gap;
     Alcotest.test_case "end-to-end lumped solution" `Quick test_end_to_end_solution;

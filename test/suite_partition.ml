@@ -80,10 +80,12 @@ let graph_spec edges n =
     Refiner.size = n;
     key_compare = compare;
     splitter_keys =
-      (fun c ->
+      (fun (perm, first, len) ->
         (* key(s) = number of edges from s into the splitter class *)
         let in_c = Array.make n false in
-        Array.iter (fun x -> in_c.(x) <- true) c;
+        for i = first to first + len - 1 do
+          in_c.(perm.(i)) <- true
+        done;
         let counts = Hashtbl.create 16 in
         List.iter
           (fun (u, v) ->
@@ -219,13 +221,136 @@ let test_add_stats () =
   let b = Refiner.create_stats () in
   a.Refiner.splits <- 2;
   a.Refiner.wall_s <- 0.5;
+  a.Refiner.intern_keys <- 5;
   b.Refiner.splits <- 3;
   b.Refiner.key_evals <- 7;
   b.Refiner.wall_s <- 0.25;
+  b.Refiner.intern_keys <- 3;
   Refiner.add_stats a b;
   Alcotest.(check int) "splits summed" 5 a.Refiner.splits;
   Alcotest.(check int) "key_evals summed" 7 a.Refiner.key_evals;
-  Alcotest.(check (float 1e-9)) "wall summed" 0.75 a.Refiner.wall_s
+  Alcotest.(check (float 1e-9)) "wall summed" 0.75 a.Refiner.wall_s;
+  Alcotest.(check int) "intern_keys takes max" 5 a.Refiner.intern_keys;
+  b.Refiner.intern_keys <- 9;
+  Refiner.add_stats a b;
+  Alcotest.(check int) "intern_keys max updates" 9 a.Refiner.intern_keys
+
+(* ---- specialised pipelines: interned keys, counting sort, float ---- *)
+
+(* The same graph keys as [graph_spec], fed through the interned-key
+   pipeline: ranks come from hash-consing the int counts. *)
+let interned_graph_spec edges n =
+  let spec = graph_spec edges n in
+  {
+    Refiner.isize = n;
+    itable = Refiner.intern_table ~hash:Hashtbl.hash ~equal:Int.equal ();
+    isplitter_keys = spec.Refiner.splitter_keys;
+  }
+
+let test_use_counting_sort_threshold () =
+  (* Pin the decision boundary: keys must repeat (2 * alphabet <= m) and
+     the pass must not be tiny (m >= 16). *)
+  Alcotest.(check bool) "small alphabet, big pass" true
+    (Refiner.use_counting_sort ~m:100 ~alphabet:10);
+  Alcotest.(check bool) "boundary 2a = m" true
+    (Refiner.use_counting_sort ~m:16 ~alphabet:8);
+  Alcotest.(check bool) "alphabet too large" false
+    (Refiner.use_counting_sort ~m:100 ~alphabet:80);
+  Alcotest.(check bool) "tiny pass" false (Refiner.use_counting_sort ~m:8 ~alphabet:2);
+  Alcotest.(check bool) "just below m floor" false
+    (Refiner.use_counting_sort ~m:15 ~alphabet:1)
+
+let test_counting_sort_pipeline () =
+  (* 100 states, every state has edges into {0, 1}: big splitter passes
+     with a tiny key alphabet, so the counting sort must fire — and the
+     result must match the generic pipeline exactly. *)
+  let n = 100 in
+  let edges =
+    List.concat_map
+      (fun s -> if s mod 3 = 0 then [ (s, 0); (s, 1) ] else [ (s, 0) ])
+      (List.init n Fun.id)
+  in
+  let spec = graph_spec edges n in
+  let stats = Refiner.create_stats () in
+  let p_int =
+    Refiner.comp_lumping_interned ~stats (interned_graph_spec edges n)
+      ~initial:(Partition.trivial n)
+  in
+  let p_gen = Refiner.comp_lumping spec ~initial:(Partition.trivial n) in
+  Alcotest.check partition_testable "counting-sorted = generic" p_gen p_int;
+  Alcotest.(check bool) "counting sort fired" true (stats.Refiner.counting_sort_passes > 0);
+  Alcotest.(check int) "all passes interned" stats.Refiner.splitter_passes
+    stats.Refiner.interned_passes;
+  Alcotest.(check int) "no fallback passes" 0 stats.Refiner.fallback_passes;
+  Alcotest.(check bool) "alphabet recorded" true (stats.Refiner.intern_keys > 0)
+
+let test_pipeline_counters () =
+  (* Each entry point attributes every splitter pass to its own
+     pipeline counter. *)
+  let edges = [ (0, 1); (1, 2); (3, 4); (4, 2) ] in
+  let n = 5 in
+  let spec = graph_spec edges n in
+  let gen_stats = Refiner.create_stats () in
+  let p_gen = Refiner.comp_lumping ~stats:gen_stats spec ~initial:(Partition.trivial n) in
+  Alcotest.(check int) "generic: all passes fallback" gen_stats.Refiner.splitter_passes
+    gen_stats.Refiner.fallback_passes;
+  Alcotest.(check int) "generic: no float passes" 0 gen_stats.Refiner.float_passes;
+  Alcotest.(check int) "generic: no interned passes" 0 gen_stats.Refiner.interned_passes;
+  let int_stats = Refiner.create_stats () in
+  let p_int =
+    Refiner.comp_lumping_interned ~stats:int_stats (interned_graph_spec edges n)
+      ~initial:(Partition.trivial n)
+  in
+  Alcotest.check partition_testable "interned = generic" p_gen p_int;
+  Alcotest.(check int) "interned: all passes interned" int_stats.Refiner.splitter_passes
+    int_stats.Refiner.interned_passes;
+  Alcotest.(check int) "interned: no fallback" 0 int_stats.Refiner.fallback_passes;
+  let r =
+    Mdl_sparse.Csr.of_triplets ~rows:4 ~cols:4
+      [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0); (3, 0, 1.0) ]
+  in
+  let flt_stats = Refiner.create_stats () in
+  ignore
+    (Refiner.comp_lumping_float ~stats:flt_stats
+       (Mdl_lumping.State_lumping.float_spec Ordinary r)
+       ~initial:(Partition.trivial 4));
+  Alcotest.(check int) "float: all passes float" flt_stats.Refiner.splitter_passes
+    flt_stats.Refiner.float_passes;
+  Alcotest.(check int) "float: no fallback" 0 flt_stats.Refiner.fallback_passes
+
+let test_intern_table_reuse () =
+  (* One table across several runs: cleared per pass, storage retained,
+     high-water mark preserved. *)
+  let edges = [ (0, 1); (1, 2); (3, 4); (4, 2); (2, 0) ] in
+  let n = 5 in
+  let ispec = interned_graph_spec edges n in
+  let p1 = Refiner.comp_lumping_interned ispec ~initial:(Partition.trivial n) in
+  let hw1 = Refiner.intern_table_size ispec.Refiner.itable in
+  Alcotest.(check bool) "alphabet seen" true (hw1 > 0);
+  let p2 = Refiner.comp_lumping_interned ispec ~initial:(Partition.trivial n) in
+  Alcotest.check partition_testable "reused table, same fixed point" p1 p2;
+  Alcotest.(check int) "high-water stable across reuse" hw1
+    (Refiner.intern_table_size ispec.Refiner.itable)
+
+let test_run_dispatch () =
+  let edges = [ (0, 1); (1, 2); (3, 4); (4, 2) ] in
+  let n = 5 in
+  let initial = Partition.trivial n in
+  let p_gen = Refiner.run (Refiner.Spec (graph_spec edges n)) ~initial in
+  let p_int = Refiner.run (Refiner.Interned_spec (interned_graph_spec edges n)) ~initial in
+  Alcotest.check partition_testable "packed dispatch agrees" p_gen p_int;
+  let r = Mdl_sparse.Csr.of_triplets ~rows:3 ~cols:3 [ (0, 1, 2.0); (1, 2, 2.0) ] in
+  let p_f1 =
+    Refiner.run
+      (Refiner.Float_spec (Mdl_lumping.State_lumping.float_spec Ordinary r))
+      ~initial:(Partition.trivial 3)
+  in
+  let p_f2 =
+    Refiner.comp_lumping
+      (Mdl_lumping.State_lumping.refiner_spec Ordinary r)
+      ~initial:(Partition.trivial 3)
+  in
+  Alcotest.check partition_testable "float dispatch agrees" p_f2 p_f1
 
 (* ---- differential: in-place engine vs the preserved seed engine ---- *)
 
@@ -250,9 +375,17 @@ let test_differential_oracle_chains () =
           in
           let p_ref = Refiner_reference.comp_lumping spec ~initial in
           let p_new = Refiner.comp_lumping spec ~initial in
+          let p_flt =
+            Refiner.comp_lumping_float
+              (Mdl_lumping.State_lumping.float_spec mode r)
+              ~initial
+          in
           Alcotest.check partition_testable
             (Printf.sprintf "chain n=%d seed=%d same fixed point" states seed)
             p_ref p_new;
+          Alcotest.check partition_testable
+            (Printf.sprintf "chain n=%d seed=%d float pipeline agrees" states seed)
+            p_ref p_flt;
           Alcotest.(check bool) "stable" true (Refiner.is_stable spec p_new))
         [ Mdl_lumping.State_lumping.Ordinary; Mdl_lumping.State_lumping.Exact ])
     [ (20, 40, true, 3); (40, 120, true, 17); (60, 200, false, 23); (80, 0, true, 5) ]
@@ -274,6 +407,24 @@ let qcheck_differential =
           (String.concat ";" (List.map (fun (u, v) -> Printf.sprintf "%d->%d" u v) e)))
       gen_graph
   in
+  let gen_weighted =
+    Gen.(
+      let* n = int_range 2 14 in
+      let+ triplets =
+        list_size (int_range 0 40)
+          (triple (int_range 0 (n - 1)) (int_range 0 (n - 1))
+             (map (fun k -> float_of_int (k + 1) /. 2.0) (int_range 0 3)))
+      in
+      (n, triplets))
+  in
+  let arb_weighted =
+    make
+      ~print:(fun (n, t) ->
+        Printf.sprintf "n=%d [%s]" n
+          (String.concat ";"
+             (List.map (fun (i, j, v) -> Printf.sprintf "(%d,%d,%g)" i j v) t)))
+      gen_weighted
+  in
   [
     Test.make ~count:300 ~name:"in-place engine matches seed engine on random graphs"
       arb_graph (fun (n, edges) ->
@@ -284,6 +435,27 @@ let qcheck_differential =
         Partition.equal p_ref p_new
         && Refiner.is_stable spec p_new
         && Partition.is_refinement_of p_new initial);
+    Test.make ~count:300 ~name:"interned pipeline matches generic on random graphs"
+      arb_graph (fun (n, edges) ->
+        let initial = Partition.group_by n (fun i -> i mod 3) compare in
+        let p_gen = Refiner.comp_lumping (graph_spec edges n) ~initial in
+        let p_int = Refiner.comp_lumping_interned (interned_graph_spec edges n) ~initial in
+        Partition.equal p_gen p_int);
+    Test.make ~count:300
+      ~name:"float pipeline matches generic and seed engines on random flat specs"
+      arb_weighted (fun (n, triplets) ->
+        let r = Mdl_sparse.Csr.of_triplets ~rows:n ~cols:n triplets in
+        let initial = Partition.group_by n (fun i -> i mod 3) compare in
+        List.for_all
+          (fun mode ->
+            let spec = Mdl_lumping.State_lumping.refiner_spec mode r in
+            let p_ref = Refiner_reference.comp_lumping spec ~initial in
+            let p_gen =
+              Mdl_lumping.State_lumping.coarsest ~generic:true mode r ~initial
+            in
+            let p_flt = Mdl_lumping.State_lumping.coarsest mode r ~initial in
+            Partition.equal p_ref p_gen && Partition.equal p_gen p_flt)
+          [ Mdl_lumping.State_lumping.Ordinary; Mdl_lumping.State_lumping.Exact ]);
   ]
 
 let qcheck_tests =
@@ -355,6 +527,11 @@ let tests =
     Alcotest.test_case "stats: one giant class" `Quick test_stats_giant_class;
     Alcotest.test_case "stats: singletons + large class" `Quick test_stats_singleton_mixed;
     Alcotest.test_case "stats: add_stats" `Quick test_add_stats;
+    Alcotest.test_case "counting-sort threshold" `Quick test_use_counting_sort_threshold;
+    Alcotest.test_case "counting-sort pipeline" `Quick test_counting_sort_pipeline;
+    Alcotest.test_case "per-pipeline counters" `Quick test_pipeline_counters;
+    Alcotest.test_case "intern table reuse" `Quick test_intern_table_reuse;
+    Alcotest.test_case "run dispatch" `Quick test_run_dispatch;
     Alcotest.test_case "differential: oracle chains" `Quick test_differential_oracle_chains;
   ]
   @ List.map QCheck_alcotest.to_alcotest (qcheck_tests @ qcheck_differential)

@@ -127,6 +127,47 @@ let test_sortx () =
   Mdl_util.Sortx.sort_by compare empty;
   Alcotest.(check (array int)) "empty ok" [||] empty
 
+(* Naive model of the fused run sorts: stable sort of (cls, key, state)
+   triples, only the first n entries, trailing scratch untouched. *)
+let check_sort_runs ~sort ~pp_key cls keys states n =
+  let expect =
+    Array.init n (fun i -> (cls.(i), keys.(i), states.(i)))
+  in
+  Array.stable_sort compare expect;
+  let tail_c = Array.sub cls n (Array.length cls - n) in
+  let tail_k = Array.sub keys n (Array.length keys - n) in
+  let tail_s = Array.sub states n (Array.length states - n) in
+  sort ~cls ~keys ~states n;
+  for i = 0 to n - 1 do
+    let c, k, s = expect.(i) in
+    if cls.(i) <> c || keys.(i) <> k || states.(i) <> s then
+      Alcotest.fail
+        (Printf.sprintf "entry %d: got (%d,%s,%d) want (%d,%s,%d)" i cls.(i)
+           (pp_key keys.(i)) states.(i) c (pp_key k) s)
+  done;
+  Alcotest.(check (array int)) "cls tail untouched" tail_c
+    (Array.sub cls n (Array.length cls - n));
+  Alcotest.(check (array int)) "state tail untouched" tail_s
+    (Array.sub states n (Array.length states - n));
+  if tail_k <> Array.sub keys n (Array.length keys - n) then
+    Alcotest.fail "key tail touched"
+
+let test_sort_runs_fused () =
+  let g = Prng.of_seed 1234 in
+  for trial = 0 to 49 do
+    let n = Prng.int g 64 in
+    let cap = n + Prng.int g 8 in
+    ignore trial;
+    let cls = Array.init cap (fun _ -> Prng.int g 5) in
+    let states = Array.init cap (fun i -> i) in
+    let fkeys = Array.init cap (fun _ -> float_of_int (Prng.int g 6) /. 2.0) in
+    check_sort_runs ~sort:Mdl_util.Sortx.sort_runs_float ~pp_key:string_of_float
+      (Array.copy cls) fkeys (Array.copy states) n;
+    let ikeys = Array.init cap (fun _ -> Prng.int g 6) in
+    check_sort_runs ~sort:Mdl_util.Sortx.sort_runs_int ~pp_key:string_of_int
+      (Array.copy cls) ikeys (Array.copy states) n
+  done
+
 let test_kahan () =
   let a = Array.make 10_000 0.1 in
   Alcotest.(check bool) "kahan sum" true
@@ -215,6 +256,7 @@ let tests =
     Alcotest.test_case "timer monotonic" `Quick test_timer_monotonic;
     Alcotest.test_case "dynarray no space leak" `Quick test_dynarray_no_leak;
     Alcotest.test_case "sortx stable sort" `Quick test_sortx;
+    Alcotest.test_case "sortx fused run sorts" `Quick test_sort_runs_fused;
     Alcotest.test_case "kahan summation" `Quick test_kahan;
     Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
     Alcotest.test_case "prng split" `Quick test_prng_split_independent;
