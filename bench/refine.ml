@@ -8,9 +8,15 @@
    the seed).
 
    Multi-level scenarios time [Compositional.lump] end to end (per-level
-   initial partitions, fixed-point refinement through the interned-key
-   pipeline, diagram rebuild) against the same run forced through the
-   generic pipeline, checking both produce identical partitions.
+   initial partitions, fixed-point refinement, diagram rebuild) in three
+   configurations: the generic closure pipeline, the interned-key
+   pipeline without memoisation (the pre-cache baseline, from-scratch
+   rebuild), and the memoised pipeline (key cache + singleton skip +
+   incremental rebuild) sharing one [Key_cache] — and hence one hot
+   intern table — across every multi-level scenario.  All three must
+   produce identical partitions, and the cached run's lumped diagram
+   must be structurally equal to the uncached one; the cached run
+   slower than the interned baseline is a regression.
 
    Every scenario records the refiner's per-pipeline counters.  Results
    go to BENCH_refine.json (schema checked by
@@ -53,6 +59,10 @@ let min_time ~repeats f =
   let best = ref infinity in
   let out = ref None in
   for _ = 1 to repeats do
+    (* Start each repeat from a settled heap: later configs of a race
+       otherwise inherit the earlier configs' garbage and eat their
+       major collections mid-measurement. *)
+    Gc.full_major ();
     let r, s = Mdl_util.Timer.time f in
     if s < !best then best := s;
     out := Some r
@@ -72,12 +82,17 @@ let stats_json s =
         "counting_sort_passes": %d,
         "fallback_passes": %d,
         "intern_keys": %d,
+        "cache_hits": %d,
+        "cache_misses": %d,
+        "nodes_rebuilt": %d,
+        "nodes_reused": %d,
         "wall_s": %.6f
       }|}
     s.Refiner.splitter_passes s.Refiner.key_evals s.Refiner.splits
     s.Refiner.blocks_created s.Refiner.largest_skips s.Refiner.float_passes
     s.Refiner.interned_passes s.Refiner.counting_sort_passes s.Refiner.fallback_passes
-    s.Refiner.intern_keys s.Refiner.wall_s
+    s.Refiner.intern_keys s.Refiner.cache_hits s.Refiner.cache_misses
+    s.Refiner.nodes_rebuilt s.Refiner.nodes_reused s.Refiner.wall_s
 
 (* ---- flat scenarios ---- *)
 
@@ -194,39 +209,53 @@ let kanban_ml_scenario ~name ~cards =
     ml_initial = b.Mdl_models.Kanban.initial;
   }
 
-let run_multilevel ~repeats sc =
+let run_multilevel ~repeats ~cache sc =
+  (* One end-to-end lump is milliseconds, not seconds: triple the repeat
+     count so the min is robust against scheduler/GC noise (the
+     cached-vs-interned ratio is a CI gate). *)
+  let repeats = 3 * repeats in
   let states = Mdl_md.Statespace.size sc.statespace in
   Printf.printf "%-24s %7d states %8d levels .. %!" sc.ml_name states
     (Mdl_md.Md.levels sc.md);
-  let lump ~specialised () =
-    Compositional.lump ~specialised Mdl_lumping.State_lumping.Ordinary sc.md
-      ~rewards:sc.rewards ~initial:sc.ml_initial
+  let lump ~specialised ~memoise () =
+    Compositional.lump ~specialised ~memoise ~cache Mdl_lumping.State_lumping.Ordinary
+      sc.md ~rewards:sc.rewards ~initial:sc.ml_initial
   in
-  (* End-to-end: initial partitions + refinement + diagram rebuild. *)
-  let r_gen, generic_s = min_time ~repeats (lump ~specialised:false) in
-  let r_spec, specialised_s = min_time ~repeats (lump ~specialised:true) in
-  let same =
-    Array.length r_gen.Compositional.partitions
-    = Array.length r_spec.Compositional.partitions
-    && Array.for_all2 Partition.equal r_gen.Compositional.partitions
-         r_spec.Compositional.partitions
+  (* End-to-end: initial partitions + refinement + diagram rebuild.
+     [cache] is shared across scenarios (and ignored by the first two
+     configurations), so the cached run sees a hot intern table. *)
+  let r_gen, generic_s = min_time ~repeats (lump ~specialised:false ~memoise:false) in
+  let r_int, interned_s = min_time ~repeats (lump ~specialised:true ~memoise:false) in
+  let r_mem, cached_s = min_time ~repeats (lump ~specialised:true ~memoise:true) in
+  let same_partitions a b =
+    Array.length a.Compositional.partitions = Array.length b.Compositional.partitions
+    && Array.for_all2 Partition.equal a.Compositional.partitions
+         b.Compositional.partitions
   in
-  if not same then begin
+  if not (same_partitions r_gen r_int && same_partitions r_int r_mem) then begin
     Printf.printf "PIPELINES DISAGREE\n";
-    Printf.eprintf "FATAL: %s: specialised and generic lump partitions differ\n"
+    Printf.eprintf "FATAL: %s: lump configurations compute different partitions\n"
+      sc.ml_name;
+    exit 1
+  end;
+  if not (Mdl_md.Md.equal r_mem.Compositional.lumped r_int.Compositional.lumped) then begin
+    Printf.printf "DIAGRAMS DISAGREE\n";
+    Printf.eprintf
+      "FATAL: %s: cached/incremental lumped diagram differs from the uncached one\n"
       sc.ml_name;
     exit 1
   end;
   let stats = Refiner.create_stats () in
-  ignore
-    (Compositional.lump ~specialised:true ~stats Mdl_lumping.State_lumping.Ordinary sc.md
-       ~rewards:sc.rewards ~initial:sc.ml_initial);
+  ignore (Compositional.lump ~specialised:true ~memoise:true ~cache ~stats
+            Mdl_lumping.State_lumping.Ordinary sc.md ~rewards:sc.rewards
+            ~initial:sc.ml_initial);
   let lumped_states =
     Mdl_md.Statespace.size
-      (Compositional.lump_statespace r_spec sc.statespace)
+      (Compositional.lump_statespace r_mem sc.statespace)
   in
-  Printf.printf "%d lumped  generic %.4fs  interned %.4fs  (%.2fx end-to-end)\n"
-    lumped_states generic_s specialised_s (generic_s /. specialised_s);
+  Printf.printf
+    "%d lumped  generic %.4fs  interned %.4fs  cached %.4fs  (%.2fx vs interned)\n"
+    lumped_states generic_s interned_s cached_s (interned_s /. cached_s);
   let json =
     Printf.sprintf
       {|    {
@@ -237,13 +266,25 @@ let run_multilevel ~repeats sc =
       "lumped_states": %d,
       "generic_s": %.6f,
       "specialised_s": %.6f,
+      "cached_s": %.6f,
       "speedup_vs_generic": %.3f,
+      "speedup_cached_vs_interned": %.3f,
       %s
     }|}
-      sc.ml_name states (Mdl_md.Md.levels sc.md) lumped_states generic_s specialised_s
-      (generic_s /. specialised_s) (stats_json stats)
+      sc.ml_name states (Mdl_md.Md.levels sc.md) lumped_states generic_s interned_s
+      cached_s
+      (generic_s /. interned_s)
+      (interned_s /. cached_s)
+      (stats_json stats)
   in
-  { json; o_name = sc.ml_name; regression = None }
+  let regression =
+    if cached_s > interned_s then
+      Some
+        (Printf.sprintf "%s: memoised lump slower than uncached interned (%.4fs vs %.4fs)"
+           sc.ml_name cached_s interned_s)
+    else None
+  in
+  { json; o_name = sc.ml_name; regression }
 
 let () =
   let smoke = ref false in
@@ -280,8 +321,12 @@ let () =
         ] )
   in
   let repeats = if !smoke then 2 else 3 in
+  (* One cache for the whole sweep: each scenario rebinds it (dropping
+     the memoised rows) but keeps accumulating the shared intern table. *)
+  let cache = Mdl_core.Key_cache.create () in
   let outcomes =
-    List.map (run_flat ~repeats) flat @ List.map (run_multilevel ~repeats) multilevel
+    List.map (run_flat ~repeats) flat
+    @ List.map (run_multilevel ~repeats ~cache) multilevel
   in
   let oc = open_out !out in
   Printf.fprintf oc

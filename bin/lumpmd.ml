@@ -97,7 +97,7 @@ let setup_logging verbose =
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
 
 let run inst mode key solve check_optimal dot_file export_file merge_level show_stats
-    generic_refiner =
+    generic_refiner no_key_cache =
   Printf.printf "model: %s\n" inst.name;
   (* Optional level merging before lumping (exposes cross-level
      symmetries at the price of a bigger level; reward measures are not
@@ -137,8 +137,8 @@ let run inst mode key solve check_optimal dot_file export_file merge_level show_
           | l -> List.map snd l
         in
         Compositional.lump ~key ~stats:refine_stats
-          ~specialised:(not generic_refiner) mode inst.md ~rewards
-          ~initial:inst.initial)
+          ~specialised:(not generic_refiner) ~memoise:(not no_key_cache) mode inst.md
+          ~rewards ~initial:inst.initial)
   in
   Array.iteri
     (fun i p ->
@@ -164,7 +164,16 @@ let run inst mode key solve check_optimal dot_file export_file merge_level show_
        sorted), %d generic fallback passes, %d max interned alphabet\n"
       s.Mdl_partition.Refiner.float_passes s.Mdl_partition.Refiner.interned_passes
       s.Mdl_partition.Refiner.counting_sort_passes
-      s.Mdl_partition.Refiner.fallback_passes s.Mdl_partition.Refiner.intern_keys
+      s.Mdl_partition.Refiner.fallback_passes s.Mdl_partition.Refiner.intern_keys;
+    let lookups = s.Mdl_partition.Refiner.cache_hits + s.Mdl_partition.Refiner.cache_misses in
+    Printf.printf
+      "key cache: %d hits, %d misses%s; rebuild: %d nodes rebuilt, %d reused verbatim\n"
+      s.Mdl_partition.Refiner.cache_hits s.Mdl_partition.Refiner.cache_misses
+      (if lookups = 0 then " (cache off)"
+       else
+         Printf.sprintf " (%.1f%% hit rate)"
+           (100.0 *. float_of_int s.Mdl_partition.Refiner.cache_hits /. float_of_int lookups))
+      s.Mdl_partition.Refiner.nodes_rebuilt s.Mdl_partition.Refiner.nodes_reused
   end;
   let closed = Compositional.is_closed result ss in
   if not closed then print_endline "WARNING: reachable set not class-closed";
@@ -270,6 +279,11 @@ let generic_refiner_arg =
        & info [ "generic-refiner" ]
            ~doc:"Refine through the generic closure-based key pipeline instead of the specialised (interned-key / float) pipelines. Same partitions, slower; for comparison and debugging.")
 
+let no_key_cache_arg =
+  Arg.(value & flag
+       & info [ "no-key-cache" ]
+           ~doc:"Disable the splitter-key cache and incremental lumped rebuild (the memoised path is on by default). Same partitions, same lumped diagram, same splitter-pass count; more key-evaluation work. For comparison and debugging.")
+
 let check_arg =
   Arg.(value & flag & info [ "check-optimal" ] ~doc:"Run flat state-level lumping on the lumped chain (Section 5's optimality check).")
 
@@ -294,71 +308,72 @@ let tandem_cmd =
   let hdim = Arg.(value & opt int 3 & info [ "hyper-dim" ] ~doc:"Hypercube dimension (2^d servers).") in
   let ms = Arg.(value & opt int 3 & info [ "msmq-servers" ] ~doc:"MSMQ servers.") in
   let mq = Arg.(value & opt int 4 & info [ "msmq-queues" ] ~doc:"MSMQ queues.") in
-  let f jobs hdim ms mq mode key solve check dot export merge stats generic verbose =
+  let f jobs hdim ms mq mode key solve check dot export merge stats generic no_cache verbose =
     setup_logging verbose;
     run (build_tandem jobs hdim ms mq) mode key solve check dot export merge stats generic
+      no_cache
   in
   Cmd.v
     (Cmd.info "tandem" ~doc:"The paper's tandem multi-processor system (Section 5).")
     Term.(
       const f $ jobs $ hdim $ ms $ mq $ mode_arg $ key_arg $ solve_arg $ check_arg
-      $ dot_arg $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ verbose_arg)
+      $ dot_arg $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ verbose_arg)
 
 let polling_cmd =
   let customers =
     Arg.(value & opt int 4 & info [ "customers"; "c" ] ~doc:"Closed population.")
   in
-  let f customers mode key solve check dot export merge stats generic verbose =
+  let f customers mode key solve check dot export merge stats generic no_cache verbose =
     setup_logging verbose;
-    run (build_polling customers) mode key solve check dot export merge stats generic
+    run (build_polling customers) mode key solve check dot export merge stats generic no_cache
   in
   Cmd.v
     (Cmd.info "polling" ~doc:"The MSMQ polling station in isolation.")
     Term.(
       const f $ customers $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ verbose_arg)
 
 let workstations_cmd =
   let stations =
     Arg.(value & opt int 4 & info [ "stations"; "n" ] ~doc:"Number of workstations.")
   in
-  let f stations mode key solve check dot export merge stats generic verbose =
+  let f stations mode key solve check dot export merge stats generic no_cache verbose =
     setup_logging verbose;
-    run (build_workstations stations) mode key solve check dot export merge stats generic
+    run (build_workstations stations) mode key solve check dot export merge stats generic no_cache
   in
   Cmd.v
     (Cmd.info "workstations" ~doc:"Replicated workstation cluster with a spare store.")
     Term.(
       const f $ stations $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ verbose_arg)
 
 let multitier_cmd =
   let clients =
     Arg.(value & opt int 3 & info [ "clients"; "c" ] ~doc:"Closed population.")
   in
-  let f clients mode key solve check dot export merge stats generic verbose =
+  let f clients mode key solve check dot export merge stats generic no_cache verbose =
     setup_logging verbose;
-    run (build_multitier clients) mode key solve check dot export merge stats generic
+    run (build_multitier clients) mode key solve check dot export merge stats generic no_cache
   in
   Cmd.v
     (Cmd.info "multitier" ~doc:"Closed multi-tier service system (4-level MD).")
     Term.(
       const f $ clients $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ verbose_arg)
 
 let kanban_cmd =
   let cards =
     Arg.(value & opt int 2 & info [ "cards"; "n" ] ~doc:"Kanban cards per cell.")
   in
-  let f cards mode key solve check dot export merge stats generic verbose =
+  let f cards mode key solve check dot export merge stats generic no_cache verbose =
     setup_logging verbose;
-    run (build_kanban cards) mode key solve check dot export merge stats generic
+    run (build_kanban cards) mode key solve check dot export merge stats generic no_cache
   in
   Cmd.v
     (Cmd.info "kanban" ~doc:"The Kanban manufacturing system (4-level MD benchmark).")
     Term.(
       const f $ cards $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ verbose_arg)
 
 let main =
   Cmd.group

@@ -6,59 +6,190 @@ module Md = Mdl_md.Md
 module Formal_sum = Mdl_md.Formal_sum
 module Statespace = Mdl_md.Statespace
 module Partition = Mdl_partition.Partition
+module Refiner = Mdl_partition.Refiner
 
 type result = {
   lumped : Md.t;
   partitions : Partition.t array;
 }
 
-let rebuild mode md partitions =
+(* A level partition is the identity when every state is its own class
+   id.  Only then may class ids be used interchangeably with state ids,
+   which is what the verbatim-reuse paths below rely on; a discrete but
+   renumbered partition (possible through [lump_with_partitions]) does
+   not qualify.  [Level_lumping.comp_lumping_level] canonicalises its
+   discrete results to the identity, so lump runs always hit the fast
+   path when a level does not lump. *)
+let is_identity p =
+  let n = Partition.size p in
+  Partition.num_classes p = n
+  &&
+  let ok = ref true in
+  for s = 0 to n - 1 do
+    if Partition.class_of p s <> s then ok := false
+  done;
+  !ok
+
+let bump_rebuilt stats n =
+  match stats with
+  | Some st -> st.Refiner.nodes_rebuilt <- st.Refiner.nodes_rebuilt + n
+  | None -> ()
+
+let bump_reused stats n =
+  match stats with
+  | Some st -> st.Refiner.nodes_reused <- st.Refiner.nodes_reused + n
+  | None -> ()
+
+let rebuild ?stats ?(incremental = true) mode md partitions =
   let nlevels = Md.levels md in
-  let new_sizes = Array.map Partition.num_classes partitions in
-  let out = Md.create ~sizes:new_sizes in
-  let node_map = Hashtbl.create 64 in
-  Hashtbl.add node_map (Md.terminal md) (Md.terminal out);
-  let remap child =
-    match Hashtbl.find_opt node_map child with
-    | Some id -> id
-    | None -> invalid_arg "Compositional.rebuild: dangling child reference"
+  (* [incremental:false] restores the from-scratch rebuild (every node
+     reconstructed entry by entry) — the faithful uncached baseline the
+     bench races the memoised path against. *)
+  let identity =
+    if incremental then Array.map is_identity partitions
+    else Array.map (fun _ -> false) partitions
   in
-  let live = Md.live_nodes md in
-  for level = nlevels downto 1 do
-    let p = partitions.(level - 1) in
-    List.iter
-      (fun node ->
-        let entries = ref [] in
-        (match mode with
+  if Array.for_all Fun.id identity then begin
+    (* Nothing lumps at any level: the lumped diagram is the input
+       diagram itself.  Alias it (the result shares the node store)
+       instead of copying node by node. *)
+    bump_reused stats (Md.num_live_nodes md);
+    md
+  end
+  else begin
+    let new_sizes = Array.map Partition.num_classes partitions in
+    let out = Md.create ~sizes:new_sizes in
+    let node_map = Hashtbl.create 64 in
+    Hashtbl.add node_map (Md.terminal md) (Md.terminal out);
+    let remap child =
+      match Hashtbl.find_opt node_map child with
+      | Some id -> id
+      | None -> invalid_arg "Compositional.rebuild: dangling child reference"
+    in
+    let live = Md.live_nodes md in
+    for level = nlevels downto 1 do
+      let p = partitions.(level - 1) in
+      if identity.(level - 1) then
+        (* Identity level: every quotient node is the original node with
+           children remapped — import verbatim, skipping the quotient
+           entry construction and [add_node]'s validation/sort. *)
+        List.iter
+          (fun node ->
+            Hashtbl.replace node_map node (Md.import_node out ~level md node remap);
+            bump_reused stats 1)
+          live.(level - 1)
+      else if incremental then begin
+        (* Fast quotient build: flat class-indexed accumulation emitted
+           through the raw sorted-rows constructor, skipping
+           [add_node]'s per-entry hashing/validation/sort.  Entries are
+           folded in {e descending} (row, col) order — the order
+           [add_node] combines a consed entry list in — so the
+           floating-point coefficients come out bit-identical to the
+           from-scratch path and both paths hash-cons to equal
+           diagrams. *)
+        let nc = Partition.num_classes p in
+        match mode with
         | Mdl_lumping.State_lumping.Ordinary ->
             (* Representative rows, class-summed columns. *)
-            for ci = 0 to Partition.num_classes p - 1 do
-              let rep = Partition.representative p ci in
-              List.iter
-                (fun (c, sum) ->
-                  entries :=
-                    (ci, Partition.class_of p c, Formal_sum.map_children remap sum)
-                    :: !entries)
-                (Md.node_row md node rep)
-            done
+            let acc = Array.make nc Formal_sum.empty in
+            let seen = Array.make nc false in
+            List.iter
+              (fun node ->
+                let rows = Array.make nc [||] in
+                for ci = 0 to nc - 1 do
+                  let rep = Partition.representative p ci in
+                  let cols = ref [] in
+                  Md.rev_iter_node_row md node rep (fun c sum ->
+                      let cj = Partition.class_of p c in
+                      if not seen.(cj) then begin
+                        seen.(cj) <- true;
+                        cols := cj :: !cols
+                      end;
+                      acc.(cj) <- Formal_sum.add acc.(cj) (Formal_sum.map_children remap sum));
+                  let row =
+                    List.filter_map
+                      (fun cj ->
+                        let s = acc.(cj) in
+                        acc.(cj) <- Formal_sum.empty;
+                        seen.(cj) <- false;
+                        if Formal_sum.is_empty s then None else Some (cj, s))
+                      (List.sort compare !cols)
+                  in
+                  rows.(ci) <- Array.of_list row
+                done;
+                Hashtbl.replace node_map node (Md.add_node_sorted_rows out ~level rows);
+                bump_rebuilt stats 1)
+              live.(level - 1)
         | Mdl_lumping.State_lumping.Exact ->
             (* Aggregated form: all entries, scaled by 1/|C_row|. *)
-            Md.iter_node_entries md node (fun r c sum ->
-                let ci = Partition.class_of p r in
-                let w = 1.0 /. float_of_int (Partition.class_size p ci) in
-                entries :=
-                  ( ci,
-                    Partition.class_of p c,
-                    Formal_sum.scale w (Formal_sum.map_children remap sum) )
-                  :: !entries));
-        let new_id = Md.add_node out ~level !entries in
-        Hashtbl.replace node_map node new_id)
-      live.(level - 1)
-  done;
-  Md.set_root out (remap (Md.root md));
-  out
+            let acc = Array.make (nc * nc) Formal_sum.empty in
+            let seen = Array.make (nc * nc) false in
+            List.iter
+              (fun node ->
+                let touched = ref [] in
+                Md.rev_iter_node_entries md node (fun r c sum ->
+                    let ci = Partition.class_of p r in
+                    let w = 1.0 /. float_of_int (Partition.class_size p ci) in
+                    let idx = (ci * nc) + Partition.class_of p c in
+                    if not seen.(idx) then begin
+                      seen.(idx) <- true;
+                      touched := idx :: !touched
+                    end;
+                    acc.(idx) <-
+                      Formal_sum.add acc.(idx)
+                        (Formal_sum.scale w (Formal_sum.map_children remap sum)));
+                let per_row = Array.make nc [] in
+                (* Descending index order, so each row list conses up
+                   ascending. *)
+                List.iter
+                  (fun idx ->
+                    let s = acc.(idx) in
+                    acc.(idx) <- Formal_sum.empty;
+                    seen.(idx) <- false;
+                    if not (Formal_sum.is_empty s) then
+                      per_row.(idx / nc) <- ((idx mod nc), s) :: per_row.(idx / nc))
+                  (List.sort (fun a b -> compare (b : int) a) !touched);
+                let rows = Array.map Array.of_list per_row in
+                Hashtbl.replace node_map node (Md.add_node_sorted_rows out ~level rows);
+                bump_rebuilt stats 1)
+              live.(level - 1)
+      end
+      else
+        List.iter
+          (fun node ->
+            let entries = ref [] in
+            (match mode with
+            | Mdl_lumping.State_lumping.Ordinary ->
+                (* Representative rows, class-summed columns. *)
+                for ci = 0 to Partition.num_classes p - 1 do
+                  let rep = Partition.representative p ci in
+                  List.iter
+                    (fun (c, sum) ->
+                      entries :=
+                        (ci, Partition.class_of p c, Formal_sum.map_children remap sum)
+                        :: !entries)
+                    (Md.node_row md node rep)
+                done
+            | Mdl_lumping.State_lumping.Exact ->
+                (* Aggregated form: all entries, scaled by 1/|C_row|. *)
+                Md.iter_node_entries md node (fun r c sum ->
+                    let ci = Partition.class_of p r in
+                    let w = 1.0 /. float_of_int (Partition.class_size p ci) in
+                    entries :=
+                      ( ci,
+                        Partition.class_of p c,
+                        Formal_sum.scale w (Formal_sum.map_children remap sum) )
+                      :: !entries));
+            let new_id = Md.add_node out ~level !entries in
+            Hashtbl.replace node_map node new_id;
+            bump_rebuilt stats 1)
+          live.(level - 1)
+    done;
+    Md.set_root out (remap (Md.root md));
+    out
+  end
 
-let lump_with_partitions mode md partitions =
+let lump_with_partitions ?stats ?incremental mode md partitions =
   if Array.length partitions <> Md.levels md then
     invalid_arg "Compositional.lump_with_partitions: level count mismatch";
   Array.iteri
@@ -66,33 +197,52 @@ let lump_with_partitions mode md partitions =
       if Partition.size p <> Md.size md (i + 1) then
         invalid_arg "Compositional.lump_with_partitions: partition size mismatch")
     partitions;
-  { lumped = rebuild mode md partitions; partitions }
+  { lumped = rebuild ?stats ?incremental mode md partitions; partitions }
 
-let lump ?eps ?key ?stats ?specialised mode md ~rewards ~initial =
+let lump ?eps ?key ?stats ?(specialised = true) ?(memoise = true) ?cache mode md
+    ~rewards ~initial =
+  (* The key cache rides on the interned pipeline; under the generic
+     baseline (or with memoisation off) no cache is used at all. *)
+  let cache =
+    if not (memoise && specialised) then None
+    else Some (match cache with Some c -> c | None -> Key_cache.create ())
+  in
+  (* Rebinding clears the memoised rows: they are only sound within one
+     monotone refinement run per level.  The intern table and (same-md)
+     flatten context survive the rebind. *)
+  (match cache with Some c -> Key_cache.bind c md | None -> ());
   let partitions =
     Array.init (Md.levels md) (fun i ->
         let level = i + 1 in
         let p_ini =
           Level_lumping.initial_partition ?eps mode md ~level ~rewards ~initial
         in
-        let level_stats = Mdl_partition.Refiner.create_stats () in
+        let level_stats = Refiner.create_stats () in
         let p, dt =
           Mdl_util.Timer.time (fun () ->
-              Level_lumping.comp_lumping_level ?eps ?key ~stats:level_stats ?specialised
-                mode md ~level ~initial:p_ini)
+              Level_lumping.comp_lumping_level ?eps ?key ~stats:level_stats ~specialised
+                ?cache mode md ~level ~initial:p_ini)
         in
         Log.debug (fun m ->
             m "level %d: %d -> %d classes (P_ini %d) in %.3fs [refiner: %a]" level
               (Partition.size p)
               (Partition.num_classes p)
               (Partition.num_classes p_ini)
-              dt Mdl_partition.Refiner.pp_stats level_stats);
+              dt Refiner.pp_stats level_stats);
         (match stats with
-        | Some dst -> Mdl_partition.Refiner.add_stats dst level_stats
+        | Some dst -> Refiner.add_stats dst level_stats
         | None -> ());
         p)
   in
-  lump_with_partitions mode md partitions
+  let r, dt =
+    Mdl_util.Timer.time (fun () ->
+        lump_with_partitions ?stats ~incremental:memoise mode md partitions)
+  in
+  Log.debug (fun m ->
+      m "rebuild: %d nodes -> %d nodes in %.3fs%s" (Md.num_live_nodes md)
+        (Md.num_live_nodes r.lumped) dt
+        (if r.lumped == md then " (aliased: nothing lumped)" else ""));
+  r
 
 let class_tuple r s =
   if Array.length s <> Array.length r.partitions then

@@ -22,12 +22,19 @@ type result = {
       (** [partitions.(l-1)] partitions the original [S_l]; its class
           ids are the index set of level [l] of [lumped] *)
 }
+(** When no level lumps anything (every partition is the identity),
+    [lumped] {e aliases} the input diagram — same store, same root —
+    rather than holding a node-by-node copy.  Nodes are immutable, so
+    this is observable only through physical equality and shared
+    [add_node] effects on the store. *)
 
 val lump :
   ?eps:float ->
   ?key:Local_key.choice ->
   ?stats:Mdl_partition.Refiner.stats ->
   ?specialised:bool ->
+  ?memoise:bool ->
+  ?cache:Key_cache.t ->
   Mdl_lumping.State_lumping.mode ->
   Mdl_md.Md.t ->
   rewards:Decomposed.t list ->
@@ -40,20 +47,43 @@ val lump :
     [specialised] (default [true]) selects the interned-key refinement
     pipeline per level — see {!Level_lumping.comp_lumping_level}.
 
+    [memoise] (default [true]) runs the specialised path through a
+    splitter-key cache ({!Key_cache}): per-node column walks are
+    memoised across fixed-point passes, key accumulation skips
+    singleton classes, the intern table is shared across all levels,
+    and the rebuild reuses nodes of identity levels verbatim (aliasing
+    the whole diagram when nothing lumps).  [~memoise:false] restores
+    the uncached pipeline — same partitions, same lumped diagram, same
+    splitter-pass count (pinned by the differential property tests),
+    more key-evaluation work.  Pass [cache] to share one cache (and its
+    hot intern table) across several lump calls — e.g. a bench sweep;
+    the cache is (re)bound to [md] at the start of the run, which
+    discards its memoised rows but keeps the interned-key storage.
+    [cache] is ignored when [memoise] or [specialised] is false.
+
     Observability: each level's refinement counters and wall time are
     logged on the [mdl.lump] source at debug level; pass [stats] to
     additionally accumulate the {!Mdl_partition.Refiner.stats} of every
     level into one record (the [--stats] flag of [bin/lumpmd] does
-    this). *)
+    this), including the cache hit/miss and node reuse counters. *)
 
 val lump_with_partitions :
+  ?stats:Mdl_partition.Refiner.stats ->
+  ?incremental:bool ->
   Mdl_lumping.State_lumping.mode ->
   Mdl_md.Md.t ->
   Mdl_partition.Partition.t array ->
   result
 (** Rebuild only, with externally supplied per-level partitions (assumed
     locally lumpable — used by tests and by callers that compute
-    partitions separately).
+    partitions separately).  With [incremental] (default [true]), levels
+    whose partition is the identity ([class_of s = s] for all [s]) are
+    imported node-for-node ({!Mdl_md.Md.import_node}); when {e every}
+    level is the identity the input diagram is aliased.
+    [~incremental:false] forces the from-scratch rebuild of every node —
+    the uncached baseline ([Compositional.lump ~memoise:false] uses it,
+    so the bench race measures cache plus incremental rebuild together).
+    [stats] receives the [nodes_rebuilt]/[nodes_reused] counters.
     @raise Invalid_argument on partition count/size mismatch. *)
 
 val class_tuple : result -> int array -> int array

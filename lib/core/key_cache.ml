@@ -1,0 +1,93 @@
+module Md = Mdl_md.Md
+module Refiner = Mdl_partition.Refiner
+
+(* A cached splitter-key row list is indexed by the *identity* of the
+   splitter class at evaluation time: the node whose matrix is being
+   walked, one member of the class, and the class size.  Under monotone
+   refinement (classes only ever shrink within one bound run) this
+   triple pins the member set exactly: the classes containing a given
+   element form a descending chain, every actual split strictly shrinks
+   each sub-block, so two classes of the chain with equal size are the
+   same set.  A split therefore invalidates structurally — the
+   (member, size) identity of every affected class changes and the stale
+   entries can never be looked up again within the run. *)
+(* Packed as one int, [(node * (dim + 1) + member) * (dim + 1) + len]
+   with [dim] the largest level size of the bound diagram: member < dim
+   and len <= dim, so the encoding is injective, and lookups avoid a
+   tuple allocation and its polymorphic hash. *)
+type rows_key = int (* node, member, class size *)
+
+(* [table] is the *global* intern table: Local_key -> stable small int
+   (gid), never cleared, so a key pays for structural hashing once per
+   miss and cached rows are pure int pairs.  The per-pass dense ranks
+   the counting sort needs are recovered from gids by the engine through
+   a separate identity-hash int table (see Level_lumping) — that one is
+   cleared every pass, this one must not be. *)
+type t = {
+  table : Local_key.t Refiner.intern_table;
+  mutable md : Md.t option;
+  mutable ctx : Local_key.context option;
+  mutable dim : int; (* 1 + max level size of the bound diagram *)
+  rows : (rows_key, int array * int array) Hashtbl.t; (* states, gids *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+let create () =
+  {
+    table = Refiner.intern_table ~hash:Local_key.hash ~equal:Local_key.equal ();
+    md = None;
+    ctx = None;
+    dim = 1;
+    rows = Hashtbl.create 1024;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+  }
+
+let bind t md =
+  Hashtbl.reset t.rows;
+  match t.md with
+  | Some prev when prev == md -> ()
+  | _ ->
+      t.md <- Some md;
+      t.dim <- 1 + Array.fold_left max 0 (Md.sizes md);
+      t.ctx <- Some (Local_key.make_context md)
+
+let bound_md t = t.md
+
+let context t =
+  match t.ctx with
+  | Some ctx -> ctx
+  | None -> invalid_arg "Key_cache.context: cache not bound to a diagram (use bind)"
+
+let intern_table t = t.table
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let invalidations t = t.invalidations
+
+let splitter_keys ?eps ?skip t choice mode ~node ((perm, first, len) as slice) =
+  let key = (((node * t.dim) + perm.(first)) * t.dim) + len in
+  match Hashtbl.find_opt t.rows key with
+  | Some rows ->
+      t.hits <- t.hits + 1;
+      rows
+  | None ->
+      t.misses <- t.misses + 1;
+      let keyed = Local_key.splitter_keys ?eps ?skip (context t) choice mode node slice in
+      let m = List.length keyed in
+      let states = Array.make m 0 and gids = Array.make m 0 in
+      List.iteri
+        (fun i (s, k) ->
+          states.(i) <- s;
+          gids.(i) <- Refiner.intern t.table k)
+        keyed;
+      let rows = (states, gids) in
+      Hashtbl.add t.rows key rows;
+      rows
+
+let note_split t ~parent:_ ~ids = t.invalidations <- t.invalidations + List.length ids

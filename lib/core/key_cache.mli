@@ -1,0 +1,117 @@
+(** Memoisation of splitter-key evaluation across the refinement passes
+    of {!Compositional.lump}.
+
+    The fixed-point iteration of [CompLumpingLevel] (Figure 3(a))
+    re-walks every live node's rows once per splitter class {e per
+    pass}; after the first pass most classes are unchanged, so most of
+    those column walks recompute the very rows the previous pass
+    already produced.  A [Key_cache.t] memoises each
+    {!Local_key.splitter_keys} result — the [(state, K(node, s, C))]
+    list of one node/splitter-class pair — and carries two shared
+    resources with it:
+
+    - a {e global} {!type:Mdl_partition.Refiner.intern_table} hash-consing
+      key values to stable small integers (gids), shared across {e all}
+      levels of a lump run and across models of a bench sweep (it is
+      never cleared, so its contents persist across {!bind}s).  Cached
+      rows store [(state, gid)] pairs, so a cache hit involves no
+      structural key hashing or equality at all — each distinct key pays
+      for hashing once, at miss time.  The per-pass dense ranks of the
+      interned refinement pipeline are recovered from gids through an
+      identity-hash [int] table on the engine side
+      ({!Level_lumping.comp_lumping_level});
+    - the {!Local_key.context} (expanded-matrix flattening memo), kept
+      for as long as the cache stays bound to the same diagram.
+
+    {b Cache identity and invalidation.}  An entry is keyed by
+    [(node, member, |C|)] — the node being walked, one member of the
+    splitter class and the class size at evaluation time.  Soundness
+    rests on monotonicity: within one {!bind}, every refinement run on a
+    node's level must start from a partition at least as coarse as it
+    ends (which the [comp_lumping_level] fixed point guarantees — the
+    per-level partition only ever gets finer, and
+    {!Mdl_partition.Refiner} preserves class identities between runs by
+    working on a {!Mdl_partition.Partition.copy}).  The classes
+    containing a given member then form a descending chain, every actual
+    split strictly shrinks each sub-block, so equal size means equal
+    member set.  Invalidation is therefore {e structural}: a split
+    changes the (member, size) identity of every affected class, and
+    stale entries become unreachable rather than wrong.  The engine's
+    split trace ({!Mdl_partition.Refiner.on_split}, wired to
+    {!note_split}) is surfaced as the {!invalidations} counter so the
+    churn is observable.
+
+    {b Contract.}  Callers must {!bind} before lookup, re-{!bind}
+    whenever a new (or restarted) refinement over a diagram begins, and
+    keep [eps] / key [choice] / lumping mode fixed between binds —
+    entries do not record them.  {!Compositional.lump} binds
+    automatically at the start of every run; sharing one cache across a
+    sweep of models is then safe and keeps the intern table hot. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, unbound cache with an empty intern table. *)
+
+val bind : t -> Mdl_md.Md.t -> unit
+(** [bind t md] prepares [t] for one lumping run over [md]: always
+    discards all memoised rows (they are only sound within one monotone
+    run), keeps the intern table's storage, and keeps the flattening
+    context when [md] is physically the diagram already bound. *)
+
+val bound_md : t -> Mdl_md.Md.t option
+(** The diagram the cache is currently bound to, if any. *)
+
+val context : t -> Local_key.context
+(** The bound diagram's {!Local_key.context}.
+    @raise Invalid_argument when the cache is unbound. *)
+
+val intern_table : t -> Local_key.t Mdl_partition.Refiner.intern_table
+(** The global key-to-gid table; survives {!bind} and is never cleared,
+    so gids are stable across levels, runs and models.  It must {e not}
+    be used as a refinement pipeline's [itable] (the engine would clear
+    it per pass and recycle gids under the cached rows). *)
+
+val splitter_keys :
+  ?eps:float ->
+  ?skip:(int -> bool) ->
+  t ->
+  Local_key.choice ->
+  Mdl_lumping.State_lumping.mode ->
+  node:Mdl_md.Md.node_id ->
+  Mdl_partition.Refiner.slice ->
+  int array * int array
+(** Memoising front-end to {!Local_key.splitter_keys}, with keys
+    replaced by their gids in the global {!intern_table}: returns the
+    cached parallel (states, gids) arrays — the shape
+    {!Mdl_partition.Refiner.comp_lumping_ranked} consumes — when the
+    splitter class's [(node, member, size)] identity has been evaluated
+    before in this bind, otherwise computes, interns, stores and returns
+    them.  The arrays are owned by the cache: callers must not mutate
+    them.  Gid equality coincides with {!Local_key.equal} (keys are
+    quantized before interning), so ranking gids groups exactly the same
+    states as ranking the keys themselves.
+    A hit may return a list computed under an
+    earlier (coarser) partition of the same class — by monotonicity it
+    is the same member set, and any states that have since become
+    singletons are harmless extra rows (they can no longer split
+    anything).  [skip] is applied only on misses; see
+    {!Local_key.splitter_keys}.
+    @raise Invalid_argument when the cache is unbound. *)
+
+val note_split : t -> parent:int -> ids:int list -> unit
+(** Split-trace sink (wire as the engine's
+    {!Mdl_partition.Refiner.on_split}): records that the classes [ids]
+    now have fresh cache identities, incrementing {!invalidations} by
+    the number of affected classes.  No entry needs to be removed — see
+    the structural-invalidation note above. *)
+
+val hits : t -> int
+(** Lookups answered from the cache since {!create} (never reset). *)
+
+val misses : t -> int
+(** Lookups that fell through to {!Local_key.splitter_keys}. *)
+
+val invalidations : t -> int
+(** Classes whose cache identity was retired by a split, as reported
+    through {!note_split}. *)

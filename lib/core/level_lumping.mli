@@ -29,6 +29,7 @@ val comp_lumping_level :
   ?key:Local_key.choice ->
   ?stats:Mdl_partition.Refiner.stats ->
   ?specialised:bool ->
+  ?cache:Key_cache.t ->
   Mdl_lumping.State_lumping.mode ->
   Mdl_md.Md.t ->
   level:int ->
@@ -44,12 +45,31 @@ val comp_lumping_level :
     [specialised] (default [true]) runs every per-node refinement
     through the interned-key pipeline
     ({!Mdl_partition.Refiner.comp_lumping_interned}), sharing one
-    {!Mdl_partition.Refiner.intern_table} across the whole fixed point;
+    {!type:Mdl_partition.Refiner.intern_table} across the whole fixed point;
     [~specialised:false] forces the generic closure-based pipeline.
     Both compute the same partition ({!Local_key.splitter_keys} emits
     quantized canonical keys, on which structural equality {e is}
     lumping-key equality — pinned by the differential tests).
-    @raise Invalid_argument on a bad level or partition size mismatch. *)
+
+    [cache] (specialised path only; ignored with
+    [~specialised:false]) memoises splitter-key evaluation through a
+    {!Key_cache.t}, skips key accumulation for classes already singleton
+    at the start of each per-node run, and reports the engine's split
+    trace to the cache.  The cache is auto-bound to [md] if bound
+    elsewhere (or unbound); when already bound to [md] its rows are
+    {e kept}, so the levels of one {!Compositional.lump} run share one
+    bind — callers invoking this function directly with a reused cache
+    must {!Key_cache.bind} between independent runs (the memo is only
+    sound while refinement of each level is monotone; see
+    {!Key_cache}).  Partitions, lumped diagrams and splitter-pass counts
+    are unchanged by the cache (pinned by the differential tests); only
+    key-evaluation work and the [key_evals] / [cache_*] counters differ.
+
+    The returned partition is canonicalised when fully discrete: if no
+    two states lump, the result is {!Mdl_partition.Partition.discrete}
+    (class ids = state ids), whatever ids refinement history would have
+    assigned.  @raise Invalid_argument on a bad level or partition size
+    mismatch. *)
 
 val key_intern_table : unit -> Local_key.t Mdl_partition.Refiner.intern_table
 (** A fresh interning table over {!Local_key.equal}/{!Local_key.hash} —

@@ -113,14 +113,19 @@ let expand ctx sum =
         (Csr.scale w0 (flatten ctx child0))
         rest
 
-let splitter_keys ?eps ctx choice mode node (perm, first, len) =
+let splitter_keys ?eps ?skip ctx choice mode node (perm, first, len) =
   (* Accumulate formal sums per touched state: over columns of the
      splitter for ordinary lumping (row sums R_n(s, C)), over rows for
-     exact lumping (column sums R_n(C, s)). *)
+     exact lumping (column sums R_n(C, s)).  States for which [skip]
+     holds are not accumulated at all: a state alone in its class can
+     never be split off, so its key — however expensive — can only ever
+     be compared against itself. *)
   let acc : (int, Formal_sum.t) Hashtbl.t = Hashtbl.create 32 in
+  let skip = match skip with Some f -> f | None -> fun _ -> false in
   let touch s sum =
-    let prev = Option.value ~default:Formal_sum.empty (Hashtbl.find_opt acc s) in
-    Hashtbl.replace acc s (Formal_sum.add prev sum)
+    if not (skip s) then
+      let prev = Option.value ~default:Formal_sum.empty (Hashtbl.find_opt acc s) in
+      Hashtbl.replace acc s (Formal_sum.add prev sum)
   in
   (match mode with
   | Mdl_lumping.State_lumping.Ordinary ->

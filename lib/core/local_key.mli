@@ -28,7 +28,7 @@
     states).  On such canonical keys the exact structural relations
     {!compare_exact} / {!equal} / {!hash} agree with lumping-key
     equality, which is what makes hash-consing keys to integer ranks
-    ({!Mdl_partition.Refiner.intern_table}) sound: two keys intern to
+    ({!type:Mdl_partition.Refiner.intern_table}) sound: two keys intern to
     the same rank iff the generic pipeline's comparator calls them
     equal. *)
 
@@ -70,6 +70,7 @@ val make_context : Mdl_md.Md.t -> context
 
 val splitter_keys :
   ?eps:float ->
+  ?skip:(int -> bool) ->
   context ->
   choice ->
   Mdl_lumping.State_lumping.mode ->
@@ -82,4 +83,13 @@ val splitter_keys :
     nonzero after quantization, with all float content quantized by
     [eps] (default {!Mdl_util.Floatx.default_eps}).  Ordinary mode sums
     the entries of columns [C] per row; exact mode sums the entries of
-    rows [C] per column. *)
+    rows [C] per column.
+
+    [skip] (default: skip nothing) suppresses key accumulation for
+    states it holds on, before any formal-sum work is done for them.
+    Intended for states alone in their class: a singleton class can
+    never split again, and the refinement engine treats an unlisted
+    state exactly like a listed one whose key group covers its whole
+    class — so skipping singletons changes no split decision, no
+    splitter-pass count, only the per-pass key evaluation work (it does
+    reduce the [key_evals] counter, which counts emitted pairs). *)

@@ -120,6 +120,106 @@ let add_node t ~level entries =
       Cons_table.add t.cons candidate id;
       id
 
+(* Import a node of [src] into [t] verbatim, remapping child references.
+   The fast path of the incremental lumped rebuild: the source node's
+   rows are already combined, validated and column-sorted, and remapping
+   preserves column order, so the Hashtbl/validation/sort work of
+   [add_node] is skipped.  Children may merge under [remap]
+   (Formal_sum.map_children combines them); entries whose sum cancels
+   away are dropped.  The result is still hash-consed, so importing a
+   node twice (or importing a node equal to an [add_node] product)
+   yields one id. *)
+let import_node t ~level src src_id remap =
+  if level < 1 || level > t.nlevels then
+    invalid_arg "Md.import_node: level out of range";
+  let nd = node src src_id in
+  if Array.length nd.rows <> t.level_sizes.(level - 1) then
+    invalid_arg "Md.import_node: node size does not match the target level";
+  let rows =
+    Array.map
+      (fun row ->
+        Array.of_list
+          (List.filter_map
+             (fun (c, s) ->
+               let s = Formal_sum.map_children remap s in
+               if Formal_sum.is_empty s then None else Some (c, s))
+             (Array.to_list row)))
+      nd.rows
+  in
+  let candidate = { level; rows } in
+  (match Cons_table.find_opt t.cons candidate with
+  | Some id -> id
+  | None ->
+      let id = Dynarray.length t.nodes in
+      Dynarray.push t.nodes candidate;
+      Cons_table.add t.cons candidate id;
+      id)
+
+(* Raw constructor used by the incremental rebuild: the caller has
+   already combined duplicate positions, dropped empty sums and sorted
+   each row by column, so only the level/dimension checks and the
+   hash-consing lookup remain. *)
+let add_node_sorted_rows t ~level rows =
+  if level < 1 || level > t.nlevels then
+    invalid_arg "Md.add_node_sorted_rows: level out of range";
+  if Array.length rows <> t.level_sizes.(level - 1) then
+    invalid_arg "Md.add_node_sorted_rows: row count does not match the level size";
+  let candidate = { level; rows } in
+  match Cons_table.find_opt t.cons candidate with
+  | Some id -> id
+  | None ->
+      let id = Dynarray.length t.nodes in
+      Dynarray.push t.nodes candidate;
+      Cons_table.add t.cons candidate id;
+      id
+
+(* Structural equality of rooted diagrams.  Node ids are store-local and
+   the canonical term order of a formal sum follows the local ids, so
+   terms are matched by recursive child equality, not positionally.
+   Quasi-reduction makes the matching unique: two distinct ids of one
+   store cannot both be structurally equal to the same node of the other
+   (they would be structurally equal to each other and hence hash-consed
+   to one id), so [for_all exists] over equal-length term lists is a
+   bijection check. *)
+let equal a b =
+  a.nlevels = b.nlevels
+  && a.level_sizes = b.level_sizes
+  &&
+  match (a.root_id, b.root_id) with
+  | None, None -> true
+  | None, Some _ | Some _, None -> false
+  | Some ra, Some rb ->
+      let memo : (node_id * node_id, bool) Hashtbl.t = Hashtbl.create 64 in
+      let rec eq ia ib =
+        if ia = 0 || ib = 0 then ia = ib
+        else
+          match Hashtbl.find_opt memo (ia, ib) with
+          | Some r -> r
+          | None ->
+              let na = node a ia and nb = node b ib in
+              let r =
+                na.level = nb.level
+                && Array.length na.rows = Array.length nb.rows
+                && Array.for_all2
+                     (fun rowa rowb ->
+                       Array.length rowa = Array.length rowb
+                       && Array.for_all2
+                            (fun (c1, s1) (c2, s2) -> c1 = c2 && sum_eq s1 s2)
+                            rowa rowb)
+                     na.rows nb.rows
+              in
+              Hashtbl.add memo (ia, ib) r;
+              r
+      and sum_eq sa sb =
+        let ta = Formal_sum.terms sa and tb = Formal_sum.terms sb in
+        List.length ta = List.length tb
+        && List.for_all
+             (fun (ca, wa) ->
+               List.exists (fun (cb, wb) -> Float.equal wa wb && eq ca cb) tb)
+             ta
+      in
+      eq ra rb
+
 let scalar_sum t v = Formal_sum.singleton (terminal t) v
 
 let set_root t id =
@@ -139,6 +239,26 @@ let node_row t id r =
 let iter_node_entries t id f =
   let nd = node t id in
   Array.iteri (fun r row -> Array.iter (fun (c, s) -> f r c s) row) nd.rows
+
+let rev_iter_node_row t id r f =
+  let nd = node t id in
+  if r < 0 || r >= Array.length nd.rows then
+    invalid_arg "Md.rev_iter_node_row: row out of range";
+  let row = nd.rows.(r) in
+  for i = Array.length row - 1 downto 0 do
+    let c, s = row.(i) in
+    f c s
+  done
+
+let rev_iter_node_entries t id f =
+  let nd = node t id in
+  for r = Array.length nd.rows - 1 downto 0 do
+    let row = nd.rows.(r) in
+    for i = Array.length row - 1 downto 0 do
+      let c, s = row.(i) in
+      f r c s
+    done
+  done
 
 let node_nnz t id =
   let nd = node t id in

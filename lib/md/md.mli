@@ -46,6 +46,41 @@ val add_node : t -> level:int -> (int * int * Formal_sum.t) list -> node_id
     @raise Invalid_argument on bad level, out-of-range row/col, or
     wrong-level children. *)
 
+val add_node_sorted_rows : t -> level:int -> (int * Formal_sum.t) array array -> node_id
+(** Raw hash-consing constructor: [rows] becomes the node's row table
+    {e as is}.  {b Unchecked preconditions}: each row strictly sorted by
+    column with in-range columns, duplicate positions already combined,
+    no empty sums, every child an existing node at [level + 1] — and the
+    caller must not retain or mutate [rows] afterwards (the node owns
+    it).  This skips the per-entry hashing, validation and sorting of
+    {!add_node}; the incremental rebuild uses it for freshly accumulated
+    quotient rows.  @raise Invalid_argument on a bad level or row
+    count. *)
+
+val import_node : t -> level:int -> t -> node_id -> (node_id -> node_id) -> node_id
+(** [import_node t ~level src id remap] copies node [id] of the diagram
+    [src] into [t] at [level], applying [remap] to every child
+    reference.  The incremental-rebuild fast path: the source node's
+    rows are already combined, validated and column-sorted, so unlike
+    {!add_node} no per-entry hashing, validation or sorting is done —
+    only the child remap (which may merge terms) and the hash-consing
+    lookup.  {b Precondition}: [remap] must send every child of the
+    source node to an existing node of [t] at [level + 1] (the terminal
+    for [level = L]); this is {e not} checked.  Entries whose remapped
+    sum cancels to zero are dropped.
+    @raise Invalid_argument on a bad level or when the source node's
+    dimension differs from [size t level]. *)
+
+val equal : t -> t -> bool
+(** Structural equality of the {e rooted} diagrams: same level sizes and
+    isomorphic node structure from the roots down (coefficients compared
+    exactly, children matched by recursive structural equality — node
+    ids need not coincide, so a diagram equals its rebuilt copy).
+    Unreachable store garbage is ignored; two rootless diagrams with
+    equal sizes are equal.  Used to pin that the cached/incremental
+    lumping path emits the same lumped diagram as the from-scratch
+    path. *)
+
 val scalar_sum : t -> float -> Formal_sum.t
 (** [scalar_sum t v] is the formal sum [v * terminal] — the way real
     values appear at level [L]. *)
@@ -66,6 +101,18 @@ val node_col : t -> node_id -> int -> (int * Formal_sum.t) list
     computed lazily per node and cached). *)
 
 val iter_node_entries : t -> node_id -> (int -> int -> Formal_sum.t -> unit) -> unit
+
+val rev_iter_node_row : t -> node_id -> int -> (int -> Formal_sum.t -> unit) -> unit
+(** One row's entries in {e descending} column order, without building a
+    list.  Mirrors the floating-point summation order {!add_node}
+    exhibits on a consed entry list, which is what lets the incremental
+    quotient rebuild produce bit-identical coefficients to the
+    from-scratch path.  @raise Invalid_argument on a bad row. *)
+
+val rev_iter_node_entries : t -> node_id -> (int -> int -> Formal_sum.t -> unit) -> unit
+(** All entries, rows descending and columns descending within each row
+    — the reverse of {!iter_node_entries}; see {!rev_iter_node_row} for
+    why the order matters. *)
 
 val node_nnz : t -> node_id -> int
 

@@ -108,6 +108,15 @@ let of_dense_assignment class_of k =
     len = Dynarray.of_array (Array.sub counts 0 k);
   }
 
+let copy t =
+  {
+    perm = Array.copy t.perm;
+    pos = Array.copy t.pos;
+    class_of = Array.copy t.class_of;
+    first = Dynarray.of_array (Dynarray.to_array t.first);
+    len = Dynarray.of_array (Dynarray.to_array t.len);
+  }
+
 let of_class_assignment a =
   let n = Array.length a in
   let renumber = Hashtbl.create 16 in

@@ -25,6 +25,17 @@ val trivial : int -> t
 val discrete : int -> t
 (** [discrete n] is the all-singletons partition. *)
 
+val copy : t -> t
+(** [copy t] is an independent partition with exactly the same classes,
+    class ids {e and} internal member order as [t]: splitting the copy
+    never affects the original (and vice versa), and representatives /
+    slice layouts coincide until the first divergent split.  Unlike
+    rebuilding through {!of_class_assignment} — which renumbers classes
+    by first appearance and re-sorts the permutation — [copy] preserves
+    identities, which is what lets the splitter-key cache
+    ({!Mdl_core.Key_cache}) recognise unchanged classes across
+    successive refinement runs of a fixed point. *)
+
 val of_class_assignment : int array -> t
 (** [of_class_assignment a] builds the partition where element [i]
     belongs to class [a.(i)].  Class labels may be arbitrary ints; they

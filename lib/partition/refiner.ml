@@ -22,6 +22,10 @@ type stats = {
   mutable counting_sort_passes : int;
   mutable fallback_passes : int;
   mutable intern_keys : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable nodes_rebuilt : int;
+  mutable nodes_reused : int;
   mutable wall_s : float;
 }
 
@@ -37,6 +41,10 @@ let create_stats () =
     counting_sort_passes = 0;
     fallback_passes = 0;
     intern_keys = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    nodes_rebuilt = 0;
+    nodes_reused = 0;
     wall_s = 0.0;
   }
 
@@ -51,15 +59,20 @@ let add_stats dst src =
   dst.counting_sort_passes <- dst.counting_sort_passes + src.counting_sort_passes;
   dst.fallback_passes <- dst.fallback_passes + src.fallback_passes;
   dst.intern_keys <- max dst.intern_keys src.intern_keys;
+  dst.cache_hits <- dst.cache_hits + src.cache_hits;
+  dst.cache_misses <- dst.cache_misses + src.cache_misses;
+  dst.nodes_rebuilt <- dst.nodes_rebuilt + src.nodes_rebuilt;
+  dst.nodes_reused <- dst.nodes_reused + src.nodes_reused;
   dst.wall_s <- dst.wall_s +. src.wall_s
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "passes %d (float %d, interned %d [counting %d], generic %d), key evals %d, splits \
-     %d, blocks created %d, largest skips %d, intern alphabet %d, %.4fs"
+     %d, blocks created %d, largest skips %d, intern alphabet %d, key cache %d/%d \
+     hit/miss, nodes %d rebuilt %d reused, %.4fs"
     s.splitter_passes s.float_passes s.interned_passes s.counting_sort_passes
     s.fallback_passes s.key_evals s.splits s.blocks_created s.largest_skips
-    s.intern_keys s.wall_s
+    s.intern_keys s.cache_hits s.cache_misses s.nodes_rebuilt s.nodes_reused s.wall_s
 
 (* One splitter pass's keyed states after sorting, shared by all three
    pipelines: [pd_states]/[pd_classes] hold the touched states and their
@@ -82,12 +95,18 @@ type pass_data = {
    replace-parent-by-sub-blocks semantics of the original algorithm.
    [prepare pd p slice] is the pipeline-specific part: evaluate the
    splitter's keys and leave them sorted in [pd], returning the pair
-   count. *)
-let core st ~fn ~size ~prepare ~initial =
+   count.  [on_split] is the split-trace export: called once per actual
+   split with the surviving parent id and the full post-split id list.
+
+   The working partition is an id-preserving [Partition.copy] of the
+   input, not a renumbering round-trip: class ids and slice layouts are
+   stable from one refinement run to the next (until a class itself
+   splits), which is the identity the splitter-key cache keys on. *)
+let core st ~fn ~size ~prepare ~on_split ~initial =
   if Partition.size initial <> size then
     invalid_arg (Printf.sprintf "Refiner.%s: partition size mismatch" fn);
   let timer = Timer.start () in
-  let p = Partition.of_class_assignment (Partition.to_class_assignment initial) in
+  let p = Partition.copy initial in
   let worklist = Queue.create () in
   let in_wl = Dynarray.create () in
   for c = 0 to Partition.num_classes p - 1 do
@@ -140,6 +159,9 @@ let core st ~fn ~size ~prepare ~initial =
           | ids ->
               st.splits <- st.splits + 1;
               st.blocks_created <- st.blocks_created + List.length ids - 1;
+              (match on_split with
+              | Some f -> f ~parent:cc ~ids
+              | None -> ());
               (* Grow the membership table for the fresh ids. *)
               while Dynarray.length in_wl < Partition.num_classes p do
                 Dynarray.push in_wl false
@@ -188,9 +210,11 @@ let core st ~fn ~size ~prepare ~initial =
 let merge_stats stats st =
   match stats with Some dst -> add_stats dst st | None -> ()
 
+type on_split = parent:int -> ids:int list -> unit
+
 (* ---- generic (fallback) pipeline ---- *)
 
-let comp_lumping ?stats spec ~initial =
+let comp_lumping ?stats ?on_split spec ~initial =
   let st = create_stats () in
   let prepare pd p slice =
     st.fallback_passes <- st.fallback_passes + 1;
@@ -238,7 +262,7 @@ let comp_lumping ?stats spec ~initial =
         done;
         m
   in
-  let p = core st ~fn:"comp_lumping" ~size:spec.size ~prepare ~initial in
+  let p = core st ~fn:"comp_lumping" ~size:spec.size ~prepare ~on_split ~initial in
   merge_stats stats st;
   p
 
@@ -271,7 +295,7 @@ type float_spec = {
   fsplitter_keys : slice -> float_buf -> unit;
 }
 
-let comp_lumping_float ?stats fspec ~initial =
+let comp_lumping_float ?stats ?on_split fspec ~initial =
   let st = create_stats () in
   let buf = { fb_states = [||]; fb_keys = [||]; fb_len = 0 } in
   let cls = ref [||] in
@@ -311,7 +335,7 @@ let comp_lumping_float ?stats fspec ~initial =
     end;
     m
   in
-  let p = core st ~fn:"comp_lumping_float" ~size:fspec.fsize ~prepare ~initial in
+  let p = core st ~fn:"comp_lumping_float" ~size:fspec.fsize ~prepare ~on_split ~initial in
   merge_stats stats st;
   p
 
@@ -392,47 +416,62 @@ let use_counting_sort ~m ~alphabet = m >= 16 && 2 * alphabet <= m
 let ensure_int r n =
   if Array.length !r < n then r := Array.make (max n (2 * Array.length !r)) 0
 
-let comp_lumping_interned ?stats ispec ~initial =
-  let st = create_stats () in
-  let table = ispec.itable in
-  (* Parallel (state, rank, class) triples plus a ping buffer for the
-     two counting-sort scatter passes. *)
-  let a_states = ref [||] and a_ranks = ref [||] and a_cls = ref [||] in
-  let b_states = ref [||] and b_ranks = ref [||] and b_cls = ref [||] in
-  let nk = ref [||] in
-  let rank_counts = ref [||] in
-  let dense_counts = ref [||] in
-  (* class id -> dense first-seen id during one counting pass; entries
-     are reset to -1 for exactly the touched classes afterwards. *)
-  let class_remap = Array.make (max ispec.isize 1) (-1) in
-  let prepare pd p slice =
-    st.interned_passes <- st.interned_passes + 1;
-    intern_clear table;
-    let keyed = ispec.isplitter_keys slice in
-    let m = List.length keyed in
-    if m > 0 then begin
-      ensure_int a_states m;
-      ensure_int a_ranks m;
-      ensure_int a_cls m;
-      if Array.length !nk < m then nk := Array.make (max m (2 * Array.length !nk)) true;
-      let sa = !a_states and ra = !a_ranks and ca = !a_cls in
-      List.iteri
-        (fun i (s, k) ->
-          sa.(i) <- s;
-          ra.(i) <- intern table k;
-          ca.(i) <- Partition.class_of p s)
-        keyed;
-      let alphabet = table.it_count in
-      if alphabet > st.intern_keys then st.intern_keys <- alphabet;
-      if use_counting_sort ~m ~alphabet then begin
+(* Scratch shared by the interned and ranked pipelines: parallel
+   (state, rank, class) triples plus a ping buffer for the two
+   counting-sort scatter passes. *)
+type indexed_scratch = {
+  a_states : int array ref;
+  a_ranks : int array ref;
+  a_cls : int array ref;
+  b_states : int array ref;
+  b_ranks : int array ref;
+  b_cls : int array ref;
+  nk : bool array ref;
+  rank_counts : int array ref;
+  dense_counts : int array ref;
+  class_remap : int array;
+      (* class id -> dense first-seen id during one counting pass;
+         entries are reset to -1 for exactly the touched classes
+         afterwards *)
+}
+
+let indexed_scratch ~size =
+  {
+    a_states = ref [||];
+    a_ranks = ref [||];
+    a_cls = ref [||];
+    b_states = ref [||];
+    b_ranks = ref [||];
+    b_cls = ref [||];
+    nk = ref [||];
+    rank_counts = ref [||];
+    dense_counts = ref [||];
+    class_remap = Array.make (max size 1) (-1);
+  }
+
+let ensure_indexed sc m =
+  ensure_int sc.a_states m;
+  ensure_int sc.a_ranks m;
+  ensure_int sc.a_cls m;
+  if Array.length !(sc.nk) < m then
+    sc.nk := Array.make (max m (2 * Array.length !(sc.nk))) true
+
+(* Order this pass's m filled triples by (class, rank) — counting sort
+   when the rank alphabet is small enough, fused comparison sort
+   otherwise — and publish the runs to the core's pass data. *)
+let sort_indexed st sc pd ~m ~alphabet =
+  if alphabet > st.intern_keys then st.intern_keys <- alphabet;
+  let sa = !(sc.a_states) and ra = !(sc.a_ranks) and ca = !(sc.a_cls) in
+  let class_remap = sc.class_remap in
+  (if use_counting_sort ~m ~alphabet then begin
         st.counting_sort_passes <- st.counting_sort_passes + 1;
-        ensure_int b_states m;
-        ensure_int b_ranks m;
-        ensure_int b_cls m;
-        let sb = !b_states and rb = !b_ranks and cb = !b_cls in
+        ensure_int sc.b_states m;
+        ensure_int sc.b_ranks m;
+        ensure_int sc.b_cls m;
+        let sb = !(sc.b_states) and rb = !(sc.b_ranks) and cb = !(sc.b_cls) in
         (* Scatter 1: stable counting sort by rank, a -> b. *)
-        ensure_int rank_counts alphabet;
-        let rc = !rank_counts in
+        ensure_int sc.rank_counts alphabet;
+        let rc = !(sc.rank_counts) in
         Array.fill rc 0 alphabet 0;
         for i = 0 to m - 1 do
           rc.(ra.(i)) <- rc.(ra.(i)) + 1
@@ -463,8 +502,8 @@ let comp_lumping_interned ?stats ispec ~initial =
             incr dclasses
           end
         done;
-        ensure_int dense_counts !dclasses;
-        let dc = !dense_counts in
+        ensure_int sc.dense_counts !dclasses;
+        let dc = !(sc.dense_counts) in
         Array.fill dc 0 !dclasses 0;
         for i = 0 to m - 1 do
           let d = class_remap.(cb.(i)) in
@@ -488,20 +527,104 @@ let comp_lumping_interned ?stats ispec ~initial =
         for i = 0 to m - 1 do
           class_remap.(ca.(i)) <- -1
         done
-      end
-      else Sortx.sort_runs_int ~cls:ca ~keys:ra ~states:sa m;
-      let nk = !nk in
-      nk.(0) <- true;
-      for i = 1 to m - 1 do
-        nk.(i) <- ra.(i - 1) <> ra.(i)
-      done;
-      pd.pd_states <- sa;
-      pd.pd_classes <- ca;
-      pd.pd_newkey <- nk
+  end
+  else Sortx.sort_runs_int ~cls:ca ~keys:ra ~states:sa m);
+  let nk = !(sc.nk) in
+  nk.(0) <- true;
+  for i = 1 to m - 1 do
+    nk.(i) <- ra.(i - 1) <> ra.(i)
+  done;
+  pd.pd_states <- sa;
+  pd.pd_classes <- ca;
+  pd.pd_newkey <- nk
+
+let comp_lumping_interned ?stats ?on_split ispec ~initial =
+  let st = create_stats () in
+  let table = ispec.itable in
+  let sc = indexed_scratch ~size:ispec.isize in
+  let prepare pd p slice =
+    st.interned_passes <- st.interned_passes + 1;
+    intern_clear table;
+    let keyed = ispec.isplitter_keys slice in
+    let m = List.length keyed in
+    if m > 0 then begin
+      ensure_indexed sc m;
+      let sa = !(sc.a_states) and ra = !(sc.a_ranks) and ca = !(sc.a_cls) in
+      List.iteri
+        (fun i (s, k) ->
+          sa.(i) <- s;
+          ra.(i) <- intern table k;
+          ca.(i) <- Partition.class_of p s)
+        keyed;
+      sort_indexed st sc pd ~m ~alphabet:table.it_count
     end;
     m
   in
-  let p = core st ~fn:"comp_lumping_interned" ~size:ispec.isize ~prepare ~initial in
+  let p =
+    core st ~fn:"comp_lumping_interned" ~size:ispec.isize ~prepare ~on_split ~initial
+  in
+  merge_stats stats st;
+  p
+
+(* ---- ranked pipeline (pre-interned integer keys) ---- *)
+
+type ranked_spec = {
+  rsize : int;
+  rsplitter_keys : slice -> int array * int array;
+}
+
+(* Grow [r] to at least [n] entries, zero-filling the new tail but
+   keeping the existing contents (unlike [ensure_int], whose arrays are
+   pure per-pass scratch). *)
+let ensure_int_keep r n =
+  let len = Array.length !r in
+  if len < n then begin
+    let a = Array.make (max n (2 * len)) 0 in
+    Array.blit !r 0 a 0 len;
+    r := a
+  end
+
+let comp_lumping_ranked ?stats ?on_split rspec ~initial =
+  let st = create_stats () in
+  let sc = indexed_scratch ~size:rspec.rsize in
+  (* gid -> per-pass dense rank, via a stamp instead of clearing:
+     [rank_of.(g)] is valid only when [stamp.(g)] equals the current
+     pass number (fresh zero-filled entries can never match — the
+     counter starts at 1). *)
+  let stamp = ref [||] and rank_of = ref [||] in
+  let pass_no = ref 0 in
+  let prepare pd p slice =
+    st.interned_passes <- st.interned_passes + 1;
+    incr pass_no;
+    let states, gids = rspec.rsplitter_keys slice in
+    let m = Array.length states in
+    if m > 0 then begin
+      ensure_indexed sc m;
+      let sa = !(sc.a_states) and ra = !(sc.a_ranks) and ca = !(sc.a_cls) in
+      Array.blit states 0 sa 0 m;
+      let alphabet = ref 0 in
+      for i = 0 to m - 1 do
+        let g = gids.(i) in
+        if g >= Array.length !stamp then begin
+          ensure_int_keep stamp (g + 1);
+          ensure_int_keep rank_of (g + 1)
+        end;
+        let sta = !stamp and rko = !rank_of in
+        if sta.(g) <> !pass_no then begin
+          sta.(g) <- !pass_no;
+          rko.(g) <- !alphabet;
+          incr alphabet
+        end;
+        ra.(i) <- rko.(g);
+        ca.(i) <- Partition.class_of p states.(i)
+      done;
+      sort_indexed st sc pd ~m ~alphabet:!alphabet
+    end;
+    m
+  in
+  let p =
+    core st ~fn:"comp_lumping_ranked" ~size:rspec.rsize ~prepare ~on_split ~initial
+  in
   merge_stats stats st;
   p
 
@@ -512,11 +635,11 @@ type packed =
   | Float_spec : float_spec -> packed
   | Interned_spec : 'k interned_spec -> packed
 
-let run ?stats packed ~initial =
+let run ?stats ?on_split packed ~initial =
   match packed with
-  | Spec spec -> comp_lumping ?stats spec ~initial
-  | Float_spec spec -> comp_lumping_float ?stats spec ~initial
-  | Interned_spec spec -> comp_lumping_interned ?stats spec ~initial
+  | Spec spec -> comp_lumping ?stats ?on_split spec ~initial
+  | Float_spec spec -> comp_lumping_float ?stats ?on_split spec ~initial
+  | Interned_spec spec -> comp_lumping_interned ?stats ?on_split spec ~initial
 
 let is_stable spec p =
   let stable = ref true in

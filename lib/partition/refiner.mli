@@ -37,7 +37,7 @@
       comparator closure;
     - the {b interned-key} pipeline ({!comp_lumping_interned}) — each
       distinct (pre-quantized) key is hash-consed to a dense integer
-      rank per pass ({!intern_table}), so key comparison collapses to
+      rank per pass ({!type:intern_table}), so key comparison collapses to
       integer compare; when the rank alphabet is small relative to the
       pass ({!use_counting_sort}) the (class, rank) pairs are
       counting-sorted in O(m + alphabet) instead of comparison-sorted.
@@ -96,11 +96,28 @@ type stats = {
   mutable intern_keys : int;
       (** largest interned-key alphabet (distinct keys) seen in any one
           pass; [add_stats] takes the max, not the sum *)
+  mutable cache_hits : int;
+      (** splitter passes answered from the key cache — filled in by
+          {!Mdl_core.Key_cache} users (the engine itself never caches) *)
+  mutable cache_misses : int;
+      (** splitter passes whose keys were freshly evaluated under a key
+          cache — filled in by {!Mdl_core.Key_cache} users *)
+  mutable nodes_rebuilt : int;
+      (** lumped-diagram nodes reconstructed entry-by-entry during the
+          rebuild — filled in by {!Mdl_core.Compositional} *)
+  mutable nodes_reused : int;
+      (** lumped-diagram nodes reused structurally (verbatim import or
+          whole-diagram aliasing on identity partitions) — filled in by
+          {!Mdl_core.Compositional} *)
   mutable wall_s : float;  (** monotonic wall time spent refining *)
 }
 (** Observability counters for one or more refinement runs, including
     the per-pipeline breakdown ([splitter_passes = float_passes +
-    interned_passes + fallback_passes] for runs through this module). *)
+    interned_passes + fallback_passes] for runs through this module).
+    The [cache_*] / [nodes_*] counters belong to the layers above the
+    engine (splitter-key memoisation, incremental diagram rebuild); they
+    live here so one record travels through
+    {!Mdl_core.Compositional.lump} and out of [lumpmd --stats]. *)
 
 val create_stats : unit -> stats
 (** A fresh all-zero counter record. *)
@@ -111,12 +128,26 @@ val add_stats : stats -> stats -> unit
 
 val pp_stats : Format.formatter -> stats -> unit
 
-val comp_lumping : ?stats:stats -> 'k spec -> initial:Partition.t -> Partition.t
+type on_split = parent:int -> ids:int list -> unit
+(** Split-trace callback: invoked once per actual split, {e after} the
+    partition has been updated, with the id kept by the parent class and
+    the full list of post-split sub-block ids ([parent] first, as
+    returned by {!Partition.split_runs}).  The callback observes the
+    refiner's working partition mid-run; it must not retain the slice
+    views.  Used by {!Mdl_core.Key_cache} to account invalidations and
+    by {!Mdl_core.Compositional} to know which classes the final
+    partition owes to an actual split. *)
+
+val comp_lumping :
+  ?stats:stats -> ?on_split:on_split -> 'k spec -> initial:Partition.t -> Partition.t
 (** [comp_lumping spec ~initial] returns the coarsest refinement of
     [initial] that is stable under [spec.splitter_keys] splitting (the
-    input partition is not mutated).  When [stats] is given, the run's
-    counters and wall time are {e added} onto it (so one record can
-    aggregate several calls).  Termination: a class re-enters the
+    input partition is not mutated; the result is an id-preserving
+    {!Partition.copy} refined in place, so when no split fires the
+    output has the same class ids and member order as [initial]).  When
+    [stats] is given, the run's counters and wall time are {e added}
+    onto it (so one record can aggregate several calls); [on_split]
+    exports the split trace.  Termination: a class re-enters the
     worklist only when freshly created by a split, and partitions only
     ever get finer. @raise Invalid_argument if [initial] is not over
     [spec.size] states. *)
@@ -143,7 +174,7 @@ type float_spec = {
 }
 
 val comp_lumping_float :
-  ?stats:stats -> float_spec -> initial:Partition.t -> Partition.t
+  ?stats:stats -> ?on_split:on_split -> float_spec -> initial:Partition.t -> Partition.t
 (** {!comp_lumping} through the allocation-free float pipeline: same
     fixed point as the generic engine over the spec
     [{ key_compare = Float.compare on quantized keys; ... }]. *)
@@ -169,6 +200,14 @@ val intern_table_size : 'k intern_table -> int
 (** High-water number of distinct keys interned in any single pass so
     far — the alphabet size the counting-sort decision is based on. *)
 
+val intern : 'k intern_table -> 'k -> int
+(** The rank of a key: its existing rank if already present, else the
+    next dense integer.  The engine calls this internally on [itable];
+    it is exposed so a table {e not} used as an [itable] can serve as a
+    persistent hash-cons with stable ids — {!Mdl_core.Key_cache} interns
+    each key once globally this way and re-ranks the resulting ids per
+    pass through a cheap identity-hash [int intern_table]. *)
+
 type 'k interned_spec = {
   isize : int;  (** number of states *)
   itable : 'k intern_table;  (** shared, reusable interning table *)
@@ -179,11 +218,42 @@ type 'k interned_spec = {
 }
 
 val comp_lumping_interned :
-  ?stats:stats -> 'k interned_spec -> initial:Partition.t -> Partition.t
+  ?stats:stats ->
+  ?on_split:on_split ->
+  'k interned_spec ->
+  initial:Partition.t ->
+  Partition.t
 (** {!comp_lumping} through the interned-key pipeline: each pass interns
     the keys to ranks, then orders the (class, rank, state) triples by
     counting sort when {!use_counting_sort} says the alphabet is small
     enough, by fused integer comparison sort otherwise. *)
+
+(** {2 Ranked pipeline} *)
+
+type ranked_spec = {
+  rsize : int;  (** number of states *)
+  rsplitter_keys : slice -> int array * int array;
+      (** parallel (states, key ids) arrays for one splitter pass: keys
+          already hash-consed to integers whose equality coincides with
+          lumping-key equality (e.g. the stable gids of
+          {!Mdl_core.Key_cache}).  The arrays are read within the pass
+          only — the caller may reuse or share them. *)
+}
+
+val comp_lumping_ranked :
+  ?stats:stats ->
+  ?on_split:on_split ->
+  ranked_spec ->
+  initial:Partition.t ->
+  Partition.t
+(** The interned-key pipeline for producers whose keys are {e already}
+    integers: per-pass dense ranks come from a stamped array lookup per
+    pair instead of a hash-table probe, and the pair arrays are blitted
+    into the sort scratch rather than traversed as a list.  This is the
+    engine under the memoised splitter-key cache, where a cache hit
+    replays a previously interned row list; counters are reported as
+    interned passes ([interned_passes], [counting_sort_passes],
+    [intern_keys]), so cached and uncached runs stay comparable. *)
 
 val use_counting_sort : m:int -> alphabet:int -> bool
 (** The counting-sort threshold: true when a pass of [m] pairs over
@@ -202,7 +272,8 @@ type packed =
       (** A refinement spec packed with its pipeline choice; lets
           callers carry "which engine" as a value. *)
 
-val run : ?stats:stats -> packed -> initial:Partition.t -> Partition.t
+val run :
+  ?stats:stats -> ?on_split:on_split -> packed -> initial:Partition.t -> Partition.t
 (** Dispatch to {!comp_lumping} / {!comp_lumping_float} /
     {!comp_lumping_interned}. *)
 

@@ -2,10 +2,13 @@
 """Validate the schema of BENCH_refine.json.
 
 Fails (exit 1) when a scenario is missing the per-pipeline refiner
-stats, when flat scenarios lack the three-engine timings, or when no
-multi-level end-to-end scenario was recorded.  CI runs this after the
-bench smoke so a refactor cannot silently drop the instrumentation the
-performance claims rest on.
+stats (including the splitter-key cache and incremental-rebuild
+counters), when flat scenarios lack the three-engine timings, when no
+multi-level end-to-end scenario was recorded, or when a multi-level
+scenario's memoised pipeline does not at least match the uncached
+interned pipeline (speedup_cached_vs_interned < 1.0).  CI runs this
+after the bench smoke so a refactor cannot silently drop the
+instrumentation or the cache advantage the performance claims rest on.
 
 Usage: scripts/check_bench_schema.py [BENCH_refine.json]
 """
@@ -24,6 +27,10 @@ STATS_FIELDS = [
     "counting_sort_passes",
     "fallback_passes",
     "intern_keys",
+    "cache_hits",
+    "cache_misses",
+    "nodes_rebuilt",
+    "nodes_reused",
     "wall_s",
 ]
 
@@ -47,7 +54,9 @@ MULTILEVEL_FIELDS = [
     "lumped_states",
     "generic_s",
     "specialised_s",
+    "cached_s",
     "speedup_vs_generic",
+    "speedup_cached_vs_interned",
     "stats",
 ]
 
@@ -93,6 +102,23 @@ def main():
             )
         if s["counting_sort_passes"] > s["interned_passes"]:
             fail(f"{where}: counting_sort_passes exceeds interned_passes")
+        lookups = s["cache_hits"] + s["cache_misses"]
+        if lookups > s["splitter_passes"]:
+            fail(
+                f"{where}: cache lookups {lookups} exceed splitter passes "
+                f"{s['splitter_passes']} (at most one lookup per pass)"
+            )
+        if kind == "multilevel":
+            if lookups == 0:
+                fail(f"{where}: memoised run recorded no cache lookups")
+            if s["nodes_rebuilt"] + s["nodes_reused"] == 0:
+                fail(f"{where}: rebuild recorded neither rebuilt nor reused nodes")
+            ratio = sc["speedup_cached_vs_interned"]
+            if ratio < 1.0:
+                fail(
+                    f"{where}: memoised pipeline slower than uncached interned "
+                    f"pipeline ({ratio:.3f}x)"
+                )
 
     if kinds["flat"] == 0:
         fail("no flat scenario recorded")

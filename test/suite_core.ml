@@ -18,7 +18,10 @@ module Local_key = Mdl_core.Local_key
 module Level_lumping = Mdl_core.Level_lumping
 module Compositional = Mdl_core.Compositional
 module Md_solve = Mdl_core.Md_solve
+module Key_cache = Mdl_core.Key_cache
 module Refiner = Mdl_partition.Refiner
+module Spec = Mdl_oracle.Spec
+module Gen_md = Mdl_oracle.Gen_md
 
 let partition_testable = Alcotest.testable Partition.pp Partition.equal
 
@@ -616,6 +619,192 @@ let test_level_intern_table_reuse () =
        ~initial:(Partition.trivial n))
     p1
 
+(* ----- splitter-key cache: memoised pipeline vs uncached pipeline ----- *)
+
+let lump_inputs md =
+  let sizes = Md.sizes md in
+  ([ Decomposed.constant ~sizes 0.0 ], Decomposed.constant ~sizes 1.0)
+
+(* The central parity property of the memoised path: same lumped
+   diagram (structurally, coefficients bit-exact), same per-level
+   partitions, and the very same number of splitter passes — the cache
+   must change what is computed, never what comes out.  Exercised over
+   all three oracle families: flat chains, Kronecker compilations and
+   free-form direct diagrams. *)
+let test_memoised_lump_matches_uncached =
+  QCheck.Test.make ~count:40
+    ~name:"memoised lump = uncached lump (diagram, partitions, passes)"
+    (Mdl_oracle.Qcheck_gen.model ()) (fun spec ->
+      let md = Gen_md.of_spec spec in
+      let rewards, initial = lump_inputs md in
+      let ok = ref true in
+      List.iter
+        (fun mode ->
+          let st_c = Refiner.create_stats () in
+          let st_u = Refiner.create_stats () in
+          let r_c = Compositional.lump ~stats:st_c ~memoise:true mode md ~rewards ~initial in
+          let r_u =
+            Compositional.lump ~stats:st_u ~memoise:false mode md ~rewards ~initial
+          in
+          if not (Md.equal r_c.Compositional.lumped r_u.Compositional.lumped) then
+            ok := false;
+          if
+            not
+              (Array.for_all2 Partition.equal r_c.Compositional.partitions
+                 r_u.Compositional.partitions)
+          then ok := false;
+          if st_c.Refiner.splitter_passes <> st_u.Refiner.splitter_passes then ok := false;
+          (* the cached run actually went through the cache *)
+          if st_c.Refiner.cache_hits + st_c.Refiner.cache_misses = 0 then ok := false;
+          if st_u.Refiner.cache_hits + st_u.Refiner.cache_misses <> 0 then ok := false)
+        [ State_lumping.Ordinary; State_lumping.Exact ];
+      !ok)
+
+let test_key_cache_invalidation () =
+  (* Entries are keyed by (node, member, |C|); a split retires the
+     identity of every affected class, so the next lookup after a forced
+     downstream split must miss even though the member sets overlap. *)
+  let md, _sizes = concrete_md () in
+  let kc = Key_cache.create () in
+  Key_cache.bind kc md;
+  let level = 2 in
+  let node = List.hd (Md.live_nodes md).(level - 1) in
+  let p = Partition.trivial 3 in
+  let slice = Partition.view p 0 in
+  let r1 =
+    Key_cache.splitter_keys kc Local_key.Formal_sums State_lumping.Ordinary ~node slice
+  in
+  Alcotest.(check int) "first lookup misses" 1 (Key_cache.misses kc);
+  Alcotest.(check int) "no hit yet" 0 (Key_cache.hits kc);
+  let r2 =
+    Key_cache.splitter_keys kc Local_key.Formal_sums State_lumping.Ordinary ~node slice
+  in
+  Alcotest.(check int) "second lookup hits" 1 (Key_cache.hits kc);
+  Alcotest.(check bool) "hit replays the cached arrays" true (r1 == r2);
+  (* force a split: class 0 = {0} keeps id 0, {1,2} gets a fresh id *)
+  let ids = Partition.split p 0 [ [| 0 |]; [| 1; 2 |] ] in
+  Key_cache.note_split kc ~parent:0 ~ids;
+  Alcotest.(check int) "invalidations counted per affected class" 2
+    (Key_cache.invalidations kc);
+  let fresh = List.nth ids 1 in
+  ignore
+    (Key_cache.splitter_keys kc Local_key.Formal_sums State_lumping.Ordinary ~node
+       (Partition.view p fresh));
+  Alcotest.(check int) "post-split lookup misses (fresh identity)" 2
+    (Key_cache.misses kc);
+  (* rebinding to the same diagram discards the rows but keeps the
+     interned gids *)
+  let interned = Refiner.intern_table_size (Key_cache.intern_table kc) in
+  Key_cache.bind kc md;
+  ignore
+    (Key_cache.splitter_keys kc Local_key.Formal_sums State_lumping.Ordinary ~node
+       (Partition.view p fresh));
+  Alcotest.(check int) "rebind discards memoised rows" 3 (Key_cache.misses kc);
+  Alcotest.(check bool) "rebind keeps the gid table" true
+    (Refiner.intern_table_size (Key_cache.intern_table kc) >= interned);
+  Alcotest.check_raises "unbound cache has no context"
+    (Invalid_argument "Key_cache.context: cache not bound to a diagram (use bind)")
+    (fun () -> ignore (Key_cache.context (Key_cache.create ())))
+
+let test_singleton_skip () =
+  (* Singleton classes of the run-start partition are skipped before key
+     evaluation on the memoised path: same fixed point, same splitter
+     pass count, strictly fewer key evaluations. *)
+  let md, _sizes = concrete_md () in
+  let level = 2 in
+  let initial () = Partition.of_class_assignment [| 0; 0; 1 |] in
+  let run cache =
+    let st = Refiner.create_stats () in
+    let p =
+      Level_lumping.comp_lumping_level ?cache ~stats:st State_lumping.Ordinary md ~level
+        ~initial:(initial ())
+    in
+    (p, st)
+  in
+  let p_u, st_u = run None in
+  let p_c, st_c = run (Some (Key_cache.create ())) in
+  Alcotest.check partition_testable "same fixed point" p_u p_c;
+  Alcotest.(check int) "same splitter pass count" st_u.Refiner.splitter_passes
+    st_c.Refiner.splitter_passes;
+  Alcotest.(check bool) "singleton keys skipped" true
+    (st_c.Refiner.key_evals < st_u.Refiner.key_evals);
+  Alcotest.(check bool) "cache consulted" true
+    (st_c.Refiner.cache_hits + st_c.Refiner.cache_misses > 0)
+
+let test_shared_cache_across_models () =
+  (* One cache across a sweep of different diagrams (the bench
+     arrangement): every model must come out exactly as with a private
+     fresh cache, and the gid table keeps growing monotonically. *)
+  let cache = Key_cache.create () in
+  let models =
+    [
+      Gen_md.of_spec (Spec.Direct { sizes = [| 3; 2; 2 |]; width = 2; symmetric = true; seed = 5 });
+      (let md, _ = concrete_md () in
+       md);
+      Gen_md.of_spec (Spec.Direct { sizes = [| 2; 4 |]; width = 3; symmetric = false; seed = 11 });
+    ]
+  in
+  let hw = ref 0 in
+  List.iter
+    (fun md ->
+      let rewards, initial = lump_inputs md in
+      let r_shared =
+        Compositional.lump ~cache State_lumping.Ordinary md ~rewards ~initial
+      in
+      let r_fresh = Compositional.lump State_lumping.Ordinary md ~rewards ~initial in
+      Alcotest.(check bool) "shared cache: same lumped diagram" true
+        (Md.equal r_shared.Compositional.lumped r_fresh.Compositional.lumped);
+      Array.iteri
+        (fun i p ->
+          Alcotest.check partition_testable
+            (Printf.sprintf "shared cache: level %d partition" (i + 1))
+            p
+            r_shared.Compositional.partitions.(i))
+        r_fresh.Compositional.partitions;
+      (match Key_cache.bound_md cache with
+      | Some bound -> Alcotest.(check bool) "cache rebound to the model" true (bound == md)
+      | None -> Alcotest.fail "cache unbound after lump");
+      let hw' = Refiner.intern_table_size (Key_cache.intern_table cache) in
+      Alcotest.(check bool) "gid table never shrinks" true (hw' >= !hw);
+      hw := hw')
+    models
+
+let test_rebuild_counters () =
+  let md, _sizes = concrete_md () in
+  (* Identity partitions at every level: the rebuild aliases the input
+     diagram and accounts every live node as reused. *)
+  let idp = Array.init (Md.levels md) (fun l -> Partition.discrete (Md.size md (l + 1))) in
+  let st = Refiner.create_stats () in
+  let r = Compositional.lump_with_partitions ~stats:st State_lumping.Ordinary md idp in
+  Alcotest.(check bool) "identity partitions alias the diagram" true
+    (r.Compositional.lumped == md);
+  Alcotest.(check int) "nothing rebuilt" 0 st.Refiner.nodes_rebuilt;
+  Alcotest.(check int) "all live nodes reused" (Md.num_live_nodes md)
+    st.Refiner.nodes_reused;
+  (* A real lump of the same model: level 1 stays the identity (its
+     nodes are imported verbatim), level 2 lumps (its nodes are
+     rebuilt). *)
+  let rewards, initial = lump_inputs md in
+  let st2 = Refiner.create_stats () in
+  let r2 = Compositional.lump ~stats:st2 State_lumping.Ordinary md ~rewards ~initial in
+  Alcotest.(check bool) "mixed run rebuilds some nodes" true
+    (st2.Refiner.nodes_rebuilt > 0);
+  Alcotest.(check bool) "mixed run reuses some nodes" true (st2.Refiner.nodes_reused > 0);
+  Alcotest.(check int) "every live node accounted once" (Md.num_live_nodes md)
+    (st2.Refiner.nodes_rebuilt + st2.Refiner.nodes_reused);
+  (* The from-scratch rebuild produces the same diagram while rebuilding
+     every node. *)
+  let st3 = Refiner.create_stats () in
+  let r3 =
+    Compositional.lump_with_partitions ~stats:st3 ~incremental:false
+      State_lumping.Ordinary md r2.Compositional.partitions
+  in
+  Alcotest.(check bool) "from-scratch rebuild agrees" true
+    (Md.equal r2.Compositional.lumped r3.Compositional.lumped);
+  Alcotest.(check int) "from-scratch reuses nothing" 0 st3.Refiner.nodes_reused;
+  Alcotest.(check int) "from-scratch rebuilds everything" (Md.num_live_nodes md)
+    st3.Refiner.nodes_rebuilt
+
 let qcheck_tests =
   [
     test_single_level_ordinary;
@@ -626,6 +815,7 @@ let qcheck_tests =
     test_lumped_md_is_quotient_exact;
     test_expanded_matrices_key_at_least_as_coarse;
     test_specialised_level_refinement_matches_generic;
+    test_memoised_lump_matches_uncached;
   ]
 
 let tests =
@@ -637,6 +827,12 @@ let tests =
     Alcotest.test_case "local lumpability checker" `Quick test_local_lumpability_checker;
     Alcotest.test_case "intern table reuse across level fixed point" `Quick
       test_level_intern_table_reuse;
+    Alcotest.test_case "key cache invalidation" `Quick test_key_cache_invalidation;
+    Alcotest.test_case "singleton classes skipped under the cache" `Quick
+      test_singleton_skip;
+    Alcotest.test_case "one cache shared across models" `Quick
+      test_shared_cache_across_models;
+    Alcotest.test_case "rebuild reuse/rebuilt counters" `Quick test_rebuild_counters;
     Alcotest.test_case "sufficiency gap: expanded key coarser than formal key" `Quick
       test_sufficiency_gap;
     Alcotest.test_case "end-to-end lumped solution" `Quick test_end_to_end_solution;

@@ -478,6 +478,113 @@ let test_normalize_stable () =
   Alcotest.(check int) "node count stable" (Md.num_live_nodes n1) (Md.num_live_nodes n2);
   Alcotest.check matrix_testable "matrix stable" (Md.to_csr n1) (Md.to_csr n2)
 
+(* --- structural diagram equality, raw constructors, reverse iteration ---
+
+   These pin the contracts the incremental lumped rebuild relies on:
+   [Md.equal] must identify isomorphic rooted diagrams regardless of
+   store-local node ids, [add_node_sorted_rows] must hash-cons to the
+   node [add_node] would have built, and the [rev_iter_*] walks must
+   visit entries in exactly the reverse of the ascending storage
+   order. *)
+
+let diag_of_entries ?(prewarm = 0) entries =
+  (* A 2-level diagram; [prewarm] junk nodes shift the store's ids. *)
+  let md = Md.create ~sizes:[| 2; 2 |] in
+  for i = 1 to prewarm do
+    ignore (Md.add_node md ~level:2 [ (1, 1, Md.scalar_sum md (9.0 +. float_of_int i)) ])
+  done;
+  let a = Md.add_node md ~level:2 [ (0, 1, Md.scalar_sum md 3.0) ] in
+  let b = Md.add_node md ~level:2 [ (0, 0, Md.scalar_sum md 4.0) ] in
+  let root = Md.add_node md ~level:1 (entries a b) in
+  Md.set_root md root;
+  md
+
+let test_md_equal () =
+  let entries a b =
+    [ (0, 1, Formal_sum.singleton a 1.0); (1, 0, Formal_sum.singleton b 2.0) ]
+  in
+  let m1 = diag_of_entries entries in
+  (* Same diagram built into a pre-warmed store: the shared children get
+     different node ids, and the extra node is unreachable garbage. *)
+  let m2 = diag_of_entries ~prewarm:2 entries in
+  Alcotest.(check bool) "isomorphic stores equal" true (Md.equal m1 m2);
+  Alcotest.(check bool) "equality is symmetric" true (Md.equal m2 m1);
+  (* coefficient difference at a leaf *)
+  let m3 =
+    diag_of_entries (fun a b ->
+        ignore b;
+        [ (0, 1, Formal_sum.singleton a 1.0); (1, 0, Formal_sum.singleton a 2.0) ])
+  in
+  Alcotest.(check bool) "different child structure" false (Md.equal m1 m3);
+  let m4 =
+    diag_of_entries (fun a b ->
+        [ (0, 1, Formal_sum.singleton a 1.0); (1, 0, Formal_sum.singleton b 2.5) ])
+  in
+  Alcotest.(check bool) "different coefficient" false (Md.equal m1 m4);
+  (* level-size mismatch *)
+  let m5 = Md.create ~sizes:[| 2; 3 |] in
+  Alcotest.(check bool) "different sizes" false (Md.equal m1 m5)
+
+let test_add_node_sorted_rows () =
+  let md = Md.create ~sizes:[| 3; 2 |] in
+  let a = Md.add_node md ~level:2 [ (0, 1, Md.scalar_sum md 3.0) ] in
+  let via_add =
+    Md.add_node md ~level:1
+      [
+        (0, 0, Formal_sum.singleton a 1.0);
+        (0, 1, Formal_sum.singleton a 2.0);
+        (2, 1, Formal_sum.singleton a 4.0);
+      ]
+  in
+  let rows =
+    [|
+      [| (0, Formal_sum.singleton a 1.0); (1, Formal_sum.singleton a 2.0) |];
+      [||];
+      [| (1, Formal_sum.singleton a 4.0) |];
+    |]
+  in
+  let via_raw = Md.add_node_sorted_rows md ~level:1 rows in
+  Alcotest.(check int) "hash-conses to the add_node node" via_add via_raw;
+  Alcotest.check_raises "bad level"
+    (Invalid_argument "Md.add_node_sorted_rows: level out of range") (fun () ->
+      ignore (Md.add_node_sorted_rows md ~level:0 [||]));
+  Alcotest.check_raises "bad row count"
+    (Invalid_argument "Md.add_node_sorted_rows: row count does not match the level size")
+    (fun () -> ignore (Md.add_node_sorted_rows md ~level:1 [| [||] |]))
+
+let test_md_rev_iter () =
+  let md = Md.create ~sizes:[| 3; 3 |] in
+  let a = Md.add_node md ~level:2 [ (0, 0, Md.scalar_sum md 1.0) ] in
+  let node =
+    Md.add_node md ~level:1
+      [
+        (0, 0, Formal_sum.singleton a 1.0);
+        (0, 2, Formal_sum.singleton a 2.0);
+        (2, 1, Formal_sum.singleton a 3.0);
+      ]
+  in
+  let row_cols = ref [] in
+  Md.rev_iter_node_row md node 0 (fun c _ -> row_cols := c :: !row_cols);
+  (* descending visit, so consing restores the ascending storage order *)
+  Alcotest.(check (list int)) "row walked descending" [ 0; 2 ] !row_cols;
+  let empty = ref [] in
+  Md.rev_iter_node_row md node 1 (fun c _ -> empty := c :: !empty);
+  Alcotest.(check (list int)) "empty row" [] !empty;
+  let entries = ref [] in
+  Md.rev_iter_node_entries md node (fun r c _ -> entries := (r, c) :: !entries);
+  Alcotest.(check (list (pair int int))) "entries walked rows/cols descending"
+    [ (0, 0); (0, 2); (2, 1) ]
+    !entries;
+  (* agreement with the forward walk: consing during the descending
+     visit yields exactly the forward visit order *)
+  let fwd = ref [] in
+  Md.iter_node_entries md node (fun r c _ -> fwd := (r, c) :: !fwd);
+  Alcotest.(check (list (pair int int))) "reverse of iter_node_entries" (List.rev !fwd)
+    !entries;
+  Alcotest.check_raises "bad row"
+    (Invalid_argument "Md.rev_iter_node_row: row out of range") (fun () ->
+      Md.rev_iter_node_row md node 3 (fun _ _ -> ()))
+
 let qcheck_tests =
   let open QCheck in
   [
@@ -624,6 +731,9 @@ let tests =
     Alcotest.test_case "md live nodes" `Quick test_md_live_nodes;
     Alcotest.test_case "md row/col access" `Quick test_md_row_col_access;
     Alcotest.test_case "md iter entries" `Quick test_md_iter_entries_sums;
+    Alcotest.test_case "md structural equality" `Quick test_md_equal;
+    Alcotest.test_case "md add_node_sorted_rows" `Quick test_add_node_sorted_rows;
+    Alcotest.test_case "md reverse iteration" `Quick test_md_rev_iter;
     Alcotest.test_case "statespace basics" `Quick test_statespace_basics;
     Alcotest.test_case "statespace validation" `Quick test_statespace_validation;
     Alcotest.test_case "md vector products" `Quick test_md_vector_products;

@@ -170,6 +170,63 @@ let test_split_runs_partial () =
       Alcotest.(check int) "3 with 4" (Partition.class_of p 3) (Partition.class_of p 4)
   | _ -> Alcotest.fail "expected [parent; fresh]")
 
+let test_copy () =
+  (* [copy] preserves class ids and member order, and the halves are
+     independent afterwards — the contract the splitter-key cache's
+     structural invalidation rests on. *)
+  let p = Partition.of_class_assignment [| 0; 0; 1; 1; 1 |] in
+  let q = Partition.copy p in
+  Alcotest.check partition_testable "same classes" p q;
+  for s = 0 to 4 do
+    Alcotest.(check int)
+      (Printf.sprintf "class id of %d preserved" s)
+      (Partition.class_of p s) (Partition.class_of q s)
+  done;
+  let c0 = Partition.class_of p 0 in
+  Alcotest.(check int) "representative preserved" (Partition.representative p c0)
+    (Partition.representative q c0);
+  let c2 = Partition.class_of q 2 in
+  ignore (Partition.split q c2 [ [| 2 |]; [| 3; 4 |] ]);
+  Alcotest.(check int) "original untouched by split of copy" 2 (Partition.num_classes p);
+  Alcotest.(check int) "copy refined" 3 (Partition.num_classes q);
+  ignore (Partition.split p c0 [ [| 0 |]; [| 1 |] ]);
+  Alcotest.(check int) "copy untouched by split of original" 3 (Partition.num_classes q);
+  Alcotest.(check int) "original refined" 3 (Partition.num_classes p)
+
+let test_on_split_trace () =
+  (* The split trace must report every actual split, parent id first,
+     and account exactly for the blocks the run created. *)
+  let edges = [ (0, 1); (1, 2); (3, 4); (4, 2) ] in
+  let spec = graph_spec edges 5 in
+  let stats = Refiner.create_stats () in
+  let trace = ref [] in
+  let result =
+    Refiner.comp_lumping ~stats
+      ~on_split:(fun ~parent ~ids -> trace := (parent, ids) :: !trace)
+      spec ~initial:(Partition.trivial 5)
+  in
+  Alcotest.(check bool) "some splits traced" true (!trace <> []);
+  Alcotest.(check int) "one callback per split" stats.Refiner.splits
+    (List.length !trace);
+  List.iter
+    (fun (parent, ids) ->
+      Alcotest.(check bool) "at least two sub-blocks" true (List.length ids >= 2);
+      Alcotest.(check int) "parent id listed first" parent (List.hd ids))
+    !trace;
+  Alcotest.(check int) "traced fresh ids = blocks_created"
+    stats.Refiner.blocks_created
+    (List.fold_left (fun acc (_, ids) -> acc + List.length ids - 1) 0 !trace);
+  (* every traced id is a class id of the final partition (ids are
+     stable once allocated) *)
+  List.iter
+    (fun (_, ids) ->
+      List.iter
+        (fun id ->
+          Alcotest.(check bool) "traced id valid" true
+            (id >= 0 && id < Partition.num_classes result))
+        ids)
+    !trace
+
 (* ---- worklist bookkeeping / stats instrumentation ---- *)
 
 let test_stats_all_discrete () =
@@ -332,6 +389,65 @@ let test_intern_table_reuse () =
   Alcotest.(check int) "high-water stable across reuse" hw1
     (Refiner.intern_table_size ispec.Refiner.itable)
 
+(* The same graph keys again, fed through the ranked pipeline: keys are
+   pre-interned to stable gids through a persistent table (the
+   Key_cache arrangement) and handed over as parallel arrays. *)
+let ranked_graph_spec edges n =
+  let spec = graph_spec edges n in
+  let table = Refiner.intern_table ~hash:Hashtbl.hash ~equal:Int.equal () in
+  {
+    Refiner.rsize = n;
+    rsplitter_keys =
+      (fun c ->
+        let keyed = spec.Refiner.splitter_keys c in
+        let m = List.length keyed in
+        let states = Array.make m 0 and gids = Array.make m 0 in
+        List.iteri
+          (fun i (s, k) ->
+            states.(i) <- s;
+            gids.(i) <- Refiner.intern table k)
+          keyed;
+        (states, gids));
+  }
+
+let test_ranked_pipeline () =
+  let edges = [ (0, 1); (1, 2); (3, 4); (4, 2) ] in
+  let n = 5 in
+  let initial = Partition.trivial n in
+  let p_gen = Refiner.comp_lumping (graph_spec edges n) ~initial in
+  let stats = Refiner.create_stats () in
+  let p_rnk = Refiner.comp_lumping_ranked ~stats (ranked_graph_spec edges n) ~initial in
+  Alcotest.check partition_testable "ranked = generic" p_gen p_rnk;
+  (* ranked passes are reported as interned passes so cached and
+     uncached runs stay comparable in the stats record *)
+  Alcotest.(check int) "all passes interned" stats.Refiner.splitter_passes
+    stats.Refiner.interned_passes;
+  Alcotest.(check int) "no fallback passes" 0 stats.Refiner.fallback_passes;
+  Alcotest.(check bool) "alphabet recorded" true (stats.Refiner.intern_keys > 0);
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Refiner.comp_lumping_ranked: partition size mismatch") (fun () ->
+      ignore
+        (Refiner.comp_lumping_ranked (ranked_graph_spec edges n)
+           ~initial:(Partition.trivial 3)))
+
+let test_ranked_counting_sort () =
+  (* Big passes over a tiny gid alphabet: the ranked pipeline must reach
+     the counting sort and still agree with the generic engine. *)
+  let n = 100 in
+  let edges =
+    List.concat_map
+      (fun s -> if s mod 3 = 0 then [ (s, 0); (s, 1) ] else [ (s, 0) ])
+      (List.init n Fun.id)
+  in
+  let stats = Refiner.create_stats () in
+  let p_rnk =
+    Refiner.comp_lumping_ranked ~stats (ranked_graph_spec edges n)
+      ~initial:(Partition.trivial n)
+  in
+  let p_gen = Refiner.comp_lumping (graph_spec edges n) ~initial:(Partition.trivial n) in
+  Alcotest.check partition_testable "ranked counting sort = generic" p_gen p_rnk;
+  Alcotest.(check bool) "counting sort fired" true (stats.Refiner.counting_sort_passes > 0)
+
 let test_run_dispatch () =
   let edges = [ (0, 1); (1, 2); (3, 4); (4, 2) ] in
   let n = 5 in
@@ -441,6 +557,12 @@ let qcheck_differential =
         let p_gen = Refiner.comp_lumping (graph_spec edges n) ~initial in
         let p_int = Refiner.comp_lumping_interned (interned_graph_spec edges n) ~initial in
         Partition.equal p_gen p_int);
+    Test.make ~count:300 ~name:"ranked pipeline matches generic on random graphs"
+      arb_graph (fun (n, edges) ->
+        let initial = Partition.group_by n (fun i -> i mod 3) compare in
+        let p_gen = Refiner.comp_lumping (graph_spec edges n) ~initial in
+        let p_rnk = Refiner.comp_lumping_ranked (ranked_graph_spec edges n) ~initial in
+        Partition.equal p_gen p_rnk);
     Test.make ~count:300
       ~name:"float pipeline matches generic and seed engines on random flat specs"
       arb_weighted (fun (n, triplets) ->
@@ -517,6 +639,8 @@ let tests =
     Alcotest.test_case "split no-op" `Quick test_split_noop;
     Alcotest.test_case "refine_class_by" `Quick test_refine_class_by;
     Alcotest.test_case "equal" `Quick test_equal;
+    Alcotest.test_case "copy" `Quick test_copy;
+    Alcotest.test_case "on_split trace" `Quick test_on_split_trace;
     Alcotest.test_case "refiner bisimulation-like" `Quick test_refiner_bisimulation_like;
     Alcotest.test_case "refiner respects initial" `Quick test_refiner_respects_initial;
     Alcotest.test_case "refiner size mismatch" `Quick test_refiner_size_mismatch;
@@ -531,6 +655,8 @@ let tests =
     Alcotest.test_case "counting-sort pipeline" `Quick test_counting_sort_pipeline;
     Alcotest.test_case "per-pipeline counters" `Quick test_pipeline_counters;
     Alcotest.test_case "intern table reuse" `Quick test_intern_table_reuse;
+    Alcotest.test_case "ranked pipeline" `Quick test_ranked_pipeline;
+    Alcotest.test_case "ranked counting sort" `Quick test_ranked_counting_sort;
     Alcotest.test_case "run dispatch" `Quick test_run_dispatch;
     Alcotest.test_case "differential: oracle chains" `Quick test_differential_oracle_chains;
   ]
