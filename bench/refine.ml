@@ -31,6 +31,7 @@ module State_lumping = Mdl_lumping.State_lumping
 module Compositional = Mdl_core.Compositional
 module Spec = Mdl_oracle.Spec
 module Gen_chain = Mdl_oracle.Gen_chain
+module Trace = Mdl_obs.Trace
 
 type flat_scenario = {
   name : string;
@@ -93,6 +94,24 @@ let stats_json s =
     s.Refiner.interned_passes s.Refiner.counting_sort_passes s.Refiner.fallback_passes
     s.Refiner.intern_keys s.Refiner.cache_hits s.Refiner.cache_misses
     s.Refiner.nodes_rebuilt s.Refiner.nodes_reused s.Refiner.wall_s
+
+(* Per-phase rollup of the spans one instrumented lump produced
+   ([from] = span count before it ran).  Inclusive seconds, so [total_s]
+   is not the sum of the others; a phase that never ran reports 0. *)
+let phases_json ~from () =
+  let totals = Trace.phase_totals ~from () in
+  let get n = match List.assoc_opt n totals with Some s -> s | None -> 0.0 in
+  Printf.sprintf
+    {|"phases": {
+        "total_s": %.6f,
+        "level_s": %.6f,
+        "initial_s": %.6f,
+        "fixpoint_s": %.6f,
+        "pass_s": %.6f,
+        "rebuild_s": %.6f
+      }|}
+    (get "lump") (get "lump.level") (get "lump.initial_partition")
+    (get "lump.fixpoint") (get "refine.pass") (get "lump.rebuild")
 
 (* ---- flat scenarios ---- *)
 
@@ -245,10 +264,17 @@ let run_multilevel ~repeats ~cache sc =
       sc.ml_name;
     exit 1
   end;
+  (* One instrumented run outside the timing loops: counters into
+     [stats], spans into the shared trace buffer.  The timed races above
+     run with tracing disabled — the cached-vs-interned CI gate measures
+     the zero-overhead path. *)
   let stats = Refiner.create_stats () in
+  let span_from = Trace.span_count () in
+  Trace.resume ();
   ignore (Compositional.lump ~specialised:true ~memoise:true ~cache ~stats
             Mdl_lumping.State_lumping.Ordinary sc.md ~rewards:sc.rewards
             ~initial:sc.ml_initial);
+  Trace.stop ();
   let lumped_states =
     Mdl_md.Statespace.size
       (Compositional.lump_statespace r_mem sc.statespace)
@@ -269,6 +295,7 @@ let run_multilevel ~repeats ~cache sc =
       "cached_s": %.6f,
       "speedup_vs_generic": %.3f,
       "speedup_cached_vs_interned": %.3f,
+      %s,
       %s
     }|}
       sc.ml_name states (Mdl_md.Md.levels sc.md) lumped_states generic_s interned_s
@@ -276,6 +303,7 @@ let run_multilevel ~repeats ~cache sc =
       (generic_s /. interned_s)
       (interned_s /. cached_s)
       (stats_json stats)
+      (phases_json ~from:span_from ())
   in
   let regression =
     if cached_s > interned_s then
@@ -289,13 +317,24 @@ let run_multilevel ~repeats ~cache sc =
 let () =
   let smoke = ref false in
   let out = ref "BENCH_refine.json" in
+  let trace_out = ref "" in
   Arg.parse
     [
       ("--smoke", Arg.Set smoke, " small instances only (CI)");
       ("--out", Arg.Set_string out, "FILE output path (default BENCH_refine.json)");
+      ( "--trace",
+        Arg.Set_string trace_out,
+        "FILE write the instrumented runs' spans as Chrome trace-event JSON" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "refine [--smoke] [--out FILE]";
+    "refine [--smoke] [--out FILE] [--trace FILE]";
+  Mdl_obs.Logging.setup ();
+  (* Arm the trace buffer, then disable recording: the per-scenario
+     instrumented runs resume into it, so the timed races stay on the
+     tracing-disabled path while every scenario's spans land in one
+     combined export. *)
+  Trace.start ();
+  Trace.stop ();
   let chain ~name states extra planted seed =
     chain_scenario ~name { Spec.states; extra; planted; seed }
   in
@@ -335,6 +374,10 @@ let () =
     (String.concat ",\n" (List.map (fun o -> o.json) outcomes));
   close_out oc;
   Printf.printf "wrote %s\n" !out;
+  if !trace_out <> "" then begin
+    Trace.write_file !trace_out;
+    Printf.printf "wrote %s (%d spans)\n" !trace_out (Trace.span_count ())
+  end;
   let regressed = List.filter_map (fun o -> o.regression) outcomes in
   List.iter (fun msg -> Printf.eprintf "WARNING: %s\n" msg) regressed;
   if regressed <> [] then exit 1

@@ -18,6 +18,10 @@ module Spec = Mdl_oracle.Spec
 module Oracle = Mdl_oracle.Oracle
 
 let run_fuzz count seed max_levels modes sanity verbose =
+  (* [--verbose] keeps its per-case outcome printing; the shared logging
+     setup additionally raises the Logs level so library debug output
+     (oracle summaries, refinement internals) interleaves with it. *)
+  Mdl_obs.Logging.setup ~verbose ();
   let master = Prng.of_seed seed in
   let inject = if sanity then Some 0.5 else None in
   let failures = ref 0 and missed = ref 0 and skipped_inject = ref 0 in

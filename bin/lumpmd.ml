@@ -17,6 +17,8 @@ module Md_solve = Mdl_core.Md_solve
 module Solver = Mdl_ctmc.Solver
 module State_lumping = Mdl_lumping.State_lumping
 module Local_key = Mdl_core.Local_key
+module Trace = Mdl_obs.Trace
+module Metrics = Mdl_obs.Metrics
 
 type instance = {
   name : string;
@@ -92,12 +94,48 @@ let build_workstations stations =
     initial = b.Mdl_models.Workstations.initial;
   }
 
-let setup_logging verbose =
-  Logs.set_reporter (Logs.format_reporter ());
-  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+(* Per-phase rollup of the trace buffer: inclusive seconds and Gc
+   allocation per span name, in first-seen order.  Nested spans each
+   count their full extent, so [lump] is not the sum of its children. *)
+let print_phase_breakdown () =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  Trace.iter_events (fun ~name ~cat:_ ~start_ns:_ ~dur_ns ~depth:_ ~args ->
+      let arg k =
+        match List.assoc_opt k args with
+        | Some (Trace.Float f) -> f
+        | Some (Trace.Int i) -> float_of_int i
+        | _ -> 0.0
+      in
+      let c, s, mi, ma =
+        match Hashtbl.find_opt tbl name with
+        | Some x -> x
+        | None ->
+            order := name :: !order;
+            (0, 0.0, 0.0, 0.0)
+      in
+      Hashtbl.replace tbl name
+        ( c + 1,
+          s +. (Int64.to_float dur_ns /. 1e9),
+          mi +. arg "gc.minor_words",
+          ma +. arg "gc.major_words" ));
+  if !order <> [] then begin
+    Printf.printf "per-phase breakdown (inclusive):\n";
+    Printf.printf "  %-24s %8s %12s %14s %14s\n" "span" "count" "seconds"
+      "minor words" "major words";
+    List.iter
+      (fun name ->
+        let c, s, mi, ma = Hashtbl.find tbl name in
+        Printf.printf "  %-24s %8d %12.6f %14.0f %14.0f\n" name c s mi ma)
+      (List.rev !order)
+  end
 
 let run inst mode key solve check_optimal dot_file export_file merge_level show_stats
-    generic_refiner no_key_cache =
+    generic_refiner no_key_cache trace_file show_metrics =
+  (* --metrics also turns tracing on (without an export file) so the Gc
+     words per phase can be aggregated from the span arguments. *)
+  if Option.is_some trace_file || show_metrics then Trace.start ();
+  if show_metrics then Metrics.set_enabled true;
   Printf.printf "model: %s\n" inst.name;
   (* Optional level merging before lumping (exposes cross-level
      symmetries at the price of a bigger level; reward measures are not
@@ -201,6 +239,9 @@ let run inst mode key solve check_optimal dot_file export_file merge_level show_
         Printf.printf "steady state: %d iterations, %.2f s%s\n" stats.Solver.iterations
           solve_time
           (if stats.Solver.converged then "" else " (NOT converged)");
+        if show_stats then
+          Printf.printf "solver stats: %d iterations, residual %.3e, converged %b\n"
+            stats.Solver.iterations stats.Solver.residual stats.Solver.converged;
         List.iter
           (fun (name, r) ->
             let v =
@@ -246,6 +287,19 @@ let run inst mode key solve check_optimal dot_file export_file merge_level show_
         (Partition.num_classes further)
         (if Partition.num_classes further = n then " (compositional result is optimal)"
          else "")
+    end
+  end;
+  if Option.is_some trace_file || show_metrics then begin
+    Trace.stop ();
+    Option.iter
+      (fun path ->
+        Trace.write_file path;
+        Printf.printf "Chrome trace (%d spans) written to %s\n" (Trace.span_count ())
+          path)
+      trace_file;
+    if show_metrics then begin
+      Format.printf "%a@?" Metrics.pp ();
+      print_phase_breakdown ()
     end
   end
 
@@ -303,77 +357,91 @@ let export_arg =
        & info [ "export-matrix" ] ~docv:"FILE"
            ~doc:"Flatten the lumped chain over its reachable states and write the rate matrix in Matrix Market format to $(docv).")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record hierarchical spans over the whole pipeline (per level, per refinement fixed point, per splitter pass, rebuild, solver) and write them as Chrome trace-event JSON to $(docv) — loads directly in chrome://tracing, Perfetto or speedscope.")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Enable the process-wide metrics registry and dump it after the run: key-cache hits/misses, per-pipeline pass counts, split/key-evaluation counters, latency histograms, and the per-phase Gc allocation breakdown.")
+
 let tandem_cmd =
   let jobs = Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~doc:"Population J.") in
   let hdim = Arg.(value & opt int 3 & info [ "hyper-dim" ] ~doc:"Hypercube dimension (2^d servers).") in
   let ms = Arg.(value & opt int 3 & info [ "msmq-servers" ] ~doc:"MSMQ servers.") in
   let mq = Arg.(value & opt int 4 & info [ "msmq-queues" ] ~doc:"MSMQ queues.") in
-  let f jobs hdim ms mq mode key solve check dot export merge stats generic no_cache verbose =
-    setup_logging verbose;
+  let f jobs hdim ms mq mode key solve check dot export merge stats generic no_cache trace metrics verbose =
+    Mdl_obs.Logging.setup ~verbose ();
     run (build_tandem jobs hdim ms mq) mode key solve check dot export merge stats generic
-      no_cache
+      no_cache trace metrics
   in
   Cmd.v
     (Cmd.info "tandem" ~doc:"The paper's tandem multi-processor system (Section 5).")
     Term.(
       const f $ jobs $ hdim $ ms $ mq $ mode_arg $ key_arg $ solve_arg $ check_arg
-      $ dot_arg $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ verbose_arg)
+      $ dot_arg $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ verbose_arg)
 
 let polling_cmd =
   let customers =
     Arg.(value & opt int 4 & info [ "customers"; "c" ] ~doc:"Closed population.")
   in
-  let f customers mode key solve check dot export merge stats generic no_cache verbose =
-    setup_logging verbose;
+  let f customers mode key solve check dot export merge stats generic no_cache trace metrics verbose =
+    Mdl_obs.Logging.setup ~verbose ();
     run (build_polling customers) mode key solve check dot export merge stats generic no_cache
+      trace metrics
   in
   Cmd.v
     (Cmd.info "polling" ~doc:"The MSMQ polling station in isolation.")
     Term.(
       const f $ customers $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ verbose_arg)
 
 let workstations_cmd =
   let stations =
     Arg.(value & opt int 4 & info [ "stations"; "n" ] ~doc:"Number of workstations.")
   in
-  let f stations mode key solve check dot export merge stats generic no_cache verbose =
-    setup_logging verbose;
+  let f stations mode key solve check dot export merge stats generic no_cache trace metrics verbose =
+    Mdl_obs.Logging.setup ~verbose ();
     run (build_workstations stations) mode key solve check dot export merge stats generic no_cache
+      trace metrics
   in
   Cmd.v
     (Cmd.info "workstations" ~doc:"Replicated workstation cluster with a spare store.")
     Term.(
       const f $ stations $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ verbose_arg)
 
 let multitier_cmd =
   let clients =
     Arg.(value & opt int 3 & info [ "clients"; "c" ] ~doc:"Closed population.")
   in
-  let f clients mode key solve check dot export merge stats generic no_cache verbose =
-    setup_logging verbose;
+  let f clients mode key solve check dot export merge stats generic no_cache trace metrics verbose =
+    Mdl_obs.Logging.setup ~verbose ();
     run (build_multitier clients) mode key solve check dot export merge stats generic no_cache
+      trace metrics
   in
   Cmd.v
     (Cmd.info "multitier" ~doc:"Closed multi-tier service system (4-level MD).")
     Term.(
       const f $ clients $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ verbose_arg)
 
 let kanban_cmd =
   let cards =
     Arg.(value & opt int 2 & info [ "cards"; "n" ] ~doc:"Kanban cards per cell.")
   in
-  let f cards mode key solve check dot export merge stats generic no_cache verbose =
-    setup_logging verbose;
+  let f cards mode key solve check dot export merge stats generic no_cache trace metrics verbose =
+    Mdl_obs.Logging.setup ~verbose ();
     run (build_kanban cards) mode key solve check dot export merge stats generic no_cache
+      trace metrics
   in
   Cmd.v
     (Cmd.info "kanban" ~doc:"The Kanban manufacturing system (4-level MD benchmark).")
     Term.(
       const f $ cards $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ verbose_arg)
 
 let main =
   Cmd.group

@@ -3,6 +3,8 @@
    compositional lumping, for a list of J values.
 
    Usage: dune exec bin/table1.exe [-- J1 J2 ...]        (default: 1 2)
+          --trace FILE      record the lump pipeline's spans and write
+                            Chrome trace-event JSON to FILE
           --check-optimal   also run the Section-5 optimality check
                             (flat state-level lumping of the lumped
                             chain; only when small enough to flatten)
@@ -119,10 +121,30 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let check = List.mem "--check-optimal" args in
   let do_validate = List.mem "--validate" args in
+  (* Manual parsing, like the rest of this driver: --trace FILE consumes
+     the next argument; everything else that parses as an int is a J. *)
+  let trace_file = ref None in
+  let rec strip_trace = function
+    | "--trace" :: path :: rest ->
+        trace_file := Some path;
+        strip_trace rest
+    | a :: rest -> a :: strip_trace rest
+    | [] -> []
+  in
+  let args = strip_trace args in
+  Mdl_obs.Logging.setup ();
+  if Option.is_some !trace_file then Mdl_obs.Trace.start ();
   let jobs_list =
     match List.filter_map int_of_string_opt args with [] -> [ 1; 2 ] | l -> l
   in
   let rows = List.map run_one jobs_list in
+  Option.iter
+    (fun path ->
+      Mdl_obs.Trace.stop ();
+      Mdl_obs.Trace.write_file path;
+      Printf.printf "Chrome trace (%d spans) written to %s\n\n"
+        (Mdl_obs.Trace.span_count ()) path)
+    !trace_file;
 
   print_endline "Table 1: MD representation of the tandem system's CTMC";
   print_endline "";

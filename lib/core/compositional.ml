@@ -7,6 +7,14 @@ module Formal_sum = Mdl_md.Formal_sum
 module Statespace = Mdl_md.Statespace
 module Partition = Mdl_partition.Partition
 module Refiner = Mdl_partition.Refiner
+module Trace = Mdl_obs.Trace
+module Metrics = Mdl_obs.Metrics
+
+let c_nodes_rebuilt = Metrics.counter "rebuild.nodes_rebuilt"
+
+let c_nodes_reused = Metrics.counter "rebuild.nodes_reused"
+
+let c_lumps = Metrics.counter "lump.runs"
 
 type result = {
   lumped : Md.t;
@@ -31,16 +39,18 @@ let is_identity p =
   !ok
 
 let bump_rebuilt stats n =
+  Metrics.add c_nodes_rebuilt n;
   match stats with
   | Some st -> st.Refiner.nodes_rebuilt <- st.Refiner.nodes_rebuilt + n
   | None -> ()
 
 let bump_reused stats n =
+  Metrics.add c_nodes_reused n;
   match stats with
   | Some st -> st.Refiner.nodes_reused <- st.Refiner.nodes_reused + n
   | None -> ()
 
-let rebuild ?stats ?(incremental = true) mode md partitions =
+let rebuild_body ?stats ?(incremental = true) mode md partitions =
   let nlevels = Md.levels md in
   (* [incremental:false] restores the from-scratch rebuild (every node
      reconstructed entry by entry) — the faithful uncached baseline the
@@ -189,6 +199,19 @@ let rebuild ?stats ?(incremental = true) mode md partitions =
     out
   end
 
+let rebuild ?stats ?incremental mode md partitions =
+  if not (Trace.enabled ()) then rebuild_body ?stats ?incremental mode md partitions
+  else
+    Trace.with_span ~cat:"lump" "lump.rebuild" (fun () ->
+        let out = rebuild_body ?stats ?incremental mode md partitions in
+        Trace.add_args
+          [
+            ("nodes_in", Trace.Int (Md.num_live_nodes md));
+            ("nodes_out", Trace.Int (Md.num_live_nodes out));
+            ("aliased", Trace.Bool (out == md));
+          ];
+        out)
+
 let lump_with_partitions ?stats ?incremental mode md partitions =
   if Array.length partitions <> Md.levels md then
     invalid_arg "Compositional.lump_with_partitions: level count mismatch";
@@ -199,8 +222,7 @@ let lump_with_partitions ?stats ?incremental mode md partitions =
     partitions;
   { lumped = rebuild ?stats ?incremental mode md partitions; partitions }
 
-let lump ?eps ?key ?stats ?(specialised = true) ?(memoise = true) ?cache mode md
-    ~rewards ~initial =
+let lump_body ?eps ?key ?stats ~specialised ~memoise ?cache mode md ~rewards ~initial =
   (* The key cache rides on the interned pipeline; under the generic
      baseline (or with memoisation off) no cache is used at all. *)
   let cache =
@@ -214,25 +236,35 @@ let lump ?eps ?key ?stats ?(specialised = true) ?(memoise = true) ?cache mode md
   let partitions =
     Array.init (Md.levels md) (fun i ->
         let level = i + 1 in
-        let p_ini =
-          Level_lumping.initial_partition ?eps mode md ~level ~rewards ~initial
-        in
-        let level_stats = Refiner.create_stats () in
-        let p, dt =
-          Mdl_util.Timer.time (fun () ->
-              Level_lumping.comp_lumping_level ?eps ?key ~stats:level_stats ~specialised
-                ?cache mode md ~level ~initial:p_ini)
-        in
-        Log.debug (fun m ->
-            m "level %d: %d -> %d classes (P_ini %d) in %.3fs [refiner: %a]" level
-              (Partition.size p)
-              (Partition.num_classes p)
-              (Partition.num_classes p_ini)
-              dt Refiner.pp_stats level_stats);
-        (match stats with
-        | Some dst -> Refiner.add_stats dst level_stats
-        | None -> ());
-        p)
+        Trace.with_span ~cat:"lump"
+          ~args:[ ("level", Trace.Int level) ]
+          "lump.level"
+          (fun () ->
+            let p_ini =
+              Trace.with_span ~cat:"lump" "lump.initial_partition" (fun () ->
+                  Level_lumping.initial_partition ?eps mode md ~level ~rewards ~initial)
+            in
+            let level_stats = Refiner.create_stats () in
+            let p, dt =
+              Mdl_util.Timer.time (fun () ->
+                  Level_lumping.comp_lumping_level ?eps ?key ~stats:level_stats
+                    ~specialised ?cache mode md ~level ~initial:p_ini)
+            in
+            Log.debug (fun m ->
+                m "level %d: %d -> %d classes (P_ini %d) in %.3fs [refiner: %a]" level
+                  (Partition.size p)
+                  (Partition.num_classes p)
+                  (Partition.num_classes p_ini)
+                  dt Refiner.pp_stats level_stats);
+            (match stats with
+            | Some dst -> Refiner.add_stats dst level_stats
+            | None -> ());
+            Trace.add_args
+              [
+                ("classes_initial", Trace.Int (Partition.num_classes p_ini));
+                ("classes", Trace.Int (Partition.num_classes p));
+              ];
+            p))
   in
   let r, dt =
     Mdl_util.Timer.time (fun () ->
@@ -243,6 +275,24 @@ let lump ?eps ?key ?stats ?(specialised = true) ?(memoise = true) ?cache mode md
         (Md.num_live_nodes r.lumped) dt
         (if r.lumped == md then " (aliased: nothing lumped)" else ""));
   r
+
+let lump ?eps ?key ?stats ?(specialised = true) ?(memoise = true) ?cache mode md
+    ~rewards ~initial =
+  Metrics.incr c_lumps;
+  if not (Trace.enabled ()) then
+    lump_body ?eps ?key ?stats ~specialised ~memoise ?cache mode md ~rewards ~initial
+  else
+    Trace.with_span ~cat:"lump"
+      ~args:
+        [
+          ("levels", Trace.Int (Md.levels md));
+          ("specialised", Trace.Bool specialised);
+          ("memoise", Trace.Bool memoise);
+        ]
+      "lump"
+      (fun () ->
+        lump_body ?eps ?key ?stats ~specialised ~memoise ?cache mode md ~rewards
+          ~initial)
 
 let class_tuple r s =
   if Array.length s <> Array.length r.partitions then

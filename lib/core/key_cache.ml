@@ -1,5 +1,25 @@
 module Md = Mdl_md.Md
 module Refiner = Mdl_partition.Refiner
+module Metrics = Mdl_obs.Metrics
+module Timer = Mdl_util.Timer
+
+(* Cumulative registry mirrors of the per-cache counters below, plus
+   what the counters cannot say: how long uncached column walks take and
+   how many rows they emit (the allocation the miss path pays). *)
+let c_hits = Metrics.counter "key_cache.hits"
+
+let c_misses = Metrics.counter "key_cache.misses"
+
+let c_invalidations = Metrics.counter "key_cache.invalidations"
+
+let m_miss_seconds =
+  Metrics.histogram ~buckets:(Metrics.log_buckets ~lo:1e-7 ~hi:1.0 ~per_decade:3)
+    "key_cache.miss_seconds"
+
+let m_miss_rows =
+  Metrics.histogram
+    ~buckets:[| 1.0; 4.0; 16.0; 64.0; 256.0; 1024.0; 4096.0; 16384.0; 65536.0 |]
+    "key_cache.miss_rows"
 
 (* A cached splitter-key row list is indexed by the *identity* of the
    splitter class at evaluation time: the node whose matrix is being
@@ -75,9 +95,13 @@ let splitter_keys ?eps ?skip t choice mode ~node ((perm, first, len) as slice) =
   match Hashtbl.find_opt t.rows key with
   | Some rows ->
       t.hits <- t.hits + 1;
+      Metrics.incr c_hits;
       rows
   | None ->
       t.misses <- t.misses + 1;
+      Metrics.incr c_misses;
+      let metered = Metrics.enabled () in
+      let t0 = if metered then Timer.now_ns () else 0L in
       let keyed = Local_key.splitter_keys ?eps ?skip (context t) choice mode node slice in
       let m = List.length keyed in
       let states = Array.make m 0 and gids = Array.make m 0 in
@@ -88,6 +112,13 @@ let splitter_keys ?eps ?skip t choice mode ~node ((perm, first, len) as slice) =
         keyed;
       let rows = (states, gids) in
       Hashtbl.add t.rows key rows;
+      if metered then begin
+        Metrics.observe m_miss_seconds
+          (Int64.to_float (Int64.sub (Timer.now_ns ()) t0) *. 1e-9);
+        Metrics.observe m_miss_rows (float_of_int m)
+      end;
       rows
 
-let note_split t ~parent:_ ~ids = t.invalidations <- t.invalidations + List.length ids
+let note_split t ~parent:_ ~ids =
+  t.invalidations <- t.invalidations + List.length ids;
+  Metrics.add c_invalidations (List.length ids)

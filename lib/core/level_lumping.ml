@@ -3,6 +3,12 @@ module Formal_sum = Mdl_md.Formal_sum
 module Partition = Mdl_partition.Partition
 module Refiner = Mdl_partition.Refiner
 module Floatx = Mdl_util.Floatx
+module Trace = Mdl_obs.Trace
+module Metrics = Mdl_obs.Metrics
+
+let c_fixpoint_iterations = Metrics.counter "level.fixpoint_iterations"
+
+let c_levels = Metrics.counter "level.fixpoints"
 
 let check_level md level fn =
   if level < 1 || level > Md.levels md then
@@ -137,25 +143,39 @@ let comp_lumping_level ?eps ?(key = Local_key.Formal_sums) ?stats
           Refiner.comp_lumping ?stats (node_spec ?eps ctx key mode md node) ~initial:p
   in
   let pass p = List.fold_left (fun p node -> refine node p) p nodes in
+  (* [CompLumpingLevel] iterates passes over all live nodes of the level
+     until no pass refines further; the iteration count is the
+     fixed-point depth the observability layer reports per level. *)
+  let iterations = ref 0 in
   let rec fix p =
+    incr iterations;
     let p' = pass p in
     if Partition.equal p p' then p' else fix p'
   in
-  let p = fix initial in
+  let p =
+    Trace.with_span ~cat:"lump" ~args:[ ("level", Trace.Int level) ] "lump.fixpoint"
+      (fun () ->
+        let p = fix initial in
+        Trace.add_args [ ("iterations", Trace.Int !iterations) ];
+        p)
+  in
+  Metrics.incr c_levels;
+  Metrics.add c_fixpoint_iterations !iterations;
   (match (stats, cache) with
   | Some st, Some kc ->
       st.Refiner.cache_hits <- st.Refiner.cache_hits + (Key_cache.hits kc - hits0);
       st.Refiner.cache_misses <- st.Refiner.cache_misses + (Key_cache.misses kc - misses0)
   | _ -> ());
-  (* Canonicalise a fully-discrete result to the identity partition.
-     The refinement engine preserves input class ids, so a level that
-     lumps nothing ends with ids in split order; renumbering singleton
-     class c to its only member makes "nothing to lump" recognisable as
-     [class_of s = s] — which is what lets the rebuild reuse nodes (or
-     the whole diagram) verbatim.  Applied on every path so the cached
-     and uncached pipelines emit identical lumped diagrams. *)
+  (* Canonicalise the class numbering.  The refinement engine preserves
+     input class ids, so the result's ids depend on split order — which
+     differs between the generic/interned/ranked pipelines even when the
+     classes themselves agree.  Renumbering by first appearance (and a
+     fully-discrete result to the identity partition, which is what lets
+     the rebuild reuse nodes or the whole diagram verbatim) makes every
+     pipeline emit the same partition object — and hence structurally
+     equal lumped diagrams, in both ordinary and exact mode. *)
   if Partition.num_classes p = Partition.size p then Partition.discrete (Partition.size p)
-  else p
+  else Partition.of_class_assignment (Partition.to_class_assignment p)
 
 let is_locally_lumpable ?eps mode md ~level p =
   check_level md level "is_locally_lumpable";

@@ -1,7 +1,43 @@
 module Vec = Mdl_sparse.Vec
 module Csr = Mdl_sparse.Csr
+module Trace = Mdl_obs.Trace
+module Metrics = Mdl_obs.Metrics
+
+let log_src = Logs.Src.create "mdl.solve" ~doc:"CTMC numerical solvers"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let c_iterations = Metrics.counter "solver.iterations"
+
+let c_runs = Metrics.counter "solver.runs"
+
+let c_non_converged = Metrics.counter "solver.non_converged"
+
+let g_residual = Metrics.gauge "solver.residual"
 
 type stats = { iterations : int; residual : float; converged : bool }
+
+(* Shared epilogue of the iterative kernels: span + registry + debug
+   log, so no solver run — converged or not — is silent. *)
+let observe_run name (result, st) =
+  Metrics.incr c_runs;
+  Metrics.add c_iterations st.iterations;
+  Metrics.set g_residual st.residual;
+  if not st.converged then Metrics.incr c_non_converged;
+  Trace.add_args
+    [
+      ("iterations", Trace.Int st.iterations);
+      ("residual", Trace.Float st.residual);
+      ("converged", Trace.Bool st.converged);
+    ];
+  Log.debug (fun m ->
+      m "%s: %d iterations, residual %.3e%s" name st.iterations st.residual
+        (if st.converged then "" else " (NOT converged)"));
+  if not st.converged then
+    Log.warn (fun m ->
+        m "%s did not converge: %d iterations, residual %.3e" name st.iterations
+          st.residual);
+  (result, st)
 
 type operator = { dim : int; apply : Vec.t -> Vec.t }
 
@@ -26,7 +62,8 @@ let power ?(tol = 1e-12) ?(max_iter = 100_000) ?initial op =
       (next, { iterations = k; residual = diff; converged = false })
     else loop next (k + 1)
   in
-  loop pi 1
+  Trace.with_span ~cat:"solve" "solver.power" (fun () ->
+      observe_run "solver.power" (loop pi 1))
 
 let steady_state ?tol ?max_iter ctmc =
   let p, _lambda = Ctmc.uniformized ctmc in
@@ -54,8 +91,8 @@ let steady_state_gauss_seidel ?(tol = 1e-12) ?(max_iter = 10_000) ctmc =
     else if k >= max_iter then { iterations = k; residual = diff; converged = false }
     else loop (k + 1) (Vec.copy pi)
   in
-  let stats = loop 1 (Vec.copy pi) in
-  (pi, stats)
+  Trace.with_span ~cat:"solve" "solver.gauss_seidel" (fun () ->
+      observe_run "solver.gauss_seidel" (pi, loop 1 (Vec.copy pi)))
 
 let poisson_weights ~epsilon ~qt =
   (* Weights w(k) = e^{-qt} (qt)^k / k! for k = 0..r, with r chosen so the
@@ -97,17 +134,20 @@ let transient_operator ?(epsilon = 1e-12) ~t ~lambda op pi0 =
   if Array.length pi0 <> op.dim then
     invalid_arg "Solver.transient_operator: initial size mismatch";
   if t = 0.0 then Vec.copy pi0
-  else begin
-    let weights = poisson_weights ~epsilon ~qt:(lambda *. t) in
-    let result = Array.make (Array.length pi0) 0.0 in
-    let current = ref (Vec.copy pi0) in
-    Array.iteri
-      (fun k w ->
-        if k > 0 then current := op.apply !current;
-        Vec.axpy ~alpha:w !current result)
-      weights;
-    result
-  end
+  else
+    Trace.with_span ~cat:"solve" "solver.transient" (fun () ->
+        let weights = poisson_weights ~epsilon ~qt:(lambda *. t) in
+        let result = Array.make (Array.length pi0) 0.0 in
+        let current = ref (Vec.copy pi0) in
+        Array.iteri
+          (fun k w ->
+            if k > 0 then current := op.apply !current;
+            Vec.axpy ~alpha:w !current result)
+          weights;
+        Metrics.incr c_runs;
+        Metrics.add c_iterations (Array.length weights - 1);
+        Trace.add_args [ ("terms", Trace.Int (Array.length weights)) ];
+        result)
 
 let transient ?epsilon ~t ctmc pi0 =
   if t < 0.0 then invalid_arg "Solver.transient: negative time";

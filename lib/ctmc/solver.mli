@@ -5,6 +5,14 @@
     representations (whose whole point is to avoid materialising the
     matrix) can drive the same solvers. *)
 
+val log_src : Logs.src
+(** The solvers' [Logs] source, [mdl.solve]: per-run convergence
+    summaries at debug level and a warning on non-convergence, so a
+    diverging solve is never silent.  Every iterative kernel also runs
+    inside a [solver.*] span ([Mdl_obs.Trace]) and publishes
+    [solver.iterations] / [solver.residual] / [solver.non_converged]
+    into the metrics registry. *)
+
 type stats = {
   iterations : int;
   residual : float;  (** last convergence-test value *)

@@ -1,0 +1,28 @@
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some (Some Logs.Debug)
+  | "info" -> Some (Some Logs.Info)
+  | "warning" | "warn" -> Some (Some Logs.Warning)
+  | "error" -> Some (Some Logs.Error)
+  | "app" -> Some (Some Logs.App)
+  | "quiet" | "off" | "none" -> Some None
+  | _ -> None
+
+let setup ?(verbose = false) () =
+  Logs.set_reporter (Logs.format_reporter ());
+  let level =
+    if verbose then Some Logs.Debug
+    else
+      match Sys.getenv_opt "MDL_LOG" with
+      | None -> Some Logs.Warning
+      | Some s -> (
+          match level_of_string s with
+          | Some l -> l
+          | None ->
+              Printf.eprintf "MDL_LOG=%s not recognised (debug/info/warning/error/quiet); using warning\n%!" s;
+              Some Logs.Warning)
+  in
+  Logs.set_level level
+
+let sources () =
+  List.sort String.compare (List.map Logs.Src.name (Logs.Src.list ()))

@@ -1,0 +1,24 @@
+(** One logging setup shared by every binary.
+
+    Each library owns a [Logs.Src] ([mdl.refine], [mdl.lump],
+    [mdl.solve], [mdl.san], [mdl.oracle]); the drivers ([lumpmd],
+    [fuzz], the bench executables, [table1]) call {!setup} once instead
+    of wiring their own reporters.  The level comes from the
+    [--verbose] flag when given, else from the [MDL_LOG] environment
+    variable ([debug] / [info] / [warning] / [error] / [quiet]), else
+    defaults to warnings only. *)
+
+val level_of_string : string -> Logs.level option option
+(** [Some level] for a recognised name ([Some None] meaning logging
+    off, for ["quiet"]/["off"]); [None] for an unrecognised one.
+    Case-insensitive. *)
+
+val setup : ?verbose:bool -> unit -> unit
+(** Install the shared [Fmt]-based reporter and set the global level:
+    [Debug] when [verbose], else the [MDL_LOG] level, else [Warning].
+    An unrecognised [MDL_LOG] value falls back to [Warning] with a
+    notice on stderr. *)
+
+val sources : unit -> string list
+(** Names of all registered [Logs] sources, sorted — exercised by the
+    tests to pin that every library registered its source. *)

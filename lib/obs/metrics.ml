@@ -1,0 +1,228 @@
+type counter = { c_name : string; mutable c_value : int }
+
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  h_bounds : float array; (* strictly increasing upper bounds *)
+  h_counts : int array; (* length: bounds + 1 (overflow) *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let enabled_flag = ref false
+
+let set_enabled b = enabled_flag := b
+
+let enabled () = !enabled_flag
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let order : string list ref = ref [] (* reverse registration order *)
+
+let register name m =
+  Hashtbl.add registry name m;
+  order := name :: !order
+
+let kind_error name want =
+  invalid_arg (Printf.sprintf "Metrics.%s: %S is registered as another metric kind" want name)
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c
+  | Some _ -> kind_error name "counter"
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      register name (Counter c);
+      c
+
+let incr c = if !enabled_flag then c.c_value <- c.c_value + 1
+
+let add c n = if !enabled_flag then c.c_value <- c.c_value + n
+
+let counter_value name =
+  match Hashtbl.find_opt registry name with Some (Counter c) -> c.c_value | _ -> 0
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) -> g
+  | Some _ -> kind_error name "gauge"
+  | None ->
+      let g = { g_name = name; g_value = 0.0 } in
+      register name (Gauge g);
+      g
+
+let set g v = if !enabled_flag then g.g_value <- v
+
+let set_max g v = if !enabled_flag && v > g.g_value then g.g_value <- v
+
+let gauge_value name =
+  match Hashtbl.find_opt registry name with Some (Gauge g) -> g.g_value | _ -> 0.0
+
+let log_buckets ~lo ~hi ~per_decade =
+  if not (lo > 0.0 && hi > lo) || per_decade < 1 then
+    invalid_arg "Metrics.log_buckets: need 0 < lo < hi and per_decade >= 1";
+  let step = 10.0 ** (1.0 /. float_of_int per_decade) in
+  let rec build acc b = if b >= hi then List.rev (b :: acc) else build (b :: acc) (b *. step) in
+  Array.of_list (build [] lo)
+
+let default_latency_buckets = lazy (log_buckets ~lo:1e-7 ~hi:10.0 ~per_decade:3)
+
+let histogram ?buckets name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) ->
+      (match buckets with
+      | Some b when b <> h.h_bounds ->
+          invalid_arg
+            (Printf.sprintf "Metrics.histogram: %S re-registered with different buckets"
+               name)
+      | _ -> ());
+      h
+  | Some _ -> kind_error name "histogram"
+  | None ->
+      let bounds =
+        match buckets with Some b -> b | None -> Lazy.force default_latency_buckets
+      in
+      if Array.length bounds = 0 then
+        invalid_arg "Metrics.histogram: empty bucket bounds";
+      for i = 1 to Array.length bounds - 1 do
+        if not (bounds.(i) > bounds.(i - 1)) then
+          invalid_arg "Metrics.histogram: bucket bounds must be strictly increasing"
+      done;
+      let h =
+        {
+          h_name = name;
+          h_bounds = bounds;
+          h_counts = Array.make (Array.length bounds + 1) 0;
+          h_sum = 0.0;
+          h_count = 0;
+        }
+      in
+      register name (Histogram h);
+      h
+
+let observe h v =
+  if !enabled_flag then begin
+    (* Binary search for the first bound >= v; the overflow bucket is
+       index [length bounds]. *)
+    let n = Array.length h.h_bounds in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if h.h_bounds.(mid) >= v then hi := mid else lo := mid + 1
+    done;
+    h.h_counts.(!lo) <- h.h_counts.(!lo) + 1;
+    h.h_sum <- h.h_sum +. v;
+    h.h_count <- h.h_count + 1
+  end
+
+let histogram_stats name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> (h.h_count, h.h_sum)
+  | _ -> (0, 0.0)
+
+let histogram_buckets name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) ->
+      Array.init
+        (Array.length h.h_counts)
+        (fun i ->
+          ((if i < Array.length h.h_bounds then h.h_bounds.(i) else infinity), h.h_counts.(i)))
+  | _ -> [||]
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.0
+      | Histogram h ->
+          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+          h.h_sum <- 0.0;
+          h.h_count <- 0)
+    registry
+
+let names () = List.rev !order
+
+let pp ppf () =
+  Format.pp_open_vbox ppf 0;
+  List.iter
+    (fun name ->
+      match Hashtbl.find registry name with
+      | Counter c -> if c.c_value <> 0 then Format.fprintf ppf "%-34s %d@," c.c_name c.c_value
+      | Gauge g -> if g.g_value <> 0.0 then Format.fprintf ppf "%-34s %g@," g.g_name g.g_value
+      | Histogram h ->
+          if h.h_count > 0 then begin
+            Format.fprintf ppf "%-34s n=%d sum=%g mean=%g@," h.h_name h.h_count h.h_sum
+              (h.h_sum /. float_of_int h.h_count);
+            Array.iteri
+              (fun i c ->
+                if c > 0 then
+                  if i < Array.length h.h_bounds then
+                    Format.fprintf ppf "  %-32s le=%.3g: %d@," "" h.h_bounds.(i) c
+                  else Format.fprintf ppf "  %-32s le=inf: %d@," "" c)
+              h.h_counts
+          end)
+    (names ());
+  Format.pp_close_box ppf ()
+
+let escape_json buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let to_json buf =
+  let items kind f =
+    let first = ref true in
+    List.iter
+      (fun name ->
+        match (Hashtbl.find registry name, kind) with
+        | Counter c, `C ->
+            if !first then first := false else Buffer.add_string buf ", ";
+            Buffer.add_char buf '"';
+            escape_json buf c.c_name;
+            Buffer.add_string buf "\": ";
+            f (Counter c)
+        | Gauge g, `G ->
+            if !first then first := false else Buffer.add_string buf ", ";
+            Buffer.add_char buf '"';
+            escape_json buf g.g_name;
+            Buffer.add_string buf "\": ";
+            f (Gauge g)
+        | Histogram h, `H ->
+            if !first then first := false else Buffer.add_string buf ", ";
+            Buffer.add_char buf '"';
+            escape_json buf h.h_name;
+            Buffer.add_string buf "\": ";
+            f (Histogram h)
+        | _ -> ())
+      (names ())
+  in
+  Buffer.add_string buf "{\"counters\": {";
+  items `C (function Counter c -> Buffer.add_string buf (string_of_int c.c_value) | _ -> ());
+  Buffer.add_string buf "}, \"gauges\": {";
+  items `G (function Gauge g -> Buffer.add_string buf (Printf.sprintf "%.17g" g.g_value) | _ -> ());
+  Buffer.add_string buf "}, \"histograms\": {";
+  items `H (function
+    | Histogram h ->
+        Buffer.add_string buf
+          (Printf.sprintf "{\"count\": %d, \"sum\": %.17g, \"buckets\": [" h.h_count h.h_sum);
+        Array.iteri
+          (fun i c ->
+            if i > 0 then Buffer.add_string buf ", ";
+            let le =
+              if i < Array.length h.h_bounds then Printf.sprintf "%.17g" h.h_bounds.(i)
+              else "\"inf\""
+            in
+            Buffer.add_string buf (Printf.sprintf "{\"le\": %s, \"count\": %d}" le c))
+          h.h_counts;
+        Buffer.add_string buf "]}"
+    | _ -> ());
+  Buffer.add_string buf "}}"

@@ -1,0 +1,102 @@
+(** A process-wide registry of named counters, gauges and histograms.
+
+    Instrumented modules register their metrics statically at module
+    initialisation ([let m = Metrics.counter "refiner.splits"]) and bump
+    them at runtime; registration is idempotent by name, so two modules
+    naming the same metric share one cell.  All update operations are
+    no-ops while the registry is {e disabled} (the default) — the cost
+    of an instrumentation site is then one bool load and branch — and
+    reads ({!counter_value}, {!pp}, {!to_json}) work regardless.
+
+    The registry absorbs and supersedes the ad-hoc
+    [Mdl_partition.Refiner.stats] / [Mdl_core.Key_cache] counters: the
+    engine publishes every legacy counter into the registry under the
+    [refiner.*] / [key_cache.*] / [rebuild.*] names, and the record
+    types remain as a per-run compatibility view (one record can travel
+    through a call tree; the registry is cumulative).  The test suite
+    pins the two views equal over fresh runs.
+
+    Single-domain, like everything it measures. *)
+
+type counter
+
+type gauge
+
+type histogram
+
+val set_enabled : bool -> unit
+(** Turn metric updates on or off (off by default). *)
+
+val enabled : unit -> bool
+
+(** {2 Counters — monotone integers} *)
+
+val counter : string -> counter
+(** The registered counter of that name (created zero on first use).
+    @raise Invalid_argument if the name is registered as another kind. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val counter_value : string -> int
+(** Current value, [0] when the name is unregistered. *)
+
+(** {2 Gauges — last/extremal float values} *)
+
+val gauge : string -> gauge
+(** @raise Invalid_argument if the name is registered as another kind. *)
+
+val set : gauge -> float -> unit
+
+val set_max : gauge -> float -> unit
+(** Keep the maximum of the current and given value — for high-water
+    marks like the interned-key alphabet. *)
+
+val gauge_value : string -> float
+(** Current value, [0.] when the name is unregistered or never set. *)
+
+(** {2 Histograms — bucketed distributions} *)
+
+val log_buckets : lo:float -> hi:float -> per_decade:int -> float array
+(** Logarithmically spaced upper bounds from [lo] to at least [hi] with
+    [per_decade] buckets per decade — the bucket layout used for
+    key-evaluation and sort latencies (seconds span many orders of
+    magnitude; linear buckets would waste all resolution on one end).
+    @raise Invalid_argument unless [0 < lo < hi] and [per_decade >= 1]. *)
+
+val histogram : ?buckets:float array -> string -> histogram
+(** The registered histogram of that name.  [buckets] are strictly
+    increasing upper bounds; observations above the last bound land in
+    an implicit overflow bucket.  Defaults to
+    [log_buckets ~lo:1e-7 ~hi:10.0 ~per_decade:3] (100ns .. 10s).
+    @raise Invalid_argument if the name is registered as another kind,
+    or re-registered with different bounds. *)
+
+val observe : histogram -> float -> unit
+
+val histogram_stats : string -> int * float
+(** [(count, sum)] of the named histogram; [(0, 0.)] when
+    unregistered. *)
+
+val histogram_buckets : string -> (float * int) array
+(** [(upper_bound, count)] per bucket, the overflow bucket last with
+    bound [infinity]; [[||]] when unregistered. *)
+
+(** {2 Registry} *)
+
+val reset : unit -> unit
+(** Zero every registered metric, keeping the registrations (module
+    initialisers only run once). *)
+
+val names : unit -> string list
+(** Registered metric names in registration order. *)
+
+val pp : Format.formatter -> unit -> unit
+(** Human-readable dump of every registered metric with a non-zero
+    value, in registration order ([lumpmd --metrics]).  Histograms print
+    count/sum/mean plus their non-empty buckets. *)
+
+val to_json : Buffer.t -> unit
+(** Append a JSON object [{"counters": {...}, "gauges": {...},
+    "histograms": {...}}] with every registered metric. *)

@@ -1,0 +1,235 @@
+module Timer = Mdl_util.Timer
+module Dynarray = Mdl_util.Dynarray
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+exception Nesting_error of string
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_start_ns : int64;
+  ev_dur_ns : int64;
+  ev_depth : int;
+  ev_args : (string * value) list;
+}
+
+(* An open span.  Gc words are sampled with [Gc.quick_stat] (no heap
+   walk); the floats are cumulative word counters, so deltas across the
+   span are exact even through collections. *)
+type frame = {
+  f_name : string;
+  f_cat : string;
+  f_start_ns : int64;
+  mutable f_args : (string * value) list; (* reverse order *)
+  f_minor_w : float;
+  f_promoted_w : float;
+  f_major_w : float;
+  f_minor_c : int;
+  f_major_c : int;
+}
+
+let enabled_flag = ref false
+
+let gc_flag = ref true
+
+let epoch = ref None (* ns of the first [start], the trace time origin *)
+
+let events : event Dynarray.t = Dynarray.create ()
+
+let stack : frame list ref = ref []
+
+let enabled () = !enabled_flag
+
+let clear () =
+  Dynarray.clear events;
+  stack := []
+
+let start ?(gc = true) () =
+  clear ();
+  gc_flag := gc;
+  if !epoch = None then epoch := Some (Timer.now_ns ());
+  enabled_flag := true
+
+let stop () =
+  (match !stack with
+  | [] -> ()
+  | f :: _ -> raise (Nesting_error (Printf.sprintf "Trace.stop: span %S still open" f.f_name)));
+  enabled_flag := false
+
+let resume () =
+  if !epoch = None then epoch := Some (Timer.now_ns ());
+  enabled_flag := true
+
+let begin_span ?(cat = "mdl") ?(args = []) name =
+  if !enabled_flag then begin
+    let mw, pw, jw, mc, jc =
+      if !gc_flag then
+        let g = Gc.quick_stat () in
+        ( g.Gc.minor_words,
+          g.Gc.promoted_words,
+          g.Gc.major_words,
+          g.Gc.minor_collections,
+          g.Gc.major_collections )
+      else (0.0, 0.0, 0.0, 0, 0)
+    in
+    stack :=
+      {
+        f_name = name;
+        f_cat = cat;
+        f_start_ns = Timer.now_ns ();
+        f_args = List.rev args;
+        f_minor_w = mw;
+        f_promoted_w = pw;
+        f_major_w = jw;
+        f_minor_c = mc;
+        f_major_c = jc;
+      }
+      :: !stack
+  end
+
+let end_span name =
+  if !enabled_flag then begin
+    match !stack with
+    | [] -> raise (Nesting_error (Printf.sprintf "Trace.end_span: %S closed with no span open" name))
+    | f :: rest ->
+        if f.f_name <> name then
+          raise
+            (Nesting_error
+               (Printf.sprintf "Trace.end_span: %S closed while %S is innermost" name
+                  f.f_name));
+        let now = Timer.now_ns () in
+        let args = List.rev f.f_args in
+        let args =
+          if !gc_flag then begin
+            let g = Gc.quick_stat () in
+            args
+            @ [
+                ("gc.minor_words", Float (g.Gc.minor_words -. f.f_minor_w));
+                ("gc.promoted_words", Float (g.Gc.promoted_words -. f.f_promoted_w));
+                ("gc.major_words", Float (g.Gc.major_words -. f.f_major_w));
+                ("gc.minor_collections", Int (g.Gc.minor_collections - f.f_minor_c));
+                ("gc.major_collections", Int (g.Gc.major_collections - f.f_major_c));
+              ]
+          end
+          else args
+        in
+        stack := rest;
+        Dynarray.push events
+          {
+            ev_name = f.f_name;
+            ev_cat = f.f_cat;
+            ev_start_ns = f.f_start_ns;
+            ev_dur_ns = Int64.sub now f.f_start_ns;
+            ev_depth = List.length rest;
+            ev_args = args;
+          }
+  end
+
+let with_span ?cat ?args name f =
+  if not !enabled_flag then f ()
+  else begin
+    begin_span ?cat ?args name;
+    Fun.protect
+      ~finally:(fun () ->
+        (* Unwind to this span even when [f] leaked opens (it cannot via
+           [with_span] itself, but [begin_span] users might): closing an
+           outer span with inner ones open is the caller's bug and
+           [end_span] reports it. *)
+        end_span name)
+      f
+  end
+
+let add_args args =
+  if !enabled_flag then
+    match !stack with
+    | [] -> ()
+    | f :: _ -> f.f_args <- List.rev_append args f.f_args
+
+let open_spans () = List.length !stack
+
+let span_count () = Dynarray.length events
+
+let iter_events ?(from = 0) f =
+  Dynarray.iteri
+    (fun i ev ->
+      if i >= from then
+        f ~name:ev.ev_name ~cat:ev.ev_cat ~start_ns:ev.ev_start_ns ~dur_ns:ev.ev_dur_ns
+          ~depth:ev.ev_depth ~args:ev.ev_args)
+    events
+
+let phase_totals ?from () =
+  let totals = Hashtbl.create 16 in
+  iter_events ?from (fun ~name ~cat:_ ~start_ns:_ ~dur_ns ~depth:_ ~args:_ ->
+      let s = Int64.to_float dur_ns *. 1e-9 in
+      Hashtbl.replace totals name (s +. Option.value ~default:0.0 (Hashtbl.find_opt totals name)));
+  Hashtbl.fold (fun name s acc -> (name, s) :: acc) totals []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ---- Chrome trace_event export ---- *)
+
+let escape_json buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_value buf = function
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      (* JSON has no nan/infinity literals; clamp to strings. *)
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
+      else begin
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (string_of_float f);
+        Buffer.add_char buf '"'
+      end
+  | Str s ->
+      Buffer.add_char buf '"';
+      escape_json buf s;
+      Buffer.add_char buf '"'
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+
+let export_json buf =
+  let t0 = match !epoch with Some t -> t | None -> 0L in
+  Buffer.add_string buf "{\n  \"traceEvents\": [";
+  let first = ref true in
+  iter_events (fun ~name ~cat ~start_ns ~dur_ns ~depth ~args ->
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_string buf "\n    {\"name\": \"";
+      escape_json buf name;
+      Buffer.add_string buf "\", \"cat\": \"";
+      escape_json buf cat;
+      (* Duration events with microsecond timestamps relative to the
+         trace epoch; one process, one thread — the nesting carries the
+         hierarchy. *)
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\", \"ph\": \"X\", \"pid\": 1, \"tid\": 1, \"ts\": %.3f, \"dur\": %.3f"
+           (Int64.to_float (Int64.sub start_ns t0) /. 1e3)
+           (Int64.to_float dur_ns /. 1e3));
+      Buffer.add_string buf ", \"args\": {";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_char buf '"';
+          escape_json buf k;
+          Buffer.add_string buf "\": ";
+          add_value buf v)
+        (("depth", Int depth) :: args);
+      Buffer.add_string buf "}}");
+  Buffer.add_string buf "\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n"
+
+let write_file path =
+  let buf = Buffer.create 65536 in
+  export_json buf;
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc

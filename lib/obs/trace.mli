@@ -1,0 +1,108 @@
+(** Hierarchical spans over the lump pipeline, exported as Chrome
+    [trace_event] JSON.
+
+    A span is a named interval on the monotonic clock
+    ({!Mdl_util.Timer.now_ns}); spans opened while another is open nest
+    inside it, giving the per-level / per-fixpoint / per-pass flame
+    structure of one [Compositional.lump] run.  Completed spans are
+    buffered in memory and exported with {!write_file} /
+    {!export_json} in the Chrome {e trace event format} (duration
+    events, [ph = "X"]), which loads directly in [chrome://tracing],
+    Perfetto and [speedscope].
+
+    {b Overhead.}  Tracing is {e off} by default.  Every instrumentation
+    site checks {!enabled} first — one mutable-bool load — so the
+    disabled cost is a predictable branch per candidate span; no
+    timestamps are read, nothing allocates, and pipeline outputs are
+    bit-identical with tracing on or off (pinned by the test suite).
+
+    {b Gc sampling.}  While enabled (and unless switched off at
+    {!start}), every span also records the [Gc.quick_stat] deltas across
+    its extent — minor/major/promoted words and minor/major collection
+    counts — as span arguments ([gc.minor_words], ...), so cache-miss
+    allocation is visible phase by phase in the trace viewer.
+
+    Single-domain by design, like the engine it instruments: the buffer
+    and stack are plain mutable state. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+(** Span-argument values, mapped to the corresponding JSON types. *)
+
+exception Nesting_error of string
+(** Raised by {!end_span} when closing does not match the innermost
+    open span (or none is open) — spans must close strictly LIFO. *)
+
+val enabled : unit -> bool
+(** Whether spans are currently being recorded. *)
+
+val start : ?gc:bool -> unit -> unit
+(** [start ()] clears the buffer and enables recording; [gc:false]
+    switches the per-span allocation sampling off (default on). *)
+
+val stop : unit -> unit
+(** Disable recording, {e keeping} buffered events for export.
+    @raise Nesting_error if a span is still open. *)
+
+val resume : unit -> unit
+(** Re-enable recording without clearing the buffer — lets a driver
+    trace selected regions (e.g. one instrumented run per bench
+    scenario) into one combined export. *)
+
+val with_span :
+  ?cat:string -> ?args:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()] inside a span named [name] (category
+    [cat], default ["mdl"]).  When disabled, exactly [f ()].  The span
+    is closed even when [f] raises.  [args] seed the span's arguments;
+    {!add_args} appends more from inside [f]. *)
+
+val begin_span : ?cat:string -> ?args:(string * value) list -> string -> unit
+(** Lower-level interface for spans that cannot wrap a closure (e.g.
+    around one iteration of an imperative worklist loop).  No-op when
+    disabled.  Must be balanced by {!end_span} with the same name. *)
+
+val end_span : string -> unit
+(** Close the innermost open span.  No-op when disabled.
+    @raise Nesting_error if the innermost open span is not [name]. *)
+
+val add_args : (string * value) list -> unit
+(** Append arguments to the innermost open span; ignored when disabled
+    or when no span is open (so instrumentation sites need no guard). *)
+
+val open_spans : unit -> int
+(** Number of currently open (unclosed) spans. *)
+
+val span_count : unit -> int
+(** Number of completed spans in the buffer. *)
+
+val iter_events :
+  ?from:int ->
+  (name:string ->
+  cat:string ->
+  start_ns:int64 ->
+  dur_ns:int64 ->
+  depth:int ->
+  args:(string * value) list ->
+  unit) ->
+  unit
+(** Iterate completed spans in completion order; [from] skips the first
+    [from] events (pair with {!span_count} to visit only the spans a
+    region of interest produced).  [depth] is the nesting depth at which
+    the span ran (0 = top level). *)
+
+val phase_totals : ?from:int -> unit -> (string * float) list
+(** Total {e inclusive} seconds per span name over the buffered events
+    (from index [from]), sorted by name — the per-phase rollup embedded
+    in [BENCH_refine.json].  Nested spans each count their own full
+    extent, so parent phases are not the sum of their children. *)
+
+val export_json : Buffer.t -> unit
+(** Append the Chrome trace JSON document ([{"traceEvents": [...]}],
+    timestamps in microseconds relative to the first {!start}) to the
+    buffer. *)
+
+val write_file : string -> unit
+(** {!export_json} to a file. *)
+
+val clear : unit -> unit
+(** Drop all buffered events and open spans; recording state is
+    unchanged. *)

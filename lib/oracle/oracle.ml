@@ -14,6 +14,10 @@ module Md = Mdl_md.Md
 module Decomposed = Mdl_core.Decomposed
 module Compositional = Mdl_core.Compositional
 
+let log_src = Logs.Src.create "mdl.oracle" ~doc:"differential lumping oracle"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 type mode = State_lumping.mode = Ordinary | Exact
 
 type outcome = {
@@ -315,4 +319,8 @@ let check_chain ?eps ?inject mode r = check_md ?eps ?inject mode (Gen_chain.md_o
 
 let run ?eps ?inject mode spec =
   let md = Gen_md.of_spec spec in
-  { (check_md ?eps ?inject mode md) with model = Spec.to_string spec }
+  let o = { (check_md ?eps ?inject mode md) with model = Spec.to_string spec } in
+  Log.debug (fun m ->
+      m "%s (%s): %d checks, %d violations" o.model (mode_string o.mode)
+        (List.length o.checks) (List.length o.violations));
+  o

@@ -35,6 +35,10 @@
     oracle must then report a violation — if it does not, the oracle
     itself is broken (fuzzers rot silently; this guards against that). *)
 
+val log_src : Logs.src
+(** The oracle's [Logs] source, [mdl.oracle]: one debug line per
+    differential run summarising checks and violations. *)
+
 type mode = Mdl_lumping.State_lumping.mode = Ordinary | Exact
 
 type outcome = {

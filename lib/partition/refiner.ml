@@ -2,6 +2,33 @@ module Dynarray = Mdl_util.Dynarray
 module Sortx = Mdl_util.Sortx
 module Timer = Mdl_util.Timer
 module Floatx = Mdl_util.Floatx
+module Trace = Mdl_obs.Trace
+module Metrics = Mdl_obs.Metrics
+
+let log_src = Logs.Src.create "mdl.refine" ~doc:"partition-refinement engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Registry metrics: the cumulative view of the per-run [stats] records
+   below.  The int counters are published once per refinement run
+   ([publish_stats]); the latency histograms are fed per pass, guarded
+   by [Metrics.enabled] so the disabled cost is one branch. *)
+let m_pass_seconds =
+  Metrics.histogram ~buckets:(Metrics.log_buckets ~lo:1e-7 ~hi:1.0 ~per_decade:3)
+    "refiner.pass_seconds"
+
+let m_sort_seconds =
+  Metrics.histogram ~buckets:(Metrics.log_buckets ~lo:1e-7 ~hi:1.0 ~per_decade:3)
+    "refiner.sort_seconds"
+
+let m_run_seconds =
+  Metrics.histogram ~buckets:(Metrics.log_buckets ~lo:1e-6 ~hi:10.0 ~per_decade:3)
+    "refiner.run_seconds"
+
+let m_pass_keys =
+  Metrics.histogram
+    ~buckets:[| 1.0; 4.0; 16.0; 64.0; 256.0; 1024.0; 4096.0; 16384.0; 65536.0 |]
+    "refiner.pass_keys"
 
 type slice = int array * int * int
 
@@ -102,9 +129,7 @@ type pass_data = {
    input, not a renumbering round-trip: class ids and slice layouts are
    stable from one refinement run to the next (until a class itself
    splits), which is the identity the splitter-key cache keys on. *)
-let core st ~fn ~size ~prepare ~on_split ~initial =
-  if Partition.size initial <> size then
-    invalid_arg (Printf.sprintf "Refiner.%s: partition size mismatch" fn);
+let core_body st ~prepare ~on_split ~initial =
   let timer = Timer.start () in
   let p = Partition.copy initial in
   let worklist = Queue.create () in
@@ -116,10 +141,17 @@ let core st ~fn ~size ~prepare ~on_split ~initial =
   (* Scratch reused across splits of one pass. *)
   let bounds = ref (Array.make 8 0) in
   let pd = { pd_states = [||]; pd_classes = [||]; pd_newkey = [||] } in
+  (* Captured once per run: the observability switches are toggled
+     between runs, not during one, and a single load per pass keeps the
+     disabled path at a branch. *)
+  let traced = Trace.enabled () in
+  let metered = Metrics.enabled () in
   while not (Queue.is_empty worklist) do
     let splitter = Queue.pop worklist in
     Dynarray.set in_wl splitter false;
     st.splitter_passes <- st.splitter_passes + 1;
+    if traced then Trace.begin_span ~cat:"refine" "refine.pass";
+    let t0 = if metered then Timer.now_ns () else 0L in
     let m = prepare pd p (Partition.view p splitter) in
     st.key_evals <- st.key_evals + m;
     if m > 0 then begin
@@ -202,13 +234,85 @@ let core st ~fn ~size ~prepare ~on_split ~initial =
         end;
         a := b
       done
+    end;
+    if metered then begin
+      Metrics.observe m_pass_seconds
+        (Int64.to_float (Int64.sub (Timer.now_ns ()) t0) *. 1e-9);
+      Metrics.observe m_pass_keys (float_of_int m)
+    end;
+    if traced then begin
+      Trace.add_args [ ("splitter", Trace.Int splitter); ("keys", Trace.Int m) ];
+      Trace.end_span "refine.pass"
     end
   done;
   st.wall_s <- st.wall_s +. Timer.elapsed_s timer;
   p
 
+let core st ~fn ~size ~prepare ~on_split ~initial =
+  if Partition.size initial <> size then
+    invalid_arg (Printf.sprintf "Refiner.%s: partition size mismatch" fn);
+  if not (Trace.enabled ()) then core_body st ~prepare ~on_split ~initial
+  else
+    Trace.with_span ~cat:"refine" ~args:[ ("pipeline", Trace.Str fn) ] "refine.run"
+      (fun () ->
+        let p = core_body st ~prepare ~on_split ~initial in
+        Trace.add_args
+          [
+            ("passes", Trace.Int st.splitter_passes);
+            ("splits", Trace.Int st.splits);
+            ("classes", Trace.Int (Partition.num_classes p));
+          ];
+        p)
+
 let merge_stats stats st =
   match stats with Some dst -> add_stats dst st | None -> ()
+
+(* The registry cells the per-run counters are published into — the
+   cumulative face of the same numbers [stats] carries per run. *)
+let c_splitter_passes = Metrics.counter "refiner.splitter_passes"
+
+let c_key_evals = Metrics.counter "refiner.key_evals"
+
+let c_splits = Metrics.counter "refiner.splits"
+
+let c_blocks_created = Metrics.counter "refiner.blocks_created"
+
+let c_largest_skips = Metrics.counter "refiner.largest_skips"
+
+let c_float_passes = Metrics.counter "refiner.float_passes"
+
+let c_interned_passes = Metrics.counter "refiner.interned_passes"
+
+let c_counting_sort_passes = Metrics.counter "refiner.counting_sort_passes"
+
+let c_fallback_passes = Metrics.counter "refiner.fallback_passes"
+
+let c_runs = Metrics.counter "refiner.runs"
+
+let g_intern_alphabet = Metrics.gauge "refiner.intern_alphabet"
+
+let publish_stats st =
+  if Metrics.enabled () then begin
+    Metrics.incr c_runs;
+    Metrics.add c_splitter_passes st.splitter_passes;
+    Metrics.add c_key_evals st.key_evals;
+    Metrics.add c_splits st.splits;
+    Metrics.add c_blocks_created st.blocks_created;
+    Metrics.add c_largest_skips st.largest_skips;
+    Metrics.add c_float_passes st.float_passes;
+    Metrics.add c_interned_passes st.interned_passes;
+    Metrics.add c_counting_sort_passes st.counting_sort_passes;
+    Metrics.add c_fallback_passes st.fallback_passes;
+    Metrics.set_max g_intern_alphabet (float_of_int st.intern_keys);
+    Metrics.observe m_run_seconds st.wall_s
+  end
+
+(* Per-run epilogue shared by the four pipelines: cumulative registry
+   publication, debug log, legacy per-run record accumulation. *)
+let finish ~fn st stats =
+  publish_stats st;
+  Log.debug (fun m -> m "%s: %a" fn pp_stats st);
+  merge_stats stats st
 
 type on_split = parent:int -> ids:int list -> unit
 
@@ -263,7 +367,7 @@ let comp_lumping ?stats ?on_split spec ~initial =
         m
   in
   let p = core st ~fn:"comp_lumping" ~size:spec.size ~prepare ~on_split ~initial in
-  merge_stats stats st;
+  finish ~fn:"comp_lumping" st stats;
   p
 
 (* ---- monomorphic float pipeline ---- *)
@@ -336,7 +440,7 @@ let comp_lumping_float ?stats ?on_split fspec ~initial =
     m
   in
   let p = core st ~fn:"comp_lumping_float" ~size:fspec.fsize ~prepare ~on_split ~initial in
-  merge_stats stats st;
+  finish ~fn:"comp_lumping_float" st stats;
   p
 
 (* ---- interned-key pipeline ---- *)
@@ -461,6 +565,8 @@ let ensure_indexed sc m =
    otherwise — and publish the runs to the core's pass data. *)
 let sort_indexed st sc pd ~m ~alphabet =
   if alphabet > st.intern_keys then st.intern_keys <- alphabet;
+  let metered = Metrics.enabled () in
+  let t0 = if metered then Timer.now_ns () else 0L in
   let sa = !(sc.a_states) and ra = !(sc.a_ranks) and ca = !(sc.a_cls) in
   let class_remap = sc.class_remap in
   (if use_counting_sort ~m ~alphabet then begin
@@ -529,6 +635,9 @@ let sort_indexed st sc pd ~m ~alphabet =
         done
   end
   else Sortx.sort_runs_int ~cls:ca ~keys:ra ~states:sa m);
+  if metered then
+    Metrics.observe m_sort_seconds
+      (Int64.to_float (Int64.sub (Timer.now_ns ()) t0) *. 1e-9);
   let nk = !(sc.nk) in
   nk.(0) <- true;
   for i = 1 to m - 1 do
@@ -563,7 +672,7 @@ let comp_lumping_interned ?stats ?on_split ispec ~initial =
   let p =
     core st ~fn:"comp_lumping_interned" ~size:ispec.isize ~prepare ~on_split ~initial
   in
-  merge_stats stats st;
+  finish ~fn:"comp_lumping_interned" st stats;
   p
 
 (* ---- ranked pipeline (pre-interned integer keys) ---- *)
@@ -625,7 +734,7 @@ let comp_lumping_ranked ?stats ?on_split rspec ~initial =
   let p =
     core st ~fn:"comp_lumping_ranked" ~size:rspec.rsize ~prepare ~on_split ~initial
   in
-  merge_stats stats st;
+  finish ~fn:"comp_lumping_ranked" st stats;
   p
 
 (* ---- pipeline selection ---- *)

@@ -56,6 +56,11 @@
     construction; a hypothetical non-additive key (e.g. a max) would
     need the exhaustive engine of {!Refiner_reference}. *)
 
+val log_src : Logs.src
+(** The engine's [Logs] source, [mdl.refine] — one per-run stats
+    summary at debug level per pipeline run.  Level setup is shared
+    across binaries via [Mdl_obs.Logging.setup]. *)
+
 type slice = int array * int * int
 (** A zero-copy class view as returned by {!Partition.view}:
     [(perm, first, len)] — the members are
@@ -117,7 +122,16 @@ type stats = {
     The [cache_*] / [nodes_*] counters belong to the layers above the
     engine (splitter-key memoisation, incremental diagram rebuild); they
     live here so one record travels through
-    {!Mdl_core.Compositional.lump} and out of [lumpmd --stats]. *)
+    [Mdl_core.Compositional.lump] and out of [lumpmd --stats].
+
+    This record is the {e per-run compatibility view} of the registry
+    metrics: every pipeline run also publishes the same counters
+    cumulatively into [Mdl_obs.Metrics] under the [refiner.*] names
+    (when the registry is enabled), plus per-pass latency histograms
+    ([refiner.pass_seconds], [refiner.sort_seconds], [refiner.pass_keys])
+    the record cannot express; with tracing on, each run emits a
+    [refine.run] span containing one [refine.pass] span per worklist
+    pop.  The differential suites pin the two views equal. *)
 
 val create_stats : unit -> stats
 (** A fresh all-zero counter record. *)

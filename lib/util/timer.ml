@@ -4,6 +4,10 @@ external monotonic_ns : unit -> int64 = "mdl_timer_monotonic_ns"
 
 let start () = monotonic_ns ()
 
+let now_ns () = monotonic_ns ()
+
+let elapsed_ns t = Int64.sub (monotonic_ns ()) t
+
 let elapsed_s t = Int64.to_float (Int64.sub (monotonic_ns ()) t) *. 1e-9
 
 let time f =

@@ -12,6 +12,16 @@ type t
 val start : unit -> t
 (** [start ()] is a timer started now. *)
 
+val now_ns : unit -> int64
+(** Raw monotonic nanosecond reading — the clock value itself, with no
+    float round-trip.  Only differences between two readings are
+    meaningful (the epoch is unspecified, typically boot time).
+    Consecutive reads never decrease; span timestamps
+    ([Mdl_obs.Trace]) are built from these. *)
+
+val elapsed_ns : t -> int64
+(** Nanoseconds elapsed since [start]; never negative. *)
+
 val elapsed_s : t -> float
 (** Seconds elapsed since [start]; nanosecond resolution, never
     negative. *)

@@ -4,11 +4,15 @@
 Fails (exit 1) when a scenario is missing the per-pipeline refiner
 stats (including the splitter-key cache and incremental-rebuild
 counters), when flat scenarios lack the three-engine timings, when no
-multi-level end-to-end scenario was recorded, or when a multi-level
+multi-level end-to-end scenario was recorded, when a multi-level
+scenario lacks the per-phase span rollup (total/level/initial/fixpoint/
+pass/rebuild seconds from the tracing layer), or when a multi-level
 scenario's memoised pipeline does not at least match the uncached
-interned pipeline (speedup_cached_vs_interned < 1.0).  CI runs this
-after the bench smoke so a refactor cannot silently drop the
-instrumentation or the cache advantage the performance claims rest on.
+interned pipeline (speedup_cached_vs_interned < 1.0; the timed races
+run with tracing disabled, so this gate also pins the disabled-tracing
+overhead at zero).  CI runs this after the bench smoke so a refactor
+cannot silently drop the instrumentation or the cache advantage the
+performance claims rest on.
 
 Usage: scripts/check_bench_schema.py [BENCH_refine.json]
 """
@@ -58,6 +62,16 @@ MULTILEVEL_FIELDS = [
     "speedup_vs_generic",
     "speedup_cached_vs_interned",
     "stats",
+    "phases",
+]
+
+PHASE_FIELDS = [
+    "total_s",
+    "level_s",
+    "initial_s",
+    "fixpoint_s",
+    "pass_s",
+    "rebuild_s",
 ]
 
 
@@ -113,6 +127,29 @@ def main():
                 fail(f"{where}: memoised run recorded no cache lookups")
             if s["nodes_rebuilt"] + s["nodes_reused"] == 0:
                 fail(f"{where}: rebuild recorded neither rebuilt nor reused nodes")
+            check_fields(sc["phases"], PHASE_FIELDS, f"{where}: phases")
+            ph = sc["phases"]
+            for f in PHASE_FIELDS:
+                if not isinstance(ph[f], (int, float)) or ph[f] < 0:
+                    fail(f"{where}: phases.{f} is not a non-negative number")
+            if ph["total_s"] <= 0:
+                fail(f"{where}: phases.total_s is zero (instrumented run not traced)")
+            # Spans nest: passes inside fixpoints inside per-level spans
+            # inside the whole lump, so the inclusive rollups are ordered.
+            # 1e-6 slack absorbs the %.6f serialisation rounding.
+            eps = 1e-6
+            for inner, outer in [
+                ("pass_s", "fixpoint_s"),
+                ("fixpoint_s", "level_s"),
+                ("initial_s", "level_s"),
+                ("level_s", "total_s"),
+                ("rebuild_s", "total_s"),
+            ]:
+                if ph[inner] > ph[outer] + eps:
+                    fail(
+                        f"{where}: phases.{inner} ({ph[inner]}) exceeds enclosing "
+                        f"phases.{outer} ({ph[outer]})"
+                    )
             ratio = sc["speedup_cached_vs_interned"]
             if ratio < 1.0:
                 fail(

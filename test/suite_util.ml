@@ -90,6 +90,24 @@ let test_timer_monotonic () =
   Alcotest.(check bool) "time returns result" true (r > 0);
   Alcotest.(check bool) "time non-negative" true (s >= 0.0)
 
+let test_timer_now_ns_monotonic () =
+  (* The raw monotonic clock behind the observability spans: 1e5
+     consecutive reads must never decrease, and the whole sweep must
+     advance the clock by a representable (positive) amount. *)
+  let n = 100_000 in
+  let prev = ref (Mdl_util.Timer.now_ns ()) in
+  let first = !prev in
+  for _ = 1 to n do
+    let t = Mdl_util.Timer.now_ns () in
+    if Int64.compare t !prev < 0 then
+      Alcotest.failf "now_ns went backwards: %Ld after %Ld" t !prev;
+    prev := t
+  done;
+  Alcotest.(check bool) "clock advanced" true (Int64.compare !prev first > 0);
+  let t0 = Mdl_util.Timer.start () in
+  let e = Mdl_util.Timer.elapsed_ns t0 in
+  Alcotest.(check bool) "elapsed_ns non-negative" true (Int64.compare e 0L >= 0)
+
 let test_dynarray_no_leak () =
   (* pop and clear must drop references to the stored elements so the GC
      can collect them (the slots are junk-filled / released) *)
@@ -254,6 +272,7 @@ let tests =
     Alcotest.test_case "floatx approx" `Quick test_floatx_approx;
     Alcotest.test_case "floatx quantize" `Quick test_floatx_quantize;
     Alcotest.test_case "timer monotonic" `Quick test_timer_monotonic;
+    Alcotest.test_case "timer now_ns monotonic 1e5" `Quick test_timer_now_ns_monotonic;
     Alcotest.test_case "dynarray no space leak" `Quick test_dynarray_no_leak;
     Alcotest.test_case "sortx stable sort" `Quick test_sortx;
     Alcotest.test_case "sortx fused run sorts" `Quick test_sort_runs_fused;

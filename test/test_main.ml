@@ -2,6 +2,7 @@ let () =
   Alcotest.run "mdlump"
     [
       ("util", Suite_util.tests);
+      ("obs", Suite_obs.tests);
       ("sparse", Suite_sparse.tests);
       ("ctmc", Suite_ctmc.tests);
       ("partition", Suite_partition.tests);
