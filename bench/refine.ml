@@ -228,7 +228,68 @@ let kanban_ml_scenario ~name ~cards =
     ml_initial = b.Mdl_models.Kanban.initial;
   }
 
-let run_multilevel ~repeats ~cache sc =
+(* Race the memoised pipeline on domain pools against its own sequential
+   time.  The timed lumps run with tracing disabled, so level-parallel
+   stays armed; every parallel result must be bit-identical
+   ([Md.equal], equal partitions) to the sequential one.  [host_cores]
+   is recorded so the CI gate can require speedups only on machines
+   that can actually exhibit them. *)
+let run_domains ~repeats ~cache ~pools sc ~lump ~r_mem ~cached_s =
+  let race (d, pool) =
+    let r_par, par_s =
+      min_time ~repeats (lump ~specialised:true ~memoise:true ?pool:(Some pool))
+    in
+    let identical =
+      Array.length r_par.Compositional.partitions
+        = Array.length r_mem.Compositional.partitions
+      && Array.for_all2 Partition.equal r_par.Compositional.partitions
+           r_mem.Compositional.partitions
+      && Mdl_md.Md.equal r_par.Compositional.lumped r_mem.Compositional.lumped
+    in
+    if not identical then begin
+      Printf.printf "PARALLEL DIAGRAM DISAGREES\n";
+      Printf.eprintf
+        "FATAL: %s: %d-domain lump differs from the sequential one\n" sc.ml_name d;
+      exit 1
+    end;
+    (d, par_s)
+  in
+  let timed = List.map race pools in
+  let host_cores = Domain.recommended_domain_count () in
+  let fields =
+    (Printf.sprintf {|"host_cores": %d|} host_cores
+    :: List.concat_map
+         (fun (d, s) ->
+           [
+             Printf.sprintf {|"par%d_s": %.6f|} d s;
+             Printf.sprintf {|"speedup_par%d": %.3f|} d (cached_s /. s);
+           ])
+         timed)
+    @ [ {|"identical": true|} ]
+  in
+  let json =
+    Printf.sprintf {|"domains": {
+        %s
+      }|}
+      (String.concat ",\n        " fields)
+  in
+  ignore cache;
+  let regression =
+    if host_cores < 2 then None
+    else
+      List.find_map
+        (fun (d, s) ->
+          if s > cached_s then
+            Some
+              (Printf.sprintf
+                 "%s: %d-domain lump slower than sequential on a %d-core host (%.4fs vs %.4fs)"
+                 sc.ml_name d host_cores s cached_s)
+          else None)
+        timed
+  in
+  (json, timed, regression)
+
+let run_multilevel ~repeats ~cache ~pools sc =
   (* One end-to-end lump is milliseconds, not seconds: triple the repeat
      count so the min is robust against scheduler/GC noise (the
      cached-vs-interned ratio is a CI gate). *)
@@ -236,9 +297,10 @@ let run_multilevel ~repeats ~cache sc =
   let states = Mdl_md.Statespace.size sc.statespace in
   Printf.printf "%-24s %7d states %8d levels .. %!" sc.ml_name states
     (Mdl_md.Md.levels sc.md);
-  let lump ~specialised ~memoise () =
-    Compositional.lump ~specialised ~memoise ~cache Mdl_lumping.State_lumping.Ordinary
-      sc.md ~rewards:sc.rewards ~initial:sc.ml_initial
+  let lump ~specialised ~memoise ?pool () =
+    Compositional.lump ~specialised ~memoise ~cache ?pool
+      Mdl_lumping.State_lumping.Ordinary sc.md ~rewards:sc.rewards
+      ~initial:sc.ml_initial
   in
   (* End-to-end: initial partitions + refinement + diagram rebuild.
      [cache] is shared across scenarios (and ignored by the first two
@@ -275,13 +337,19 @@ let run_multilevel ~repeats ~cache sc =
             Mdl_lumping.State_lumping.Ordinary sc.md ~rewards:sc.rewards
             ~initial:sc.ml_initial);
   Trace.stop ();
+  let domains_json, domains_timed, domains_regression =
+    run_domains ~repeats ~cache ~pools sc ~lump ~r_mem ~cached_s
+  in
   let lumped_states =
     Mdl_md.Statespace.size
       (Compositional.lump_statespace r_mem sc.statespace)
   in
   Printf.printf
-    "%d lumped  generic %.4fs  interned %.4fs  cached %.4fs  (%.2fx vs interned)\n"
-    lumped_states generic_s interned_s cached_s (interned_s /. cached_s);
+    "%d lumped  generic %.4fs  interned %.4fs  cached %.4fs  (%.2fx vs interned)%s\n"
+    lumped_states generic_s interned_s cached_s
+    (interned_s /. cached_s)
+    (String.concat ""
+       (List.map (fun (d, s) -> Printf.sprintf "  par%d %.4fs" d s) domains_timed));
   let json =
     Printf.sprintf
       {|    {
@@ -296,12 +364,14 @@ let run_multilevel ~repeats ~cache sc =
       "speedup_vs_generic": %.3f,
       "speedup_cached_vs_interned": %.3f,
       %s,
+      %s,
       %s
     }|}
       sc.ml_name states (Mdl_md.Md.levels sc.md) lumped_states generic_s interned_s
       cached_s
       (generic_s /. interned_s)
       (interned_s /. cached_s)
+      domains_json
       (stats_json stats)
       (phases_json ~from:span_from ())
   in
@@ -310,7 +380,7 @@ let run_multilevel ~repeats ~cache sc =
       Some
         (Printf.sprintf "%s: memoised lump slower than uncached interned (%.4fs vs %.4fs)"
            sc.ml_name cached_s interned_s)
-    else None
+    else domains_regression
   in
   { json; o_name = sc.ml_name; regression }
 
@@ -318,16 +388,21 @@ let () =
   let smoke = ref false in
   let out = ref "BENCH_refine.json" in
   let trace_out = ref "" in
+  let domains = ref 4 in
   Arg.parse
     [
       ("--smoke", Arg.Set smoke, " small instances only (CI)");
       ("--out", Arg.Set_string out, "FILE output path (default BENCH_refine.json)");
+      ( "--domains",
+        Arg.Set_int domains,
+        "N race pools of up to N domains against the sequential lump (default 4; \
+         <2 disables the parallel race)" );
       ( "--trace",
         Arg.Set_string trace_out,
         "FILE write the instrumented runs' spans as Chrome trace-event JSON" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "refine [--smoke] [--out FILE] [--trace FILE]";
+    "refine [--smoke] [--out FILE] [--domains N] [--trace FILE]";
   Mdl_obs.Logging.setup ();
   (* Arm the trace buffer, then disable recording: the per-scenario
      instrumented runs resume into it, so the timed races stay on the
@@ -363,10 +438,21 @@ let () =
   (* One cache for the whole sweep: each scenario rebinds it (dropping
      the memoised rows) but keeps accumulating the shared intern table. *)
   let cache = Mdl_core.Key_cache.create () in
+  (* One pool per raced domain count, shared across scenarios (spawning
+     domains per scenario would bill their startup to the first timed
+     repeat's warmup). *)
+  let pools =
+    List.filter_map
+      (fun d ->
+        if d <= !domains then Some (d, Mdl_util.Domain_pool.create ~domains:d)
+        else None)
+      [ 2; 4 ]
+  in
   let outcomes =
     List.map (run_flat ~repeats) flat
-    @ List.map (run_multilevel ~repeats ~cache) multilevel
+    @ List.map (run_multilevel ~repeats ~cache ~pools) multilevel
   in
+  List.iter (fun (_, p) -> Mdl_util.Domain_pool.shutdown p) pools;
   let oc = open_out !out in
   Printf.fprintf oc
     "{\n  \"bench\": \"refine\",\n  \"repeats\": %d,\n  \"scenarios\": [\n%s\n  ]\n}\n"

@@ -17,12 +17,35 @@ module Prng = Mdl_util.Prng
 module Spec = Mdl_oracle.Spec
 module Oracle = Mdl_oracle.Oracle
 
-let run_fuzz count seed max_levels modes sanity verbose =
+let run_fuzz count seed max_levels modes sanity domains verbose =
   (* [--verbose] keeps its per-case outcome printing; the shared logging
      setup additionally raises the Logs level so library debug output
      (oracle summaries, refinement internals) interleaves with it. *)
   Mdl_obs.Logging.setup ~verbose ();
   let master = Prng.of_seed seed in
+  (* Domain pools are created once per size and reused across cases
+     (domains are joined only at exit).  Under [--domains], every
+     sharding threshold is forced to 1 so even the small fuzz models
+     exercise the parallel paths; set MDL_CHAOS=1 to additionally
+     perturb task interleavings inside the pool. *)
+  let pools = Hashtbl.create 4 in
+  let pool_of n =
+    if n <= 1 then None
+    else
+      Some
+        (match Hashtbl.find_opt pools n with
+        | Some p -> p
+        | None ->
+            let p = Mdl_util.Domain_pool.create ~domains:n in
+            Hashtbl.add pools n p;
+            p)
+  in
+  let pool_for prng =
+    match domains with
+    | `Off -> None
+    | `Fixed n -> pool_of n
+    | `Random -> pool_of (2 + Prng.int prng 3)
+  in
   let inject = if sanity then Some 0.5 else None in
   let failures = ref 0 and missed = ref 0 and skipped_inject = ref 0 in
   let checked = ref 0 in
@@ -35,9 +58,11 @@ let run_fuzz count seed max_levels modes sanity verbose =
     in
     Hashtbl.replace family_counts family
       (1 + Option.value ~default:0 (Hashtbl.find_opt family_counts family));
+    let pool = pool_for prng in
+    let par_threshold = if pool = None then None else Some 1 in
     List.iter
       (fun mode ->
-        let outcome = Oracle.run ?inject mode spec in
+        let outcome = Oracle.run ?inject ?pool ?par_threshold mode spec in
         incr checked;
         if verbose then Format.printf "#%d %a@." i Oracle.pp_outcome outcome;
         if sanity then begin
@@ -56,9 +81,16 @@ let run_fuzz count seed max_levels modes sanity verbose =
         end)
       modes
   done;
+  Hashtbl.iter (fun _ p -> Mdl_util.Domain_pool.shutdown p) pools;
   let families =
     Hashtbl.fold (fun f c acc -> Printf.sprintf "%s=%d" f c :: acc) family_counts []
     |> List.sort compare |> String.concat " "
+  in
+  let domains_note =
+    match domains with
+    | `Off -> ""
+    | `Fixed n -> Printf.sprintf " [%d domains%s]" n (if Hashtbl.length pools > 0 && Hashtbl.fold (fun _ p _ -> Mdl_util.Domain_pool.chaos p) pools false then ", chaos" else "")
+    | `Random -> Printf.sprintf " [random domains%s]" (if Hashtbl.fold (fun _ p _ -> Mdl_util.Domain_pool.chaos p) pools false then ", chaos" else "")
   in
   if sanity then begin
     Printf.printf
@@ -71,8 +103,8 @@ let run_fuzz count seed max_levels modes sanity verbose =
     print_endline "ok: every injected fault was caught"
   end
   else begin
-    Printf.printf "fuzz: %d models (%s), %d oracle runs, %d violations\n" count families
-      !checked !failures;
+    Printf.printf "fuzz: %d models (%s), %d oracle runs, %d violations%s\n" count
+      families !checked !failures domains_note;
     if !failures > 0 then exit 1;
     print_endline "ok: zero oracle violations"
   end
@@ -105,6 +137,26 @@ let sanity_arg =
        & info [ "sanity" ]
            ~doc:"Oracle self-test: inject a rate perturbation into every lumped matrix and require the oracle to catch it.")
 
+let domains_arg =
+  let domains_conv =
+    let parse s =
+      if s = "random" then Ok `Random
+      else
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> Ok (if n = 1 then `Off else `Fixed n)
+        | _ -> Error (`Msg "expected a positive integer or \"random\"")
+    in
+    let print ppf = function
+      | `Off -> Format.pp_print_string ppf "1"
+      | `Fixed n -> Format.pp_print_int ppf n
+      | `Random -> Format.pp_print_string ppf "random"
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(value & opt domains_conv `Off
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"Lump on $(docv) OCaml domains (or $(b,random): 2-4 domains drawn per case), with every sharding threshold forced to 1 so small models still take the parallel paths. Results are checked by the same oracle either way. Set MDL_CHAOS=1 to also perturb pool interleavings (concurrency chaos mode).")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every outcome, not just failures.")
 
@@ -113,6 +165,6 @@ let cmd =
     (Cmd.info "fuzz" ~version:"1.0.0"
        ~doc:"Differential fuzzing of compositional vs state-level lumping.")
     Term.(const run_fuzz $ count_arg $ seed_arg $ levels_arg $ mode_arg $ sanity_arg
-          $ verbose_arg)
+          $ domains_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

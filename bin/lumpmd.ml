@@ -131,7 +131,7 @@ let print_phase_breakdown () =
   end
 
 let run inst mode key solve check_optimal dot_file export_file merge_level show_stats
-    generic_refiner no_key_cache trace_file show_metrics =
+    generic_refiner no_key_cache trace_file show_metrics domains =
   (* --metrics also turns tracing on (without an export file) so the Gc
      words per phase can be aggregated from the span arguments. *)
   if Option.is_some trace_file || show_metrics then Trace.start ();
@@ -166,6 +166,10 @@ let run inst mode key solve check_optimal dot_file export_file merge_level show_
     (String.concat "/" (Array.to_list (Array.map string_of_int counts)))
     (String.concat "/" (Array.to_list (Array.map string_of_int entries)))
     (float_of_int (Md.memory_bytes inst.md) /. 1024.0);
+  let pool =
+    if domains > 1 then Some (Mdl_util.Domain_pool.create ~domains) else None
+  in
+  if domains > 1 then Printf.printf "domains: %d\n" domains;
   let refine_stats = Mdl_partition.Refiner.create_stats () in
   let result, lump_time =
     Mdl_util.Timer.time (fun () ->
@@ -175,8 +179,8 @@ let run inst mode key solve check_optimal dot_file export_file merge_level show_
           | l -> List.map snd l
         in
         Compositional.lump ~key ~stats:refine_stats
-          ~specialised:(not generic_refiner) ~memoise:(not no_key_cache) mode inst.md
-          ~rewards ~initial:inst.initial)
+          ~specialised:(not generic_refiner) ~memoise:(not no_key_cache) ?pool mode
+          inst.md ~rewards ~initial:inst.initial)
   in
   Array.iteri
     (fun i p ->
@@ -301,7 +305,8 @@ let run inst mode key solve check_optimal dot_file export_file merge_level show_
       Format.printf "%a@?" Metrics.pp ();
       print_phase_breakdown ()
     end
-  end
+  end;
+  Option.iter Mdl_util.Domain_pool.shutdown pool
 
 (* ---- command line ---- *)
 
@@ -367,81 +372,86 @@ let metrics_arg =
        & info [ "metrics" ]
            ~doc:"Enable the process-wide metrics registry and dump it after the run: key-cache hits/misses, per-pipeline pass counts, split/key-evaluation counters, latency histograms, and the per-phase Gc allocation breakdown.")
 
+let domains_arg =
+  Arg.(value & opt int 1
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"Run the lumping pipeline data-parallel on $(docv) OCaml domains (levels refine concurrently; large splitter passes and the rebuild shard internally). Results are bit-identical to $(b,--domains 1). With $(b,--trace) or $(b,--metrics), per-level tracing forces levels back to sequential; intra-level sharding stays on.")
+
 let tandem_cmd =
   let jobs = Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~doc:"Population J.") in
   let hdim = Arg.(value & opt int 3 & info [ "hyper-dim" ] ~doc:"Hypercube dimension (2^d servers).") in
   let ms = Arg.(value & opt int 3 & info [ "msmq-servers" ] ~doc:"MSMQ servers.") in
   let mq = Arg.(value & opt int 4 & info [ "msmq-queues" ] ~doc:"MSMQ queues.") in
-  let f jobs hdim ms mq mode key solve check dot export merge stats generic no_cache trace metrics verbose =
+  let f jobs hdim ms mq mode key solve check dot export merge stats generic no_cache trace metrics domains verbose =
     Mdl_obs.Logging.setup ~verbose ();
     run (build_tandem jobs hdim ms mq) mode key solve check dot export merge stats generic
-      no_cache trace metrics
+      no_cache trace metrics domains
   in
   Cmd.v
     (Cmd.info "tandem" ~doc:"The paper's tandem multi-processor system (Section 5).")
     Term.(
       const f $ jobs $ hdim $ ms $ mq $ mode_arg $ key_arg $ solve_arg $ check_arg
-      $ dot_arg $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ verbose_arg)
+      $ dot_arg $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ domains_arg $ verbose_arg)
 
 let polling_cmd =
   let customers =
     Arg.(value & opt int 4 & info [ "customers"; "c" ] ~doc:"Closed population.")
   in
-  let f customers mode key solve check dot export merge stats generic no_cache trace metrics verbose =
+  let f customers mode key solve check dot export merge stats generic no_cache trace metrics domains verbose =
     Mdl_obs.Logging.setup ~verbose ();
     run (build_polling customers) mode key solve check dot export merge stats generic no_cache
-      trace metrics
+      trace metrics domains
   in
   Cmd.v
     (Cmd.info "polling" ~doc:"The MSMQ polling station in isolation.")
     Term.(
       const f $ customers $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ domains_arg $ verbose_arg)
 
 let workstations_cmd =
   let stations =
     Arg.(value & opt int 4 & info [ "stations"; "n" ] ~doc:"Number of workstations.")
   in
-  let f stations mode key solve check dot export merge stats generic no_cache trace metrics verbose =
+  let f stations mode key solve check dot export merge stats generic no_cache trace metrics domains verbose =
     Mdl_obs.Logging.setup ~verbose ();
     run (build_workstations stations) mode key solve check dot export merge stats generic no_cache
-      trace metrics
+      trace metrics domains
   in
   Cmd.v
     (Cmd.info "workstations" ~doc:"Replicated workstation cluster with a spare store.")
     Term.(
       const f $ stations $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ domains_arg $ verbose_arg)
 
 let multitier_cmd =
   let clients =
     Arg.(value & opt int 3 & info [ "clients"; "c" ] ~doc:"Closed population.")
   in
-  let f clients mode key solve check dot export merge stats generic no_cache trace metrics verbose =
+  let f clients mode key solve check dot export merge stats generic no_cache trace metrics domains verbose =
     Mdl_obs.Logging.setup ~verbose ();
     run (build_multitier clients) mode key solve check dot export merge stats generic no_cache
-      trace metrics
+      trace metrics domains
   in
   Cmd.v
     (Cmd.info "multitier" ~doc:"Closed multi-tier service system (4-level MD).")
     Term.(
       const f $ clients $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ domains_arg $ verbose_arg)
 
 let kanban_cmd =
   let cards =
     Arg.(value & opt int 2 & info [ "cards"; "n" ] ~doc:"Kanban cards per cell.")
   in
-  let f cards mode key solve check dot export merge stats generic no_cache trace metrics verbose =
+  let f cards mode key solve check dot export merge stats generic no_cache trace metrics domains verbose =
     Mdl_obs.Logging.setup ~verbose ();
     run (build_kanban cards) mode key solve check dot export merge stats generic no_cache
-      trace metrics
+      trace metrics domains
   in
   Cmd.v
     (Cmd.info "kanban" ~doc:"The Kanban manufacturing system (4-level MD benchmark).")
     Term.(
       const f $ cards $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ domains_arg $ verbose_arg)
 
 let main =
   Cmd.group

@@ -9,6 +9,7 @@ module Partition = Mdl_partition.Partition
 module Refiner = Mdl_partition.Refiner
 module Trace = Mdl_obs.Trace
 module Metrics = Mdl_obs.Metrics
+module Domain_pool = Mdl_util.Domain_pool
 
 let c_nodes_rebuilt = Metrics.counter "rebuild.nodes_rebuilt"
 
@@ -50,7 +51,12 @@ let bump_reused stats n =
   | Some st -> st.Refiner.nodes_reused <- st.Refiner.nodes_reused + n
   | None -> ()
 
-let rebuild_body ?stats ?(incremental = true) mode md partitions =
+(* How many pool tasks to cut [n] work items into: enough for dynamic
+   load balancing, bounded so per-task overhead stays negligible. *)
+let task_count pool n = min n (4 * Domain_pool.size pool)
+
+let rebuild_body ?stats ?(incremental = true) ?pool ?(par_threshold = 1024) mode md
+    partitions =
   let nlevels = Md.levels md in
   (* [incremental:false] restores the from-scratch rebuild (every node
      reconstructed entry by entry) — the faithful uncached baseline the
@@ -98,71 +104,99 @@ let rebuild_body ?stats ?(incremental = true) mode md partitions =
            from-scratch path and both paths hash-cons to equal
            diagrams. *)
         let nc = Partition.num_classes p in
-        match mode with
-        | Mdl_lumping.State_lumping.Ordinary ->
-            (* Representative rows, class-summed columns. *)
-            let acc = Array.make nc Formal_sum.empty in
-            let seen = Array.make nc false in
-            List.iter
-              (fun node ->
-                let rows = Array.make nc [||] in
-                for ci = 0 to nc - 1 do
-                  let rep = Partition.representative p ci in
-                  let cols = ref [] in
-                  Md.rev_iter_node_row md node rep (fun c sum ->
-                      let cj = Partition.class_of p c in
-                      if not seen.(cj) then begin
-                        seen.(cj) <- true;
-                        cols := cj :: !cols
+        (* Per-node quotient rows are computed independently (per-task
+           scratch, untouched per-node fold order), so they can be
+           produced on any domain; the [add_node_sorted_rows] commits —
+           hash-consing into the shared store — run on this domain in
+           node order, which keeps node ids, cons-table state and the
+           [node_map] exactly as the sequential build makes them. *)
+        let build =
+          match mode with
+          | Mdl_lumping.State_lumping.Ordinary ->
+              (* Representative rows, class-summed columns. *)
+              fun () ->
+                let acc = Array.make nc Formal_sum.empty in
+                let seen = Array.make nc false in
+                fun node ->
+                  let rows = Array.make nc [||] in
+                  for ci = 0 to nc - 1 do
+                    let rep = Partition.representative p ci in
+                    let cols = ref [] in
+                    Md.rev_iter_node_row md node rep (fun c sum ->
+                        let cj = Partition.class_of p c in
+                        if not seen.(cj) then begin
+                          seen.(cj) <- true;
+                          cols := cj :: !cols
+                        end;
+                        acc.(cj) <-
+                          Formal_sum.add acc.(cj) (Formal_sum.map_children remap sum));
+                    let row =
+                      List.filter_map
+                        (fun cj ->
+                          let s = acc.(cj) in
+                          acc.(cj) <- Formal_sum.empty;
+                          seen.(cj) <- false;
+                          if Formal_sum.is_empty s then None else Some (cj, s))
+                        (List.sort compare !cols)
+                    in
+                    rows.(ci) <- Array.of_list row
+                  done;
+                  rows
+          | Mdl_lumping.State_lumping.Exact ->
+              (* Aggregated form: all entries, scaled by 1/|C_row|. *)
+              fun () ->
+                let acc = Array.make (nc * nc) Formal_sum.empty in
+                let seen = Array.make (nc * nc) false in
+                fun node ->
+                  let touched = ref [] in
+                  Md.rev_iter_node_entries md node (fun r c sum ->
+                      let ci = Partition.class_of p r in
+                      let w = 1.0 /. float_of_int (Partition.class_size p ci) in
+                      let idx = (ci * nc) + Partition.class_of p c in
+                      if not seen.(idx) then begin
+                        seen.(idx) <- true;
+                        touched := idx :: !touched
                       end;
-                      acc.(cj) <- Formal_sum.add acc.(cj) (Formal_sum.map_children remap sum));
-                  let row =
-                    List.filter_map
-                      (fun cj ->
-                        let s = acc.(cj) in
-                        acc.(cj) <- Formal_sum.empty;
-                        seen.(cj) <- false;
-                        if Formal_sum.is_empty s then None else Some (cj, s))
-                      (List.sort compare !cols)
-                  in
-                  rows.(ci) <- Array.of_list row
-                done;
-                Hashtbl.replace node_map node (Md.add_node_sorted_rows out ~level rows);
-                bump_rebuilt stats 1)
-              live.(level - 1)
-        | Mdl_lumping.State_lumping.Exact ->
-            (* Aggregated form: all entries, scaled by 1/|C_row|. *)
-            let acc = Array.make (nc * nc) Formal_sum.empty in
-            let seen = Array.make (nc * nc) false in
-            List.iter
-              (fun node ->
-                let touched = ref [] in
-                Md.rev_iter_node_entries md node (fun r c sum ->
-                    let ci = Partition.class_of p r in
-                    let w = 1.0 /. float_of_int (Partition.class_size p ci) in
-                    let idx = (ci * nc) + Partition.class_of p c in
-                    if not seen.(idx) then begin
-                      seen.(idx) <- true;
-                      touched := idx :: !touched
-                    end;
-                    acc.(idx) <-
-                      Formal_sum.add acc.(idx)
-                        (Formal_sum.scale w (Formal_sum.map_children remap sum)));
-                let per_row = Array.make nc [] in
-                (* Descending index order, so each row list conses up
-                   ascending. *)
-                List.iter
-                  (fun idx ->
-                    let s = acc.(idx) in
-                    acc.(idx) <- Formal_sum.empty;
-                    seen.(idx) <- false;
-                    if not (Formal_sum.is_empty s) then
-                      per_row.(idx / nc) <- ((idx mod nc), s) :: per_row.(idx / nc))
-                  (List.sort (fun a b -> compare (b : int) a) !touched);
-                let rows = Array.map Array.of_list per_row in
-                Hashtbl.replace node_map node (Md.add_node_sorted_rows out ~level rows);
-                bump_rebuilt stats 1)
-              live.(level - 1)
+                      acc.(idx) <-
+                        Formal_sum.add acc.(idx)
+                          (Formal_sum.scale w (Formal_sum.map_children remap sum)));
+                  let per_row = Array.make nc [] in
+                  (* Descending index order, so each row list conses up
+                     ascending. *)
+                  List.iter
+                    (fun idx ->
+                      let s = acc.(idx) in
+                      acc.(idx) <- Formal_sum.empty;
+                      seen.(idx) <- false;
+                      if not (Formal_sum.is_empty s) then
+                        per_row.(idx / nc) <- ((idx mod nc), s) :: per_row.(idx / nc))
+                    (List.sort (fun a b -> compare (b : int) a) !touched);
+                  Array.map Array.of_list per_row
+        in
+        let nodes = Array.of_list live.(level - 1) in
+        let nnodes = Array.length nodes in
+        let commit rows_of =
+          Array.iteri
+            (fun i node ->
+              Hashtbl.replace node_map node (Md.add_node_sorted_rows out ~level (rows_of i));
+              bump_rebuilt stats 1)
+            nodes
+        in
+        match pool with
+        | Some pool
+          when Domain_pool.size pool > 1 && nnodes > 1 && nnodes * nc >= par_threshold ->
+            let results = Array.make nnodes [||] in
+            let tasks = task_count pool nnodes in
+            Domain_pool.run pool ~n:tasks (fun t ->
+                let lo, hi = Domain_pool.split ~n:nnodes ~tasks t in
+                let build_node = build () in
+                for i = lo to hi - 1 do
+                  results.(i) <- build_node nodes.(i)
+                done);
+            commit (fun i -> results.(i))
+        | _ ->
+            let build_node = build () in
+            commit (fun i -> build_node nodes.(i))
       end
       else
         List.iter
@@ -199,11 +233,12 @@ let rebuild_body ?stats ?(incremental = true) mode md partitions =
     out
   end
 
-let rebuild ?stats ?incremental mode md partitions =
-  if not (Trace.enabled ()) then rebuild_body ?stats ?incremental mode md partitions
+let rebuild ?stats ?incremental ?pool ?par_threshold mode md partitions =
+  if not (Trace.enabled ()) then
+    rebuild_body ?stats ?incremental ?pool ?par_threshold mode md partitions
   else
     Trace.with_span ~cat:"lump" "lump.rebuild" (fun () ->
-        let out = rebuild_body ?stats ?incremental mode md partitions in
+        let out = rebuild_body ?stats ?incremental ?pool ?par_threshold mode md partitions in
         Trace.add_args
           [
             ("nodes_in", Trace.Int (Md.num_live_nodes md));
@@ -212,7 +247,7 @@ let rebuild ?stats ?incremental mode md partitions =
           ];
         out)
 
-let lump_with_partitions ?stats ?incremental mode md partitions =
+let lump_with_partitions ?stats ?incremental ?pool ?par_threshold mode md partitions =
   if Array.length partitions <> Md.levels md then
     invalid_arg "Compositional.lump_with_partitions: level count mismatch";
   Array.iteri
@@ -220,9 +255,10 @@ let lump_with_partitions ?stats ?incremental mode md partitions =
       if Partition.size p <> Md.size md (i + 1) then
         invalid_arg "Compositional.lump_with_partitions: partition size mismatch")
     partitions;
-  { lumped = rebuild ?stats ?incremental mode md partitions; partitions }
+  { lumped = rebuild ?stats ?incremental ?pool ?par_threshold mode md partitions; partitions }
 
-let lump_body ?eps ?key ?stats ~specialised ~memoise ?cache mode md ~rewards ~initial =
+let lump_body ?eps ?key ?stats ~specialised ~memoise ?cache ?pool ?par_threshold mode
+    md ~rewards ~initial =
   (* The key cache rides on the interned pipeline; under the generic
      baseline (or with memoisation off) no cache is used at all. *)
   let cache =
@@ -233,42 +269,99 @@ let lump_body ?eps ?key ?stats ~specialised ~memoise ?cache mode md ~rewards ~in
      monotone refinement run per level.  The intern table and (same-md)
      flatten context survive the rebind. *)
   (match cache with Some c -> Key_cache.bind c md | None -> ());
+  (* Arm (or disarm, so a cache reused across runs never keeps a stale
+     pool) intra-node splitter-key sharding on the cache; per-level
+     forks below inherit the setting. *)
+  (match cache with Some c -> Key_cache.set_pool ?par_threshold c pool | None -> ());
+  let nlevels = Md.levels md in
+  (* Levels are algorithmically independent — each computes its own
+     initial partition and fixed point from [md] alone — so they can
+     refine concurrently, each level running the untouched sequential
+     code on its own domain with its own cache fork and stats record.
+     The global trace buffer is the one piece of observability that is
+     not domain-safe, so tracing runs fall back to sequential levels
+     (intra-level sharding below never emits spans and stays on). *)
+  let level_parallel =
+    match pool with
+    | Some pl -> Domain_pool.size pl > 1 && nlevels > 1 && not (Trace.enabled ())
+    | None -> false
+  in
   let partitions =
-    Array.init (Md.levels md) (fun i ->
-        let level = i + 1 in
-        Trace.with_span ~cat:"lump"
-          ~args:[ ("level", Trace.Int level) ]
-          "lump.level"
-          (fun () ->
-            let p_ini =
-              Trace.with_span ~cat:"lump" "lump.initial_partition" (fun () ->
-                  Level_lumping.initial_partition ?eps mode md ~level ~rewards ~initial)
-            in
-            let level_stats = Refiner.create_stats () in
-            let p, dt =
-              Mdl_util.Timer.time (fun () ->
-                  Level_lumping.comp_lumping_level ?eps ?key ~stats:level_stats
-                    ~specialised ?cache mode md ~level ~initial:p_ini)
-            in
-            Log.debug (fun m ->
-                m "level %d: %d -> %d classes (P_ini %d) in %.3fs [refiner: %a]" level
-                  (Partition.size p)
-                  (Partition.num_classes p)
-                  (Partition.num_classes p_ini)
-                  dt Refiner.pp_stats level_stats);
-            (match stats with
-            | Some dst -> Refiner.add_stats dst level_stats
-            | None -> ());
-            Trace.add_args
-              [
-                ("classes_initial", Trace.Int (Partition.num_classes p_ini));
-                ("classes", Trace.Int (Partition.num_classes p));
-              ];
-            p))
+    if level_parallel then begin
+      let pl = Option.get pool in
+      (* The column cache fills lazily under splitter-key walks; fill it
+         from this domain first so every later [node_col] is a pure
+         read, from any domain. *)
+      Md.warm_col_cache md;
+      let results = Array.make nlevels None in
+      Domain_pool.run pl ~n:nlevels (fun i ->
+          let level = i + 1 in
+          let p_ini =
+            Level_lumping.initial_partition ?eps mode md ~level ~rewards ~initial
+          in
+          let level_stats = Refiner.create_stats () in
+          let fork = Option.map Key_cache.fork cache in
+          let p =
+            Level_lumping.comp_lumping_level ?eps ?key ~stats:level_stats ~specialised
+              ?cache:fork ?pool mode md ~level ~initial:p_ini
+          in
+          results.(i) <- Some (p, level_stats));
+      Array.mapi
+        (fun i r ->
+          match r with
+          | None -> assert false
+          | Some (p, level_stats) ->
+              (* Merge in level order: the accumulated totals then equal
+                 a sequential run's, whatever order the levels actually
+                 finished in. *)
+              Log.debug (fun m ->
+                  m "level %d: %d -> %d classes [refiner: %a]" (i + 1)
+                    (Partition.size p)
+                    (Partition.num_classes p)
+                    Refiner.pp_stats level_stats);
+              (match stats with
+              | Some dst -> Refiner.add_stats dst level_stats
+              | None -> ());
+              p)
+        results
+    end
+    else
+      Array.init nlevels (fun i ->
+          let level = i + 1 in
+          Trace.with_span ~cat:"lump"
+            ~args:[ ("level", Trace.Int level) ]
+            "lump.level"
+            (fun () ->
+              let p_ini =
+                Trace.with_span ~cat:"lump" "lump.initial_partition" (fun () ->
+                    Level_lumping.initial_partition ?eps mode md ~level ~rewards ~initial)
+              in
+              let level_stats = Refiner.create_stats () in
+              let p, dt =
+                Mdl_util.Timer.time (fun () ->
+                    Level_lumping.comp_lumping_level ?eps ?key ~stats:level_stats
+                      ~specialised ?cache ?pool mode md ~level ~initial:p_ini)
+              in
+              Log.debug (fun m ->
+                  m "level %d: %d -> %d classes (P_ini %d) in %.3fs [refiner: %a]" level
+                    (Partition.size p)
+                    (Partition.num_classes p)
+                    (Partition.num_classes p_ini)
+                    dt Refiner.pp_stats level_stats);
+              (match stats with
+              | Some dst -> Refiner.add_stats dst level_stats
+              | None -> ());
+              Trace.add_args
+                [
+                  ("classes_initial", Trace.Int (Partition.num_classes p_ini));
+                  ("classes", Trace.Int (Partition.num_classes p));
+                ];
+              p))
   in
   let r, dt =
     Mdl_util.Timer.time (fun () ->
-        lump_with_partitions ?stats ~incremental:memoise mode md partitions)
+        lump_with_partitions ?stats ~incremental:memoise ?pool ?par_threshold mode md
+          partitions)
   in
   Log.debug (fun m ->
       m "rebuild: %d nodes -> %d nodes in %.3fs%s" (Md.num_live_nodes md)
@@ -276,11 +369,12 @@ let lump_body ?eps ?key ?stats ~specialised ~memoise ?cache mode md ~rewards ~in
         (if r.lumped == md then " (aliased: nothing lumped)" else ""));
   r
 
-let lump ?eps ?key ?stats ?(specialised = true) ?(memoise = true) ?cache mode md
-    ~rewards ~initial =
+let lump ?eps ?key ?stats ?(specialised = true) ?(memoise = true) ?cache ?pool
+    ?par_threshold mode md ~rewards ~initial =
   Metrics.incr c_lumps;
   if not (Trace.enabled ()) then
-    lump_body ?eps ?key ?stats ~specialised ~memoise ?cache mode md ~rewards ~initial
+    lump_body ?eps ?key ?stats ~specialised ~memoise ?cache ?pool ?par_threshold mode
+      md ~rewards ~initial
   else
     Trace.with_span ~cat:"lump"
       ~args:
@@ -291,8 +385,8 @@ let lump ?eps ?key ?stats ?(specialised = true) ?(memoise = true) ?cache mode md
         ]
       "lump"
       (fun () ->
-        lump_body ?eps ?key ?stats ~specialised ~memoise ?cache mode md ~rewards
-          ~initial)
+        lump_body ?eps ?key ?stats ~specialised ~memoise ?cache ?pool ?par_threshold
+          mode md ~rewards ~initial)
 
 let class_tuple r s =
   if Array.length s <> Array.length r.partitions then

@@ -35,6 +35,8 @@ val lump :
   ?specialised:bool ->
   ?memoise:bool ->
   ?cache:Key_cache.t ->
+  ?pool:Mdl_util.Domain_pool.t ->
+  ?par_threshold:int ->
   Mdl_lumping.State_lumping.mode ->
   Mdl_md.Md.t ->
   rewards:Decomposed.t list ->
@@ -61,6 +63,24 @@ val lump :
     discards its memoised rows but keeps the interned-key storage.
     [cache] is ignored when [memoise] or [specialised] is false.
 
+    [pool] runs the pipeline data-parallel on a {!Mdl_util.Domain_pool}:
+    levels refine concurrently (each level runs the untouched sequential
+    fixed point on its own domain, over its own {!Key_cache.fork});
+    within a level, large splitter-key misses shard their member walk
+    ({!Local_key.eval_keys}) and large ranked passes shard their class
+    lookups; and the incremental rebuild computes quotient node rows in
+    parallel, committing them to the store in node order.
+    [par_threshold] (default [1024]) is the minimum work-item count
+    (splitter-class members, quotient rows per level) below which a loop
+    stays inline.  {b Determinism:} every sharded loop either merges its
+    results in index order or writes placement-independent slots, so the
+    partitions, the lumped diagram (bit-identical, [Md.equal]), the
+    splitter-pass counts and all counters are the same at {e any} domain
+    count, pool or no pool — pinned by the differential concurrency
+    suite.  When tracing is enabled ({!Mdl_obs.Trace}), levels fall back
+    to sequential (the trace buffer is not domain-safe); intra-level
+    sharding stays on.
+
     Observability: each level's refinement counters and wall time are
     logged on the [mdl.lump] source at debug level; pass [stats] to
     additionally accumulate the {!Mdl_partition.Refiner.stats} of every
@@ -70,6 +90,8 @@ val lump :
 val lump_with_partitions :
   ?stats:Mdl_partition.Refiner.stats ->
   ?incremental:bool ->
+  ?pool:Mdl_util.Domain_pool.t ->
+  ?par_threshold:int ->
   Mdl_lumping.State_lumping.mode ->
   Mdl_md.Md.t ->
   Mdl_partition.Partition.t array ->
@@ -84,6 +106,11 @@ val lump_with_partitions :
     the uncached baseline ([Compositional.lump ~memoise:false] uses it,
     so the bench race measures cache plus incremental rebuild together).
     [stats] receives the [nodes_rebuilt]/[nodes_reused] counters.
+    [pool] parallelises the incremental path's per-node quotient row
+    builds when a level has at least [par_threshold] class-indexed rows
+    to produce (default [1024], counted as nodes x classes); commits to
+    the store stay sequential in node order, so the result is
+    bit-identical at any domain count.
     @raise Invalid_argument on partition count/size mismatch. *)
 
 val class_tuple : result -> int array -> int array

@@ -1,7 +1,8 @@
 module Md = Mdl_md.Md
-module Refiner = Mdl_partition.Refiner
 module Metrics = Mdl_obs.Metrics
 module Timer = Mdl_util.Timer
+module Gid_table = Mdl_util.Gid_table
+module Domain_pool = Mdl_util.Domain_pool
 
 (* Cumulative registry mirrors of the per-cache counters below, plus
    what the counters cannot say: how long uncached column walks take and
@@ -44,7 +45,7 @@ type rows_key = int (* node, member, class size *)
    a separate identity-hash int table (see Level_lumping) — that one is
    cleared every pass, this one must not be. *)
 type t = {
-  table : Local_key.t Refiner.intern_table;
+  table : Local_key.t Gid_table.t; (* shared by every fork of this cache *)
   mutable md : Md.t option;
   mutable ctx : Local_key.context option;
   mutable dim : int; (* 1 + max level size of the bound diagram *)
@@ -52,11 +53,15 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
+  mutable pool : Domain_pool.t option;
+  mutable par_threshold : int;
 }
+
+let default_par_threshold = 1024
 
 let create () =
   {
-    table = Refiner.intern_table ~hash:Local_key.hash ~equal:Local_key.equal ();
+    table = Gid_table.create ~hash:Local_key.hash ~equal:Local_key.equal ();
     md = None;
     ctx = None;
     dim = 1;
@@ -64,7 +69,33 @@ let create () =
     hits = 0;
     misses = 0;
     invalidations = 0;
+    pool = None;
+    par_threshold = default_par_threshold;
   }
+
+(* A fork is this cache's single-domain scratch state — rows memo,
+   flattening context, counters — rebuilt fresh over the *same* gid
+   table.  Per-level forks behave exactly like one shared cache would:
+   rows keys embed the node id and nodes belong to one level, so
+   entries of different levels never collide anyway, and gids stay
+   global so cached rows from any fork rank consistently. *)
+let fork t =
+  {
+    table = t.table;
+    md = t.md;
+    ctx = (match t.md with Some md -> Some (Local_key.make_context md) | None -> None);
+    dim = t.dim;
+    rows = Hashtbl.create 1024;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+    pool = t.pool;
+    par_threshold = t.par_threshold;
+  }
+
+let set_pool ?par_threshold t pool =
+  t.pool <- pool;
+  match par_threshold with Some th -> t.par_threshold <- max 1 th | None -> ()
 
 let bind t md =
   Hashtbl.reset t.rows;
@@ -82,7 +113,7 @@ let context t =
   | Some ctx -> ctx
   | None -> invalid_arg "Key_cache.context: cache not bound to a diagram (use bind)"
 
-let intern_table t = t.table
+let gid_count t = Gid_table.size t.table
 
 let hits t = t.hits
 
@@ -102,14 +133,12 @@ let splitter_keys ?eps ?skip t choice mode ~node ((perm, first, len) as slice) =
       Metrics.incr c_misses;
       let metered = Metrics.enabled () in
       let t0 = if metered then Timer.now_ns () else 0L in
-      let keyed = Local_key.splitter_keys ?eps ?skip (context t) choice mode node slice in
-      let m = List.length keyed in
-      let states = Array.make m 0 and gids = Array.make m 0 in
-      List.iteri
-        (fun i (s, k) ->
-          states.(i) <- s;
-          gids.(i) <- Refiner.intern t.table k)
-        keyed;
+      let states, keys =
+        Local_key.eval_keys ?eps ?skip ?pool:t.pool ~par_threshold:t.par_threshold
+          (context t) choice mode node slice
+      in
+      let m = Array.length states in
+      let gids = Array.map (fun k -> Gid_table.intern t.table k) keys in
       let rows = (states, gids) in
       Hashtbl.add t.rows key rows;
       if metered then begin

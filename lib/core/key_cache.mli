@@ -10,10 +10,12 @@
     list of one node/splitter-class pair — and carries two shared
     resources with it:
 
-    - a {e global} {!type:Mdl_partition.Refiner.intern_table} hash-consing
-      key values to stable small integers (gids), shared across {e all}
-      levels of a lump run and across models of a bench sweep (it is
-      never cleared, so its contents persist across {!bind}s).  Cached
+    - a {e global} {!Mdl_util.Gid_table} hash-consing key values to
+      stable small integers (gids), shared across {e all} levels of a
+      lump run (including levels refining concurrently on a domain
+      pool — the table's read path is lock-free) and across models of a
+      bench sweep (it is never cleared, so its contents persist across
+      {!bind}s).  Cached
       rows store [(state, gid)] pairs, so a cache hit involves no
       structural key hashing or equality at all — each distinct key pays
       for hashing once, at miss time.  The per-pass dense ranks of the
@@ -66,11 +68,29 @@ val context : t -> Local_key.context
 (** The bound diagram's {!Local_key.context}.
     @raise Invalid_argument when the cache is unbound. *)
 
-val intern_table : t -> Local_key.t Mdl_partition.Refiner.intern_table
-(** The global key-to-gid table; survives {!bind} and is never cleared,
-    so gids are stable across levels, runs and models.  It must {e not}
-    be used as a refinement pipeline's [itable] (the engine would clear
-    it per pass and recycle gids under the cached rows). *)
+val fork : t -> t
+(** A fresh single-domain view of this cache for one parallel level
+    task: its own rows memo, flattening context and counters, over the
+    {e same} global gid table.  Forks are what make level-parallel
+    lumping safe — every mutable part of a cache except the (domain-
+    safe) gid table is then owned by exactly one domain — and they are
+    observationally equivalent to sharing one cache, because row keys
+    embed the node id (nodes belong to one level, so cross-level
+    entries never collide) and hit/miss counts per level are
+    unaffected. *)
+
+val set_pool : ?par_threshold:int -> t -> Mdl_util.Domain_pool.t option -> unit
+(** Arm (or disarm, with [None]) intra-node miss sharding: subsequent
+    cache misses evaluate their keys through {!Local_key.eval_keys}
+    with this pool whenever the splitter class has at least
+    [par_threshold] members (default 1024; clamped to >= 1).  Inherited
+    by {!fork}s made afterwards.  Never changes results — see the
+    determinism contract on {!Local_key.eval_keys}. *)
+
+val gid_count : t -> int
+(** Distinct keys interned into the global gid table so far; the
+    table survives {!bind} and is never cleared, so gids are stable
+    across levels, runs and models. *)
 
 val splitter_keys :
   ?eps:float ->

@@ -64,7 +64,7 @@ let key_intern_table () =
   Refiner.intern_table ~hash:Local_key.hash ~equal:Local_key.equal ()
 
 let comp_lumping_level ?eps ?(key = Local_key.Formal_sums) ?stats
-    ?(specialised = true) ?cache mode md ~level ~initial =
+    ?(specialised = true) ?cache ?pool mode md ~level ~initial =
   check_level md level "comp_lumping_level";
   if Partition.size initial <> Md.size md level then
     invalid_arg "Level_lumping.comp_lumping_level: partition size mismatch";
@@ -126,7 +126,7 @@ let comp_lumping_level ?eps ?(key = Local_key.Formal_sums) ?stats
                 (fun c -> Key_cache.splitter_keys ?eps ?skip kc key mode ~node c);
             }
           in
-          Refiner.comp_lumping_ranked ?stats
+          Refiner.comp_lumping_ranked ?stats ?pool
             ~on_split:(fun ~parent ~ids -> Key_cache.note_split kc ~parent ~ids)
             rspec ~initial:p
     | None when specialised ->

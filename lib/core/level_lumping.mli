@@ -30,6 +30,7 @@ val comp_lumping_level :
   ?stats:Mdl_partition.Refiner.stats ->
   ?specialised:bool ->
   ?cache:Key_cache.t ->
+  ?pool:Mdl_util.Domain_pool.t ->
   Mdl_lumping.State_lumping.mode ->
   Mdl_md.Md.t ->
   level:int ->
@@ -64,6 +65,13 @@ val comp_lumping_level :
     {!Key_cache}).  Partitions, lumped diagrams and splitter-pass counts
     are unchanged by the cache (pinned by the differential tests); only
     key-evaluation work and the [key_evals] / [cache_*] counters differ.
+
+    [pool] (cached path only) shards the ranked pipeline's per-pass
+    class lookups across a domain pool
+    ({!Mdl_partition.Refiner.comp_lumping_ranked}); intra-node
+    splitter-key sharding is armed separately on the cache via
+    {!Key_cache.set_pool}.  Neither changes the computed partition,
+    the pass counts or any counter.
 
     The returned partition is canonicalised when fully discrete: if no
     two states lump, the result is {!Mdl_partition.Partition.discrete}

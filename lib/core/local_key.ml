@@ -113,7 +113,8 @@ let expand ctx sum =
         (Csr.scale w0 (flatten ctx child0))
         rest
 
-let splitter_keys ?eps ?skip ctx choice mode node (perm, first, len) =
+let eval_keys ?eps ?skip ?pool ?(par_threshold = 1024) ctx choice mode node
+    (perm, first, len) =
   (* Accumulate formal sums per touched state: over columns of the
      splitter for ordinary lumping (row sums R_n(s, C)), over rows for
      exact lumping (column sums R_n(C, s)).  States for which [skip]
@@ -123,32 +124,68 @@ let splitter_keys ?eps ?skip ctx choice mode node (perm, first, len) =
   let acc : (int, Formal_sum.t) Hashtbl.t = Hashtbl.create 32 in
   let skip = match skip with Some f -> f | None -> fun _ -> false in
   let touch s sum =
-    if not (skip s) then
-      let prev = Option.value ~default:Formal_sum.empty (Hashtbl.find_opt acc s) in
-      Hashtbl.replace acc s (Formal_sum.add prev sum)
+    let prev = Option.value ~default:Formal_sum.empty (Hashtbl.find_opt acc s) in
+    Hashtbl.replace acc s (Formal_sum.add prev sum)
   in
-  (match mode with
-  | Mdl_lumping.State_lumping.Ordinary ->
+  let entries i =
+    match mode with
+    | Mdl_lumping.State_lumping.Ordinary -> Md.node_col ctx.md node perm.(i)
+    | Mdl_lumping.State_lumping.Exact -> Md.node_row ctx.md node perm.(i)
+  in
+  (match pool with
+  | Some pool when Mdl_util.Domain_pool.size pool > 1 && len >= par_threshold ->
+      (* Collect raw (state, contribution) pairs per contiguous member
+         chunk in walk order on the pool, then replay [touch] chunk by
+         chunk on this domain.  [Formal_sum.add] is float addition —
+         not associative — so merging per-domain *accumulated* sums
+         would perturb the result; only replaying the contributions in
+         member order reproduces the sequential sums bit for bit.
+         Chunk boundaries cannot matter: the concatenation of chunks in
+         index order is exactly the member walk 0..len-1, whatever the
+         chunk count or which domain collected each chunk. *)
+      let tasks = min len (4 * Mdl_util.Domain_pool.size pool) in
+      let chunks = Array.make tasks [] in
+      Mdl_util.Domain_pool.run pool ~n:tasks (fun ci ->
+          let lo, hi = Mdl_util.Domain_pool.split ~n:len ~tasks ci in
+          let out = ref [] in
+          for i = first + lo to first + hi - 1 do
+            List.iter (fun (s, sum) -> if not (skip s) then out := (s, sum) :: !out) (entries i)
+          done;
+          chunks.(ci) <- List.rev !out);
+      Array.iter (fun chunk -> List.iter (fun (s, sum) -> touch s sum) chunk) chunks
+  | _ ->
       for i = first to first + len - 1 do
-        List.iter (fun (r, sum) -> touch r sum) (Md.node_col ctx.md node perm.(i))
-      done
-  | Mdl_lumping.State_lumping.Exact ->
-      for i = first to first + len - 1 do
-        List.iter (fun (cl, sum) -> touch cl sum) (Md.node_row ctx.md node perm.(i))
+        List.iter (fun (s, sum) -> if not (skip s) then touch s sum) (entries i)
       done);
   (* Quantize at emission: every pipeline downstream (generic compare,
      interning, reference engine) then sees the same canonical key, and
      a sum whose coefficients all quantize away is dropped here exactly
-     like the implicit zero key of an untouched state. *)
-  Hashtbl.fold
-    (fun s sum l ->
+     like the implicit zero key of an untouched state.  Emission order
+     is pinned to what the historical list-building fold produced — the
+     reverse of [Hashtbl] iteration order — so the interned gid ranks
+     (first appearance over these arrays) are unchanged. *)
+  let cap = Hashtbl.length acc in
+  let tmp_s = Array.make (max cap 1) 0 in
+  let tmp_k = Array.make (max cap 1) (Sum Formal_sum.empty) in
+  let m = ref 0 in
+  Hashtbl.iter
+    (fun s sum ->
       let sum = Formal_sum.quantize ?eps sum in
-      if Formal_sum.is_empty sum then l
-      else
+      if not (Formal_sum.is_empty sum) then begin
         let key =
           match choice with
           | Formal_sums -> Sum sum
           | Expanded_matrices -> Matrix (Csr.map (Floatx.quantize ?eps) (expand ctx sum))
         in
-        (s, key) :: l)
-    acc []
+        tmp_s.(!m) <- s;
+        tmp_k.(!m) <- key;
+        incr m
+      end)
+    acc;
+  let m = !m in
+  ( Array.init m (fun i -> tmp_s.(m - 1 - i)),
+    Array.init m (fun i -> tmp_k.(m - 1 - i)) )
+
+let splitter_keys ?eps ?skip ctx choice mode node slice =
+  let states, keys = eval_keys ?eps ?skip ctx choice mode node slice in
+  List.init (Array.length states) (fun i -> (states.(i), keys.(i)))

@@ -68,6 +68,33 @@ type context
 
 val make_context : Mdl_md.Md.t -> context
 
+val eval_keys :
+  ?eps:float ->
+  ?skip:(int -> bool) ->
+  ?pool:Mdl_util.Domain_pool.t ->
+  ?par_threshold:int ->
+  context ->
+  choice ->
+  Mdl_lumping.State_lumping.mode ->
+  Mdl_md.Md.node_id ->
+  Mdl_partition.Refiner.slice ->
+  int array * t array
+(** List-free core of {!splitter_keys}: the same [(s, key)] pairs as
+    parallel [(states, keys)] arrays, in exactly the order the list
+    version produces, with no intermediate list allocation.
+
+    When [pool] is given (and the splitter class has at least
+    [par_threshold] members, default [1024]), the member walk is
+    sharded across the pool's domains: workers collect raw
+    [(state, contribution)] pairs per contiguous member chunk, and the
+    calling domain replays the accumulation chunk-by-chunk in member
+    order.  Because the replay order equals the sequential walk order,
+    the accumulated sums — float additions, which are not associative —
+    and therefore the emitted keys are bit-identical to the sequential
+    walk at any domain count.  Requires {!Mdl_md.Md.warm_col_cache} on
+    the context's diagram first (ordinary mode reads columns from any
+    domain). *)
+
 val splitter_keys :
   ?eps:float ->
   ?skip:(int -> bool) ->

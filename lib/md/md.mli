@@ -98,7 +98,15 @@ val node_row : t -> node_id -> int -> (int * Formal_sum.t) list
 
 val node_col : t -> node_id -> int -> (int * Formal_sum.t) list
 (** Entries of one column, ascending row order (transposed access,
-    computed lazily per node and cached). *)
+    computed lazily per node and cached).  The cache fill mutates the
+    diagram's internal column table, so concurrent first touches of the
+    same node race — parallel readers must call {!warm_col_cache}
+    first. *)
+
+val warm_col_cache : t -> unit
+(** Precompute the column cache for every live node, so subsequent
+    {!node_col} calls are pure reads and safe from any domain.
+    @raise Invalid_argument if no root is set. *)
 
 val iter_node_entries : t -> node_id -> (int -> int -> Formal_sum.t -> unit) -> unit
 

@@ -1,26 +1,46 @@
-type counter = { c_name : string; mutable c_value : int }
+type counter = { c_name : string; c_value : int Atomic.t }
 
-type gauge = { g_name : string; mutable g_value : float }
+type gauge = { g_name : string; g_value : float Atomic.t }
+
+(* Histograms shard their mutable state by domain so concurrent
+   [observe]s contend only when domain ids collide modulo the shard
+   count; readers merge shards under the per-shard locks. *)
+let hist_shards = 8
+
+type hist_shard = {
+  s_lock : Mutex.t;
+  s_counts : int array; (* length: bounds + 1 (overflow) *)
+  mutable s_sum : float;
+  mutable s_count : int;
+}
 
 type histogram = {
   h_name : string;
   h_bounds : float array; (* strictly increasing upper bounds *)
-  h_counts : int array; (* length: bounds + 1 (overflow) *)
-  mutable h_sum : float;
-  mutable h_count : int;
+  h_shard : hist_shard array;
 }
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
-let enabled_flag = ref false
+let enabled_flag = Atomic.make false
 
-let set_enabled b = enabled_flag := b
+let set_enabled b = Atomic.set enabled_flag b
 
-let enabled () = !enabled_flag
+let enabled () = Atomic.get enabled_flag
+
+(* The registry itself (creation, name lookup, dump) is guarded by one
+   mutex — registration happens at module initialisation and reads are
+   report-time only, so the lock is never on a hot path.  Metric
+   {e updates} never touch it. *)
+let registry_lock = Mutex.create ()
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
 let order : string list ref = ref [] (* reverse registration order *)
+
+let locked f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
 
 let register name m =
   Hashtbl.add registry name m;
@@ -30,36 +50,51 @@ let kind_error name want =
   invalid_arg (Printf.sprintf "Metrics.%s: %S is registered as another metric kind" want name)
 
 let counter name =
-  match Hashtbl.find_opt registry name with
-  | Some (Counter c) -> c
-  | Some _ -> kind_error name "counter"
-  | None ->
-      let c = { c_name = name; c_value = 0 } in
-      register name (Counter c);
-      c
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Counter c) -> c
+      | Some _ -> kind_error name "counter"
+      | None ->
+          let c = { c_name = name; c_value = Atomic.make 0 } in
+          register name (Counter c);
+          c)
 
-let incr c = if !enabled_flag then c.c_value <- c.c_value + 1
+let incr c = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.c_value 1)
 
-let add c n = if !enabled_flag then c.c_value <- c.c_value + n
+let add c n = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.c_value n)
 
 let counter_value name =
-  match Hashtbl.find_opt registry name with Some (Counter c) -> c.c_value | _ -> 0
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Counter c) -> Atomic.get c.c_value
+      | _ -> 0)
 
 let gauge name =
-  match Hashtbl.find_opt registry name with
-  | Some (Gauge g) -> g
-  | Some _ -> kind_error name "gauge"
-  | None ->
-      let g = { g_name = name; g_value = 0.0 } in
-      register name (Gauge g);
-      g
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Gauge g) -> g
+      | Some _ -> kind_error name "gauge"
+      | None ->
+          let g = { g_name = name; g_value = Atomic.make 0.0 } in
+          register name (Gauge g);
+          g)
 
-let set g v = if !enabled_flag then g.g_value <- v
+let set g v = if Atomic.get enabled_flag then Atomic.set g.g_value v
 
-let set_max g v = if !enabled_flag && v > g.g_value then g.g_value <- v
+let set_max g v =
+  if Atomic.get enabled_flag then begin
+    let rec cas () =
+      let cur = Atomic.get g.g_value in
+      if v > cur && not (Atomic.compare_and_set g.g_value cur v) then cas ()
+    in
+    cas ()
+  end
 
 let gauge_value name =
-  match Hashtbl.find_opt registry name with Some (Gauge g) -> g.g_value | _ -> 0.0
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Gauge g) -> Atomic.get g.g_value
+      | _ -> 0.0)
 
 let log_buckets ~lo ~hi ~per_decade =
   if not (lo > 0.0 && hi > lo) || per_decade < 1 then
@@ -71,40 +106,46 @@ let log_buckets ~lo ~hi ~per_decade =
 let default_latency_buckets = lazy (log_buckets ~lo:1e-7 ~hi:10.0 ~per_decade:3)
 
 let histogram ?buckets name =
-  match Hashtbl.find_opt registry name with
-  | Some (Histogram h) ->
-      (match buckets with
-      | Some b when b <> h.h_bounds ->
-          invalid_arg
-            (Printf.sprintf "Metrics.histogram: %S re-registered with different buckets"
-               name)
-      | _ -> ());
-      h
-  | Some _ -> kind_error name "histogram"
-  | None ->
-      let bounds =
-        match buckets with Some b -> b | None -> Lazy.force default_latency_buckets
-      in
-      if Array.length bounds = 0 then
-        invalid_arg "Metrics.histogram: empty bucket bounds";
-      for i = 1 to Array.length bounds - 1 do
-        if not (bounds.(i) > bounds.(i - 1)) then
-          invalid_arg "Metrics.histogram: bucket bounds must be strictly increasing"
-      done;
-      let h =
-        {
-          h_name = name;
-          h_bounds = bounds;
-          h_counts = Array.make (Array.length bounds + 1) 0;
-          h_sum = 0.0;
-          h_count = 0;
-        }
-      in
-      register name (Histogram h);
-      h
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Histogram h) ->
+          (match buckets with
+          | Some b when b <> h.h_bounds ->
+              invalid_arg
+                (Printf.sprintf "Metrics.histogram: %S re-registered with different buckets"
+                   name)
+          | _ -> ());
+          h
+      | Some _ -> kind_error name "histogram"
+      | None ->
+          let bounds =
+            match buckets with Some b -> b | None -> Lazy.force default_latency_buckets
+          in
+          if Array.length bounds = 0 then
+            invalid_arg "Metrics.histogram: empty bucket bounds";
+          for i = 1 to Array.length bounds - 1 do
+            if not (bounds.(i) > bounds.(i - 1)) then
+              invalid_arg "Metrics.histogram: bucket bounds must be strictly increasing"
+          done;
+          let h =
+            {
+              h_name = name;
+              h_bounds = bounds;
+              h_shard =
+                Array.init hist_shards (fun _ ->
+                    {
+                      s_lock = Mutex.create ();
+                      s_counts = Array.make (Array.length bounds + 1) 0;
+                      s_sum = 0.0;
+                      s_count = 0;
+                    });
+            }
+          in
+          register name (Histogram h);
+          h)
 
 let observe h v =
-  if !enabled_flag then begin
+  if Atomic.get enabled_flag then begin
     (* Binary search for the first bound >= v; the overflow bucket is
        index [length bounds]. *)
     let n = Array.length h.h_bounds in
@@ -113,59 +154,103 @@ let observe h v =
       let mid = (!lo + !hi) / 2 in
       if h.h_bounds.(mid) >= v then hi := mid else lo := mid + 1
     done;
-    h.h_counts.(!lo) <- h.h_counts.(!lo) + 1;
-    h.h_sum <- h.h_sum +. v;
-    h.h_count <- h.h_count + 1
+    let s = h.h_shard.((Domain.self () :> int) land (hist_shards - 1)) in
+    Mutex.lock s.s_lock;
+    s.s_counts.(!lo) <- s.s_counts.(!lo) + 1;
+    s.s_sum <- s.s_sum +. v;
+    s.s_count <- s.s_count + 1;
+    Mutex.unlock s.s_lock
   end
 
+(* Merge the shards of [h] under their locks: (count, sum, counts). *)
+let merge_hist h =
+  let counts = Array.make (Array.length h.h_bounds + 1) 0 in
+  let sum = ref 0.0 and count = ref 0 in
+  Array.iter
+    (fun s ->
+      Mutex.lock s.s_lock;
+      Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) s.s_counts;
+      sum := !sum +. s.s_sum;
+      count := !count + s.s_count;
+      Mutex.unlock s.s_lock)
+    h.h_shard;
+  (!count, !sum, counts)
+
 let histogram_stats name =
-  match Hashtbl.find_opt registry name with
-  | Some (Histogram h) -> (h.h_count, h.h_sum)
-  | _ -> (0, 0.0)
+  let h =
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with Some (Histogram h) -> Some h | _ -> None)
+  in
+  match h with
+  | Some h ->
+      let count, sum, _ = merge_hist h in
+      (count, sum)
+  | None -> (0, 0.0)
 
 let histogram_buckets name =
-  match Hashtbl.find_opt registry name with
-  | Some (Histogram h) ->
+  let h =
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with Some (Histogram h) -> Some h | _ -> None)
+  in
+  match h with
+  | Some h ->
+      let _, _, counts = merge_hist h in
       Array.init
-        (Array.length h.h_counts)
+        (Array.length counts)
         (fun i ->
-          ((if i < Array.length h.h_bounds then h.h_bounds.(i) else infinity), h.h_counts.(i)))
-  | _ -> [||]
+          ((if i < Array.length h.h_bounds then h.h_bounds.(i) else infinity), counts.(i)))
+  | None -> [||]
 
 let reset () =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | Counter c -> c.c_value <- 0
-      | Gauge g -> g.g_value <- 0.0
-      | Histogram h ->
-          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
-          h.h_sum <- 0.0;
-          h.h_count <- 0)
-    registry
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter c -> Atomic.set c.c_value 0
+          | Gauge g -> Atomic.set g.g_value 0.0
+          | Histogram h ->
+              Array.iter
+                (fun s ->
+                  Mutex.lock s.s_lock;
+                  Array.fill s.s_counts 0 (Array.length s.s_counts) 0;
+                  s.s_sum <- 0.0;
+                  s.s_count <- 0;
+                  Mutex.unlock s.s_lock)
+                h.h_shard)
+        registry)
 
-let names () = List.rev !order
+let names () = locked (fun () -> List.rev !order)
+
+(* Metrics in registration order, resolved under the lock so dumps
+   never race a registration. *)
+let metrics_snapshot () =
+  locked (fun () -> List.rev_map (fun name -> Hashtbl.find registry name) !order)
 
 let pp ppf () =
   Format.pp_open_vbox ppf 0;
   List.iter
-    (fun name ->
-      match Hashtbl.find registry name with
-      | Counter c -> if c.c_value <> 0 then Format.fprintf ppf "%-34s %d@," c.c_name c.c_value
-      | Gauge g -> if g.g_value <> 0.0 then Format.fprintf ppf "%-34s %g@," g.g_name g.g_value
+    (fun m ->
+      match m with
+      | Counter c ->
+          let v = Atomic.get c.c_value in
+          if v <> 0 then Format.fprintf ppf "%-34s %d@," c.c_name v
+      | Gauge g ->
+          let v = Atomic.get g.g_value in
+          if v <> 0.0 then Format.fprintf ppf "%-34s %g@," g.g_name v
       | Histogram h ->
-          if h.h_count > 0 then begin
-            Format.fprintf ppf "%-34s n=%d sum=%g mean=%g@," h.h_name h.h_count h.h_sum
-              (h.h_sum /. float_of_int h.h_count);
+          let count, sum, counts = merge_hist h in
+          if count > 0 then begin
+            Format.fprintf ppf "%-34s n=%d sum=%g mean=%g@," h.h_name count sum
+              (sum /. float_of_int count);
             Array.iteri
               (fun i c ->
                 if c > 0 then
                   if i < Array.length h.h_bounds then
                     Format.fprintf ppf "  %-32s le=%.3g: %d@," "" h.h_bounds.(i) c
                   else Format.fprintf ppf "  %-32s le=inf: %d@," "" c)
-              h.h_counts
+              counts
           end)
-    (names ());
+    (metrics_snapshot ());
   Format.pp_close_box ppf ()
 
 let escape_json buf s =
@@ -179,41 +264,39 @@ let escape_json buf s =
     s
 
 let to_json buf =
+  let snapshot = metrics_snapshot () in
   let items kind f =
     let first = ref true in
     List.iter
-      (fun name ->
-        match (Hashtbl.find registry name, kind) with
-        | Counter c, `C ->
-            if !first then first := false else Buffer.add_string buf ", ";
-            Buffer.add_char buf '"';
-            escape_json buf c.c_name;
-            Buffer.add_string buf "\": ";
-            f (Counter c)
-        | Gauge g, `G ->
-            if !first then first := false else Buffer.add_string buf ", ";
-            Buffer.add_char buf '"';
-            escape_json buf g.g_name;
-            Buffer.add_string buf "\": ";
-            f (Gauge g)
-        | Histogram h, `H ->
-            if !first then first := false else Buffer.add_string buf ", ";
-            Buffer.add_char buf '"';
-            escape_json buf h.h_name;
-            Buffer.add_string buf "\": ";
-            f (Histogram h)
+      (fun m ->
+        let emit name =
+          if !first then first := false else Buffer.add_string buf ", ";
+          Buffer.add_char buf '"';
+          escape_json buf name;
+          Buffer.add_string buf "\": ";
+          f m
+        in
+        match (m, kind) with
+        | Counter c, `C -> emit c.c_name
+        | Gauge g, `G -> emit g.g_name
+        | Histogram h, `H -> emit h.h_name
         | _ -> ())
-      (names ())
+      snapshot
   in
   Buffer.add_string buf "{\"counters\": {";
-  items `C (function Counter c -> Buffer.add_string buf (string_of_int c.c_value) | _ -> ());
+  items `C (function
+    | Counter c -> Buffer.add_string buf (string_of_int (Atomic.get c.c_value))
+    | _ -> ());
   Buffer.add_string buf "}, \"gauges\": {";
-  items `G (function Gauge g -> Buffer.add_string buf (Printf.sprintf "%.17g" g.g_value) | _ -> ());
+  items `G (function
+    | Gauge g -> Buffer.add_string buf (Printf.sprintf "%.17g" (Atomic.get g.g_value))
+    | _ -> ());
   Buffer.add_string buf "}, \"histograms\": {";
   items `H (function
     | Histogram h ->
+        let count, sum, counts = merge_hist h in
         Buffer.add_string buf
-          (Printf.sprintf "{\"count\": %d, \"sum\": %.17g, \"buckets\": [" h.h_count h.h_sum);
+          (Printf.sprintf "{\"count\": %d, \"sum\": %.17g, \"buckets\": [" count sum);
         Array.iteri
           (fun i c ->
             if i > 0 then Buffer.add_string buf ", ";
@@ -222,7 +305,7 @@ let to_json buf =
               else "\"inf\""
             in
             Buffer.add_string buf (Printf.sprintf "{\"le\": %s, \"count\": %d}" le c))
-          h.h_counts;
+          counts;
         Buffer.add_string buf "]}"
     | _ -> ());
   Buffer.add_string buf "}}"

@@ -16,7 +16,12 @@
     through a call tree; the registry is cumulative).  The test suite
     pins the two views equal over fresh runs.
 
-    Single-domain, like everything it measures. *)
+    Domain-safe: counters and gauges are [Atomic.t] cells ({!set_max}
+    is a CAS loop), histograms shard their buckets by domain id and
+    merge the shards on read, and the registry itself is mutex-guarded
+    — so [--stats]/[--metrics] stay exact when refinement runs on a
+    {!Mdl_util.Domain_pool}.  Disabled-mode updates remain one atomic
+    load and a branch. *)
 
 type counter
 

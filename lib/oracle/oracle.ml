@@ -77,7 +77,7 @@ let perturb factor m =
     Some (Csr.of_coo coo)
   end
 
-let check_md ?(eps = Floatx.default_eps) ?inject mode md0 =
+let check_md ?(eps = Floatx.default_eps) ?inject ?pool ?par_threshold mode md0 =
   let violations = ref [] in
   let checks = ref [] in
   let skipped = ref [] in
@@ -114,7 +114,8 @@ let check_md ?(eps = Floatx.default_eps) ?inject mode md0 =
     | Exact -> [ Decomposed.constant ~sizes 0.0 ]
   in
   let result =
-    Compositional.lump ~eps mode md0 ~rewards ~initial:(Decomposed.constant ~sizes 1.0)
+    Compositional.lump ~eps ?pool ?par_threshold mode md0 ~rewards
+      ~initial:(Decomposed.constant ~sizes 1.0)
   in
   ran "invariants(lumped)";
   import "lumped " (Invariants.md ~eps result.Compositional.lumped);
@@ -315,11 +316,14 @@ let check_md ?(eps = Floatx.default_eps) ?inject mode md0 =
     flat_classes = Partition.num_classes p_star;
   }
 
-let check_chain ?eps ?inject mode r = check_md ?eps ?inject mode (Gen_chain.md_of_csr r)
+let check_chain ?eps ?inject ?pool ?par_threshold mode r =
+  check_md ?eps ?inject ?pool ?par_threshold mode (Gen_chain.md_of_csr r)
 
-let run ?eps ?inject mode spec =
+let run ?eps ?inject ?pool ?par_threshold mode spec =
   let md = Gen_md.of_spec spec in
-  let o = { (check_md ?eps ?inject mode md) with model = Spec.to_string spec } in
+  let o =
+    { (check_md ?eps ?inject ?pool ?par_threshold mode md) with model = Spec.to_string spec }
+  in
   Log.debug (fun m ->
       m "%s (%s): %d checks, %d violations" o.model (mode_string o.mode)
         (List.length o.checks) (List.length o.violations));

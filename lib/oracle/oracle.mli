@@ -56,14 +56,35 @@ val ok : outcome -> bool
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
-val check_md : ?eps:float -> ?inject:float -> mode -> Mdl_md.Md.t -> outcome
+val check_md :
+  ?eps:float ->
+  ?inject:float ->
+  ?pool:Mdl_util.Domain_pool.t ->
+  ?par_threshold:int ->
+  mode ->
+  Mdl_md.Md.t ->
+  outcome
 (** Cross-check one diagram (over its full potential space). *)
 
-val check_chain : ?eps:float -> ?inject:float -> mode -> Mdl_sparse.Csr.t -> outcome
+val check_chain :
+  ?eps:float ->
+  ?inject:float ->
+  ?pool:Mdl_util.Domain_pool.t ->
+  ?par_threshold:int ->
+  mode ->
+  Mdl_sparse.Csr.t ->
+  outcome
 (** Cross-check a flat square rate matrix, wrapped as a 1-level MD —
     on 1-level diagrams the compositional algorithm must coincide with
     the state-level one exactly. *)
 
-val run : ?eps:float -> ?inject:float -> mode -> Spec.model -> outcome
+val run :
+  ?eps:float ->
+  ?inject:float ->
+  ?pool:Mdl_util.Domain_pool.t ->
+  ?par_threshold:int ->
+  mode ->
+  Spec.model ->
+  outcome
 (** Derive the model a spec denotes and cross-check it; [outcome.model]
     is the spec's reproduction recipe. *)

@@ -257,6 +257,8 @@ type ranked_spec = {
 val comp_lumping_ranked :
   ?stats:stats ->
   ?on_split:on_split ->
+  ?pool:Mdl_util.Domain_pool.t ->
+  ?par_threshold:int ->
   ranked_spec ->
   initial:Partition.t ->
   Partition.t
@@ -267,7 +269,16 @@ val comp_lumping_ranked :
     engine under the memoised splitter-key cache, where a cache hit
     replays a previously interned row list; counters are reported as
     interned passes ([interned_passes], [counting_sort_passes],
-    [intern_keys]), so cached and uncached runs stay comparable. *)
+    [intern_keys]), so cached and uncached runs stay comparable.
+
+    [pool] shards the per-pass class lookups ([Partition.class_of] into
+    disjoint scratch slots — pure reads, placement-independent writes)
+    across the pool's domains when a pass has at least [par_threshold]
+    pairs (default [8192]).  Rank assignment, sorting and the split
+    scan stay sequential — ranks are first-appearance-ordered, which is
+    exactly what makes the result independent of gid numbering — so the
+    computed partition, split order and every counter are identical
+    with or without a pool. *)
 
 val use_counting_sort : m:int -> alphabet:int -> bool
 (** The counting-sort threshold: true when a pass of [m] pairs over

@@ -14,6 +14,18 @@ overhead at zero).  CI runs this after the bench smoke so a refactor
 cannot silently drop the instrumentation or the cache advantage the
 performance claims rest on.
 
+Multi-level scenarios additionally carry a "domains" object — the
+sequential-vs-parallel race on a reusable domain pool.  Its shape is
+always validated (host_cores, par2_s/par4_s and the matching
+speedup_par* fields, identical=true — the bench aborts before writing
+JSON when a parallel diagram differs, so a recorded scenario implies
+bit-identity).  The speedup gates are conditional on the recording
+host: on a single-core host a "parallel" run only adds scheduling
+overhead, so speedups are gated only when host_cores >= 2 — then every
+scenario must reach speedup_par2 >= 1.0, and Kanban (the largest
+model, where sharding has real work to amortise against) must reach
+>= 1.15.
+
 Usage: scripts/check_bench_schema.py [BENCH_refine.json]
 """
 
@@ -61,9 +73,19 @@ MULTILEVEL_FIELDS = [
     "cached_s",
     "speedup_vs_generic",
     "speedup_cached_vs_interned",
+    "domains",
     "stats",
     "phases",
 ]
+
+DOMAINS_FIELDS = ["host_cores", "identical"]
+
+# Minimum cached_s/parN_s per scenario when the recording host has at
+# least 2 cores.  Kanban is the largest model (most rebuild rows and
+# splitter members per pass), so it must show a real speedup; the
+# smaller tandem instance only has to not regress.
+PAR2_FLOOR_DEFAULT = 1.0
+PAR2_FLOOR_KANBAN = 1.15
 
 PHASE_FIELDS = [
     "total_s",
@@ -156,6 +178,34 @@ def main():
                     f"{where}: memoised pipeline slower than uncached interned "
                     f"pipeline ({ratio:.3f}x)"
                 )
+            check_fields(sc["domains"], DOMAINS_FIELDS, f"{where}: domains")
+            dom = sc["domains"]
+            if dom["identical"] is not True:
+                fail(f"{where}: domains.identical is not true")
+            if not isinstance(dom["host_cores"], int) or dom["host_cores"] < 1:
+                fail(f"{where}: domains.host_cores is not a positive integer")
+            raced = sorted(
+                int(k[len("par"):-len("_s")])
+                for k in dom
+                if k.startswith("par") and k.endswith("_s")
+            )
+            for d in raced:
+                for f in (f"par{d}_s", f"speedup_par{d}"):
+                    if not isinstance(dom.get(f), (int, float)) or dom[f] <= 0:
+                        fail(f"{where}: domains.{f} is not a positive number")
+            if 2 not in raced:
+                fail(f"{where}: domains race does not include 2 domains")
+            if dom["host_cores"] >= 2:
+                floor = (
+                    PAR2_FLOOR_KANBAN
+                    if "kanban" in sc["name"].lower()
+                    else PAR2_FLOOR_DEFAULT
+                )
+                if dom["speedup_par2"] < floor:
+                    fail(
+                        f"{where}: 2-domain speedup {dom['speedup_par2']:.3f}x below "
+                        f"the {floor:.2f}x floor on a {dom['host_cores']}-core host"
+                    )
 
     if kinds["flat"] == 0:
         fail("no flat scenario recorded")
@@ -164,7 +214,7 @@ def main():
 
     print(
         f"{path}: OK ({kinds['flat']} flat, {kinds['multilevel']} multi-level scenarios, "
-        f"per-pipeline stats present)"
+        f"per-pipeline stats and domain races present)"
     )
 
 

@@ -694,14 +694,14 @@ let test_key_cache_invalidation () =
     (Key_cache.misses kc);
   (* rebinding to the same diagram discards the rows but keeps the
      interned gids *)
-  let interned = Refiner.intern_table_size (Key_cache.intern_table kc) in
+  let interned = Key_cache.gid_count kc in
   Key_cache.bind kc md;
   ignore
     (Key_cache.splitter_keys kc Local_key.Formal_sums State_lumping.Ordinary ~node
        (Partition.view p fresh));
   Alcotest.(check int) "rebind discards memoised rows" 3 (Key_cache.misses kc);
   Alcotest.(check bool) "rebind keeps the gid table" true
-    (Refiner.intern_table_size (Key_cache.intern_table kc) >= interned);
+    (Key_cache.gid_count kc >= interned);
   Alcotest.check_raises "unbound cache has no context"
     (Invalid_argument "Key_cache.context: cache not bound to a diagram (use bind)")
     (fun () -> ignore (Key_cache.context (Key_cache.create ())))
@@ -764,7 +764,7 @@ let test_shared_cache_across_models () =
       (match Key_cache.bound_md cache with
       | Some bound -> Alcotest.(check bool) "cache rebound to the model" true (bound == md)
       | None -> Alcotest.fail "cache unbound after lump");
-      let hw' = Refiner.intern_table_size (Key_cache.intern_table cache) in
+      let hw' = Key_cache.gid_count cache in
       Alcotest.(check bool) "gid table never shrinks" true (hw' >= !hw);
       hw := hw')
     models

@@ -13,4 +13,5 @@ let () =
       ("models", Suite_models.tests);
       ("errors", Suite_errors.tests);
       ("oracle", Suite_oracle.tests);
+      ("parallel", Test_parallel.tests);
     ]
