@@ -29,6 +29,9 @@ module Refiner = Mdl_partition.Refiner
 module Refiner_reference = Mdl_partition.Refiner_reference
 module State_lumping = Mdl_lumping.State_lumping
 module Compositional = Mdl_core.Compositional
+module Md_solve = Mdl_core.Md_solve
+module Decomposed = Mdl_core.Decomposed
+module Solver = Mdl_ctmc.Solver
 module Spec = Mdl_oracle.Spec
 module Gen_chain = Mdl_oracle.Gen_chain
 module Trace = Mdl_obs.Trace
@@ -289,10 +292,84 @@ let run_domains ~repeats ~cache ~pools sc ~lump ~r_mem ~cached_s =
   in
   (json, timed, regression)
 
+(* Race the three steady-state solvers on the lumped chain: matrix-free
+   power iteration, Gauss–Seidel on the flattened generator in reverse
+   Cuthill–McKee order, and matrix-free Jacobi-preconditioned BiCGStab.
+   All three must reproduce the same reward measures to 1e-9; per-solver
+   time, iteration count and residual go into the scenario's "solvers"
+   JSON object (gated by scripts/check_bench_schema.py). *)
+let run_solvers ~repeats sc ~r_mem ~lumped_ss =
+  let reward_vecs =
+    List.map
+      (fun r -> Decomposed.to_vector (Compositional.lumped_rewards r_mem r) lumped_ss)
+      sc.rewards
+  in
+  let measures pi = List.map (Solver.expected_reward pi) reward_vecs in
+  let lumped = r_mem.Compositional.lumped in
+  let race name f =
+    let (pi, st), s = min_time ~repeats f in
+    (name, pi, st, s)
+  in
+  let raced =
+    [
+      race "power" (fun () ->
+          Md_solve.steady_state ~tol:1e-12 ~max_iter:500_000 lumped lumped_ss);
+      race "gauss_seidel" (fun () ->
+          Solver.steady_state_gauss_seidel ~tol:1e-13 ~max_iter:100_000
+            ~ordering:Solver.Rcm ~relax:0.9
+            (Md_solve.ctmc_of lumped lumped_ss));
+      race "krylov" (fun () -> Md_solve.steady_state_krylov ~tol:1e-13 lumped lumped_ss);
+    ]
+  in
+  let _, pi_ref, _, _ = List.hd raced in
+  let ref_measures = measures pi_ref in
+  let max_measure_delta =
+    List.fold_left
+      (fun acc (_, pi, _, _) ->
+        List.fold_left2
+          (fun acc a b -> Float.max acc (Float.abs (a -. b)))
+          acc ref_measures (measures pi))
+      0.0 raced
+  in
+  if max_measure_delta > 1e-9 then begin
+    Printf.printf "SOLVERS DISAGREE\n";
+    Printf.eprintf "FATAL: %s: steady-state solvers disagree on measures (max delta %.3e)\n"
+      sc.ml_name max_measure_delta;
+    exit 1
+  end;
+  let non_converged =
+    List.filter_map (fun (m, _, st, _) -> if st.Solver.converged then None else Some m) raced
+  in
+  if non_converged <> [] then begin
+    Printf.printf "SOLVER DID NOT CONVERGE\n";
+    Printf.eprintf "FATAL: %s: solver(s) did not converge: %s\n" sc.ml_name
+      (String.concat ", " non_converged);
+    exit 1
+  end;
+  let json =
+    Printf.sprintf {|"solvers": {
+        %s,
+        "max_measure_delta": %.3e,
+        "agree": true
+      }|}
+      (String.concat ",\n        "
+         (List.map
+            (fun (m, _, st, s) ->
+              Printf.sprintf
+                {|"%s": { "s": %.6f, "iterations": %d, "residual": %.3e, "converged": %b }|}
+                m s st.Solver.iterations st.Solver.residual st.Solver.converged)
+            raced))
+      max_measure_delta
+  in
+  (json, List.map (fun (m, _, st, s) -> (m, st.Solver.iterations, s)) raced)
+
 let run_multilevel ~repeats ~cache ~pools sc =
   (* One end-to-end lump is milliseconds, not seconds: triple the repeat
      count so the min is robust against scheduler/GC noise (the
-     cached-vs-interned ratio is a CI gate). *)
+     cached-vs-interned ratio is a CI gate).  The solver race keeps the
+     untripled count — a solve is orders of magnitude more work than a
+     lump. *)
+  let solver_repeats = repeats in
   let repeats = 3 * repeats in
   let states = Mdl_md.Statespace.size sc.statespace in
   Printf.printf "%-24s %7d states %8d levels .. %!" sc.ml_name states
@@ -340,16 +417,21 @@ let run_multilevel ~repeats ~cache ~pools sc =
   let domains_json, domains_timed, domains_regression =
     run_domains ~repeats ~cache ~pools sc ~lump ~r_mem ~cached_s
   in
-  let lumped_states =
-    Mdl_md.Statespace.size
-      (Compositional.lump_statespace r_mem sc.statespace)
+  let lumped_ss = Compositional.lump_statespace r_mem sc.statespace in
+  let lumped_states = Mdl_md.Statespace.size lumped_ss in
+  let solvers_json, solver_iters =
+    run_solvers ~repeats:solver_repeats sc ~r_mem ~lumped_ss
   in
   Printf.printf
-    "%d lumped  generic %.4fs  interned %.4fs  cached %.4fs  (%.2fx vs interned)%s\n"
+    "%d lumped  generic %.4fs  interned %.4fs  cached %.4fs  (%.2fx vs interned)%s%s\n"
     lumped_states generic_s interned_s cached_s
     (interned_s /. cached_s)
     (String.concat ""
-       (List.map (fun (d, s) -> Printf.sprintf "  par%d %.4fs" d s) domains_timed));
+       (List.map (fun (d, s) -> Printf.sprintf "  par%d %.4fs" d s) domains_timed))
+    (String.concat ""
+       (List.map
+          (fun (m, it, s) -> Printf.sprintf "  %s %d it %.4fs" m it s)
+          solver_iters));
   let json =
     Printf.sprintf
       {|    {
@@ -365,12 +447,14 @@ let run_multilevel ~repeats ~cache ~pools sc =
       "speedup_cached_vs_interned": %.3f,
       %s,
       %s,
+      %s,
       %s
     }|}
       sc.ml_name states (Mdl_md.Md.levels sc.md) lumped_states generic_s interned_s
       cached_s
       (generic_s /. interned_s)
       (interned_s /. cached_s)
+      solvers_json
       domains_json
       (stats_json stats)
       (phases_json ~from:span_from ())

@@ -130,7 +130,7 @@ let print_phase_breakdown () =
       (List.rev !order)
   end
 
-let run inst mode key solve check_optimal dot_file export_file merge_level show_stats
+let run inst mode key solve solver check_optimal dot_file export_file merge_level show_stats
     generic_refiner no_key_cache trace_file show_metrics domains =
   (* --metrics also turns tracing on (without an export file) so the Gc
      words per phase can be aggregated from the span arguments. *)
@@ -237,11 +237,25 @@ let run inst mode key solve check_optimal dot_file export_file merge_level show_
     | State_lumping.Ordinary ->
         let (pi, stats), solve_time =
           Mdl_util.Timer.time (fun () ->
-              Md_solve.steady_state ~tol:1e-12 ~max_iter:500_000
-                result.Compositional.lumped lumped_ss)
+              match solver with
+              | Solver.Power ->
+                  Md_solve.steady_state ~tol:1e-12 ~max_iter:500_000
+                    result.Compositional.lumped lumped_ss
+              | Solver.Krylov ->
+                  Md_solve.steady_state_krylov ~tol:1e-12
+                    result.Compositional.lumped lumped_ss
+              | Solver.Gauss_seidel ->
+                  (* Gauss–Seidel needs explicit matrix rows: flatten the
+                     lumped diagram, reorder with reverse Cuthill–McKee,
+                     sweep with mild under-relaxation (pure sweeps
+                     oscillate on some lumped chains).  The distribution
+                     comes back in the original state numbering. *)
+                  let ctmc = Md_solve.ctmc_of result.Compositional.lumped lumped_ss in
+                  Solver.steady_state_gauss_seidel ~tol:1e-12 ~max_iter:100_000
+                    ~ordering:Solver.Rcm ~relax:0.9 ctmc)
         in
-        Printf.printf "steady state: %d iterations, %.2f s%s\n" stats.Solver.iterations
-          solve_time
+        Printf.printf "steady state (%s): %d iterations, %.2f s%s\n"
+          (Solver.method_name solver) stats.Solver.iterations solve_time
           (if stats.Solver.converged then "" else " (NOT converged)");
         if show_stats then
           Printf.printf "solver stats: %d iterations, residual %.3e, converged %b\n"
@@ -328,6 +342,19 @@ let key_arg =
 
 let solve_arg = Arg.(value & flag & info [ "solve" ] ~doc:"Solve the lumped chain and print measures.")
 
+let solver_arg =
+  let solver_conv =
+    Arg.enum
+      [
+        ("power", Solver.Power);
+        ("gauss-seidel", Solver.Gauss_seidel);
+        ("krylov", Solver.Krylov);
+      ]
+  in
+  Arg.(value & opt solver_conv Solver.Power
+       & info [ "solver" ]
+           ~doc:"Steady-state solver for $(b,--solve): $(b,power) iteration on the uniformised operator (matrix-free, robust), $(b,gauss-seidel) sweeps on the flattened generator in reverse Cuthill-McKee order (fast on stiff chains), or $(b,krylov) (matrix-free Jacobi-preconditioned BiCGStab; typically the fewest iterations).")
+
 let stats_arg =
   Arg.(value & flag
        & info [ "stats" ]
@@ -382,75 +409,75 @@ let tandem_cmd =
   let hdim = Arg.(value & opt int 3 & info [ "hyper-dim" ] ~doc:"Hypercube dimension (2^d servers).") in
   let ms = Arg.(value & opt int 3 & info [ "msmq-servers" ] ~doc:"MSMQ servers.") in
   let mq = Arg.(value & opt int 4 & info [ "msmq-queues" ] ~doc:"MSMQ queues.") in
-  let f jobs hdim ms mq mode key solve check dot export merge stats generic no_cache trace metrics domains verbose =
+  let f jobs hdim ms mq mode key solve solver check dot export merge stats generic no_cache trace metrics domains verbose =
     Mdl_obs.Logging.setup ~verbose ();
-    run (build_tandem jobs hdim ms mq) mode key solve check dot export merge stats generic
+    run (build_tandem jobs hdim ms mq) mode key solve solver check dot export merge stats generic
       no_cache trace metrics domains
   in
   Cmd.v
     (Cmd.info "tandem" ~doc:"The paper's tandem multi-processor system (Section 5).")
     Term.(
-      const f $ jobs $ hdim $ ms $ mq $ mode_arg $ key_arg $ solve_arg $ check_arg
+      const f $ jobs $ hdim $ ms $ mq $ mode_arg $ key_arg $ solve_arg $ solver_arg $ check_arg
       $ dot_arg $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ domains_arg $ verbose_arg)
 
 let polling_cmd =
   let customers =
     Arg.(value & opt int 4 & info [ "customers"; "c" ] ~doc:"Closed population.")
   in
-  let f customers mode key solve check dot export merge stats generic no_cache trace metrics domains verbose =
+  let f customers mode key solve solver check dot export merge stats generic no_cache trace metrics domains verbose =
     Mdl_obs.Logging.setup ~verbose ();
-    run (build_polling customers) mode key solve check dot export merge stats generic no_cache
+    run (build_polling customers) mode key solve solver check dot export merge stats generic no_cache
       trace metrics domains
   in
   Cmd.v
     (Cmd.info "polling" ~doc:"The MSMQ polling station in isolation.")
     Term.(
-      const f $ customers $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
+      const f $ customers $ mode_arg $ key_arg $ solve_arg $ solver_arg $ check_arg $ dot_arg
       $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ domains_arg $ verbose_arg)
 
 let workstations_cmd =
   let stations =
     Arg.(value & opt int 4 & info [ "stations"; "n" ] ~doc:"Number of workstations.")
   in
-  let f stations mode key solve check dot export merge stats generic no_cache trace metrics domains verbose =
+  let f stations mode key solve solver check dot export merge stats generic no_cache trace metrics domains verbose =
     Mdl_obs.Logging.setup ~verbose ();
-    run (build_workstations stations) mode key solve check dot export merge stats generic no_cache
+    run (build_workstations stations) mode key solve solver check dot export merge stats generic no_cache
       trace metrics domains
   in
   Cmd.v
     (Cmd.info "workstations" ~doc:"Replicated workstation cluster with a spare store.")
     Term.(
-      const f $ stations $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
+      const f $ stations $ mode_arg $ key_arg $ solve_arg $ solver_arg $ check_arg $ dot_arg
       $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ domains_arg $ verbose_arg)
 
 let multitier_cmd =
   let clients =
     Arg.(value & opt int 3 & info [ "clients"; "c" ] ~doc:"Closed population.")
   in
-  let f clients mode key solve check dot export merge stats generic no_cache trace metrics domains verbose =
+  let f clients mode key solve solver check dot export merge stats generic no_cache trace metrics domains verbose =
     Mdl_obs.Logging.setup ~verbose ();
-    run (build_multitier clients) mode key solve check dot export merge stats generic no_cache
+    run (build_multitier clients) mode key solve solver check dot export merge stats generic no_cache
       trace metrics domains
   in
   Cmd.v
     (Cmd.info "multitier" ~doc:"Closed multi-tier service system (4-level MD).")
     Term.(
-      const f $ clients $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
+      const f $ clients $ mode_arg $ key_arg $ solve_arg $ solver_arg $ check_arg $ dot_arg
       $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ domains_arg $ verbose_arg)
 
 let kanban_cmd =
   let cards =
     Arg.(value & opt int 2 & info [ "cards"; "n" ] ~doc:"Kanban cards per cell.")
   in
-  let f cards mode key solve check dot export merge stats generic no_cache trace metrics domains verbose =
+  let f cards mode key solve solver check dot export merge stats generic no_cache trace metrics domains verbose =
     Mdl_obs.Logging.setup ~verbose ();
-    run (build_kanban cards) mode key solve check dot export merge stats generic no_cache
+    run (build_kanban cards) mode key solve solver check dot export merge stats generic no_cache
       trace metrics domains
   in
   Cmd.v
     (Cmd.info "kanban" ~doc:"The Kanban manufacturing system (4-level MD benchmark).")
     Term.(
-      const f $ cards $ mode_arg $ key_arg $ solve_arg $ check_arg $ dot_arg
+      const f $ cards $ mode_arg $ key_arg $ solve_arg $ solver_arg $ check_arg $ dot_arg
       $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ domains_arg $ verbose_arg)
 
 let main =

@@ -4,7 +4,7 @@ module Statespace = Mdl_md.Statespace
 module Vec = Mdl_sparse.Vec
 module Solver = Mdl_ctmc.Solver
 
-let uniformized_operator ?lambda md ss =
+let uniformized_parts ?lambda md ss =
   (* The reachable space is converted to an MDD once so every iteration
      uses offset-based co-walk products instead of per-entry hashing. *)
   let mdd = Mdl_md.Mdd.of_statespace ss in
@@ -23,11 +23,26 @@ let uniformized_operator ?lambda md ss =
     (* y := x + (x R - x .* exit) / lambda, elementwise. *)
     Array.mapi (fun i yi -> x.(i) +. ((yi -. (x.(i) *. exit.(i))) /. lambda)) y
   in
-  ({ Solver.dim = Statespace.size ss; apply }, lambda)
+  (mdd, exit, { Solver.dim = Statespace.size ss; apply }, lambda)
+
+let uniformized_operator ?lambda md ss =
+  let _mdd, _exit, op, lambda = uniformized_parts ?lambda md ss in
+  (op, lambda)
 
 let steady_state ?tol ?max_iter md ss =
   let op, _lambda = uniformized_operator md ss in
   Solver.power ?tol ?max_iter op
+
+let steady_state_krylov ?tol ?max_iter md ss =
+  let mdd, exit, op, lambda = uniformized_parts md ss in
+  (* Diagonal of the uniformised P = I + Q/lambda over MDD indices:
+     P(i,i) = 1 + (R(i,i) - exit(i)) / lambda — one extra co-walk buys
+     the Jacobi preconditioner without materialising the matrix. *)
+  let rdiag = Md_vector.diag_mdd md mdd in
+  let diag =
+    Array.init op.Solver.dim (fun i -> 1.0 +. ((rdiag.(i) -. exit.(i)) /. lambda))
+  in
+  Solver.krylov ?tol ?max_iter ~diag op
 
 let transient ?epsilon ~t md ss pi0 =
   let op, lambda = uniformized_operator md ss in

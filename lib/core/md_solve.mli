@@ -23,6 +23,17 @@ val steady_state :
     operator — the MD-based counterpart of
     {!Mdl_ctmc.Solver.steady_state}. *)
 
+val steady_state_krylov :
+  ?tol:float ->
+  ?max_iter:int ->
+  Mdl_md.Md.t ->
+  Mdl_md.Statespace.t ->
+  Mdl_sparse.Vec.t * Mdl_ctmc.Solver.stats
+(** Stationary distribution by {!Mdl_ctmc.Solver.krylov} (BiCGStab) on
+    the uniformised operator, Jacobi-preconditioned with the diagonal
+    extracted from the diagram by {!Mdl_md.Md_vector.diag_mdd} — still
+    matrix-free. *)
+
 val transient :
   ?epsilon:float ->
   t:float ->

@@ -1,5 +1,4 @@
 module Csr = Mdl_sparse.Csr
-module Coo = Mdl_sparse.Coo
 
 type t = {
   r : Csr.t;
@@ -27,12 +26,13 @@ let generator t =
   | Some q -> q
   | None ->
       let n = size t in
-      let coo = Coo.create ~rows:n ~cols:n in
-      Csr.iter (fun i j v -> Coo.add coo i j v) t.r;
-      for i = 0 to n - 1 do
-        Coo.add coo i i (-.t.row_sums.(i))
-      done;
-      let q = Csr.of_coo coo in
+      let q =
+        Csr.of_entry_iter ~rows:n ~cols:n (fun f ->
+            Csr.iter f t.r;
+            for i = 0 to n - 1 do
+              f i i (-.t.row_sums.(i))
+            done)
+      in
       t.q <- Some q;
       q
 
@@ -52,12 +52,16 @@ let uniformized ?lambda t =
         l
   in
   let q = generator t in
-  let coo = Coo.create ~rows:n ~cols:n in
-  Csr.iter (fun i j v -> Coo.add coo i j (v /. lambda)) q;
-  for i = 0 to n - 1 do
-    Coo.add coo i i 1.0
-  done;
-  (Csr.of_coo coo, lambda)
+  let p =
+    Csr.of_entry_iter ~rows:n ~cols:n (fun f ->
+        Csr.iter (fun i j v -> f i j (v /. lambda)) q;
+        for i = 0 to n - 1 do
+          f i i 1.0
+        done)
+  in
+  (p, lambda)
+
+let permute t ~perm = of_rates (Csr.permute t.r ~perm)
 
 let reachable_from m start =
   (* BFS over positive off-diagonal entries of [m]. *)

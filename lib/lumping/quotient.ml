@@ -1,29 +1,30 @@
 module Csr = Mdl_sparse.Csr
-module Coo = Mdl_sparse.Coo
 module Partition = Mdl_partition.Partition
 
 let rates mode r p =
   if Csr.rows r <> Partition.size p then invalid_arg "Quotient.rates: size mismatch";
   let k = Partition.num_classes p in
-  let coo = Coo.create ~rows:k ~cols:k in
-  (match mode with
-  | State_lumping.Ordinary ->
-      (* Row i~ of R~ from one representative row of R, class-summing the
-         columns. *)
-      for ci = 0 to k - 1 do
-        let s = Partition.representative p ci in
-        Csr.iter_row r s (fun j v -> Coo.add coo ci (Partition.class_of p j) v)
-      done
-  | State_lumping.Exact ->
-      (* Aggregated form: R~(i~, j~) = R(C_i, C_j) / |C_i|; one pass over
-         all entries of R. *)
-      Csr.iter
-        (fun i j v ->
-          let ci = Partition.class_of p i in
-          Coo.add coo ci (Partition.class_of p j)
-            (v /. float_of_int (Partition.class_size p ci)))
-        r);
-  Csr.of_coo coo
+  (* CSR-native build: entries stream straight into the two-pass
+     count-then-fill constructor, with no triplet intermediate — this is
+     the hot path of every lump-then-solve cycle. *)
+  Csr.of_entry_iter ~rows:k ~cols:k (fun f ->
+      match mode with
+      | State_lumping.Ordinary ->
+          (* Row i~ of R~ from one representative row of R, class-summing
+             the columns. *)
+          for ci = 0 to k - 1 do
+            let s = Partition.representative p ci in
+            Csr.iter_row r s (fun j v -> f ci (Partition.class_of p j) v)
+          done
+      | State_lumping.Exact ->
+          (* Aggregated form: R~(i~, j~) = R(C_i, C_j) / |C_i|; one pass
+             over all entries of R. *)
+          Csr.iter
+            (fun i j v ->
+              let ci = Partition.class_of p i in
+              f ci (Partition.class_of p j)
+                (v /. float_of_int (Partition.class_size p ci)))
+            r)
 
 let rewards r p =
   if Array.length r <> Partition.size p then invalid_arg "Quotient.rewards: size mismatch";

@@ -81,9 +81,15 @@ let row_sums_mdd md mdd =
 
 let to_csr md ss =
   let n = Statespace.size ss in
-  let coo = Mdl_sparse.Coo.create ~rows:n ~cols:n in
-  Md.iter_entries md (fun ~row ~col v ->
-      match (Statespace.index ss row, Statespace.index ss col) with
-      | Some i, Some j -> Mdl_sparse.Coo.add coo i j v
-      | None, _ | _, None -> ());
-  Mdl_sparse.Csr.of_coo coo
+  (* CSR-native: entries stream into the two-pass count-then-fill
+     constructor straight off the diagram walk, no triplet buffer. *)
+  Mdl_sparse.Csr.of_entry_iter ~rows:n ~cols:n (fun f ->
+      Md.iter_entries md (fun ~row ~col v ->
+          match (Statespace.index ss row, Statespace.index ss col) with
+          | Some i, Some j -> f i j v
+          | None, _ | _, None -> ()))
+
+let diag_mdd md mdd =
+  let d = Array.make (Mdd.count mdd) 0.0 in
+  co_walk md mdd (fun i j v -> if i = j then d.(i) <- d.(i) +. v);
+  d

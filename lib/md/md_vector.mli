@@ -47,3 +47,8 @@ val row_sums_mdd : Md.t -> Mdd.t -> Mdl_sparse.Vec.t
 (** Unlike {!row_sums}, entries whose column tuple is unreachable are
     pruned by the co-walk; for well-formed (reachability-closed) models
     the two agree. *)
+
+val diag_mdd : Md.t -> Mdd.t -> Mdl_sparse.Vec.t
+(** [diag_mdd md mdd] is the main diagonal [R(s, s)] of the represented
+    matrix over MDD indices — what a Jacobi preconditioner needs, one
+    co-walk, no matrix materialisation. *)

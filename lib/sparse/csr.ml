@@ -68,6 +68,100 @@ let of_coo coo =
 
 let of_triplets ~rows ~cols triplets = of_coo (Coo.of_triplets ~rows ~cols triplets)
 
+(* Stable in-place sort of the parallel (cols, vals) segment
+   [lo, lo + len) by column.  Ties keep their arrival order, so
+   duplicate folding sums values deterministically in emission order.
+   Short rows use a dual-array insertion sort; longer ones go through a
+   stable index merge sort. *)
+let sort_row_segment cols vals lo len =
+  if len > 1 then
+    if len <= 24 then
+      for k = lo + 1 to lo + len - 1 do
+        let c = cols.(k) and v = vals.(k) in
+        let i = ref (k - 1) in
+        while !i >= lo && cols.(!i) > c do
+          cols.(!i + 1) <- cols.(!i);
+          vals.(!i + 1) <- vals.(!i);
+          decr i
+        done;
+        cols.(!i + 1) <- c;
+        vals.(!i + 1) <- v
+      done
+    else begin
+      let idx = Array.init len (fun t -> lo + t) in
+      Mdl_util.Sortx.sort_by (fun a b -> compare cols.(a) cols.(b)) idx;
+      let sc = Array.map (fun k -> cols.(k)) idx in
+      let sv = Array.map (fun k -> vals.(k)) idx in
+      Array.blit sc 0 cols lo len;
+      Array.blit sv 0 vals lo len
+    end
+
+let of_entry_iter ~rows ~cols iter =
+  if rows < 0 || cols < 0 then invalid_arg "Csr.of_entry_iter: negative dimension";
+  (* Pass 1: count the (possibly duplicate) nonzero entries per row and
+     turn the counts into row offsets of the padded layout. *)
+  let base = Array.make (rows + 1) 0 in
+  iter (fun i j v ->
+      if i < 0 || i >= rows || j < 0 || j >= cols then
+        invalid_arg
+          (Printf.sprintf "Csr.of_entry_iter: (%d,%d) out of bounds for %dx%d" i j rows
+             cols);
+      if v <> 0.0 then base.(i + 1) <- base.(i + 1) + 1);
+  for i = 0 to rows - 1 do
+    base.(i + 1) <- base.(i + 1) + base.(i)
+  done;
+  let padded = base.(rows) in
+  let col_idx = Array.make padded 0 in
+  let values = Array.make padded 0.0 in
+  (* Pass 2: fill each row's slots in emission order. *)
+  let next = Array.sub base 0 rows in
+  iter (fun i j v ->
+      if v <> 0.0 then begin
+        let k = next.(i) in
+        if k >= base.(i + 1) then
+          invalid_arg "Csr.of_entry_iter: iteration is not repeatable";
+        col_idx.(k) <- j;
+        values.(k) <- v;
+        next.(i) <- k + 1
+      end);
+  for i = 0 to rows - 1 do
+    if next.(i) <> base.(i + 1) then
+      invalid_arg "Csr.of_entry_iter: iteration is not repeatable"
+  done;
+  (* Order each row's columns, fold duplicates, drop entries that cancel
+     to exactly 0., compacting in place: the write cursor never
+     overtakes the read cursor because earlier rows only shrink. *)
+  let row_ptr = Array.make (rows + 1) 0 in
+  let w = ref 0 in
+  for i = 0 to rows - 1 do
+    let lo = base.(i) and hi = base.(i + 1) in
+    sort_row_segment col_idx values lo (hi - lo);
+    let r = ref lo in
+    while !r < hi do
+      let c = col_idx.(!r) in
+      let acc = ref values.(!r) in
+      incr r;
+      while !r < hi && col_idx.(!r) = c do
+        acc := !acc +. values.(!r);
+        incr r
+      done;
+      if !acc <> 0.0 then begin
+        col_idx.(!w) <- c;
+        values.(!w) <- !acc;
+        incr w
+      end
+    done;
+    row_ptr.(i + 1) <- !w
+  done;
+  let m = !w in
+  {
+    rows;
+    cols;
+    row_ptr;
+    col_idx = (if m = padded then col_idx else Array.sub col_idx 0 m);
+    values = (if m = padded then values else Array.sub values 0 m);
+  }
+
 let of_dense d =
   let rows = Array.length d in
   let cols = if rows = 0 then 0 else Array.length d.(0) in
@@ -124,9 +218,62 @@ let to_coo t =
   coo
 
 let transpose t =
-  let coo = Coo.create ~rows:t.cols ~cols:t.rows in
-  iter (fun i j v -> Coo.add coo j i v) t;
-  of_coo coo
+  (* Count-then-fill: walking the rows in order drops each entry into
+     its column bucket with source rows already increasing, so the
+     transposed rows come out sorted with no extra sort. *)
+  let row_ptr = Array.make (t.cols + 1) 0 in
+  Array.iter (fun j -> row_ptr.(j + 1) <- row_ptr.(j + 1) + 1) t.col_idx;
+  for j = 0 to t.cols - 1 do
+    row_ptr.(j + 1) <- row_ptr.(j + 1) + row_ptr.(j)
+  done;
+  let m = nnz t in
+  let col_idx = Array.make m 0 in
+  let values = Array.make m 0.0 in
+  let next = Array.sub row_ptr 0 t.cols in
+  iter
+    (fun i j v ->
+      let k = next.(j) in
+      col_idx.(k) <- i;
+      values.(k) <- v;
+      next.(j) <- k + 1)
+    t;
+  { rows = t.cols; cols = t.rows; row_ptr; col_idx; values }
+
+let permute t ~perm =
+  if t.rows <> t.cols then invalid_arg "Csr.permute: matrix is not square";
+  let n = t.rows in
+  if Array.length perm <> n then invalid_arg "Csr.permute: permutation length mismatch";
+  let inv = Array.make n (-1) in
+  Array.iteri
+    (fun k o ->
+      if o < 0 || o >= n || inv.(o) >= 0 then
+        invalid_arg "Csr.permute: not a permutation";
+      inv.(o) <- k)
+    perm;
+  let row_ptr = Array.make (n + 1) 0 in
+  for k = 0 to n - 1 do
+    let o = perm.(k) in
+    row_ptr.(k + 1) <- row_ptr.(k) + (t.row_ptr.(o + 1) - t.row_ptr.(o))
+  done;
+  let m = nnz t in
+  let col_idx = Array.make m 0 in
+  let values = Array.make m 0.0 in
+  for k = 0 to n - 1 do
+    let w = ref row_ptr.(k) in
+    iter_row t perm.(k) (fun j v ->
+        col_idx.(!w) <- inv.(j);
+        values.(!w) <- v;
+        incr w);
+    sort_row_segment col_idx values row_ptr.(k) (row_ptr.(k + 1) - row_ptr.(k))
+  done;
+  { rows = n; cols = n; row_ptr; col_idx; values }
+
+let diagonal t =
+  if t.rows <> t.cols then invalid_arg "Csr.diagonal: matrix is not square";
+  Array.init t.rows (fun i ->
+      let d = ref 0.0 in
+      iter_row t i (fun j v -> if j = i then d := v);
+      !d)
 
 let scale alpha t =
   if alpha = 0.0 then of_coo (Coo.create ~rows:t.rows ~cols:t.cols)

@@ -15,6 +15,20 @@ val of_dense : float array array -> t
 
 val of_triplets : rows:int -> cols:int -> (int * int * float) list -> t
 
+val of_entry_iter :
+  rows:int -> cols:int -> ((int -> int -> float -> unit) -> unit) -> t
+(** [of_entry_iter ~rows ~cols iter] builds the matrix CSR-natively from
+    an entry producer: [iter f] must call [f i j v] once per entry, in
+    any order, duplicates allowed (values of equal [(i,j)] are summed in
+    emission order; entries that cancel to exactly [0.] are dropped,
+    like {!of_coo}).  A two-pass count-then-fill construction — [iter]
+    runs twice and must produce the same entries both times — with
+    row-pointer prefix sums and an in-row column sort/merge: no triplet
+    intermediate and no global sort, which is what the hot lump→solve
+    quotient path wants.
+    @raise Invalid_argument on out-of-bounds entries or when the two
+    passes disagree. *)
+
 val rows : t -> int
 
 val cols : t -> int
@@ -39,6 +53,19 @@ val row_sums : t -> Vec.t
 val col_sums : t -> Vec.t
 
 val transpose : t -> t
+
+val permute : t -> perm:int array -> t
+(** [permute t ~perm] is the symmetric permutation [B] of a square [t]
+    with [B(i,j) = t(perm.(i), perm.(j))]: state [perm.(k)] of [t]
+    becomes state [k] of [B].  [perm] is in the convention of
+    {!Ordering.rcm}; vectors move between the two orderings with
+    {!Vec.gather} / {!Vec.scatter}.
+    @raise Invalid_argument if [t] is not square or [perm] is not a
+    permutation of its indices. *)
+
+val diagonal : t -> Vec.t
+(** The main diagonal of a square matrix ([0.] where absent).
+    @raise Invalid_argument if the matrix is not square. *)
 
 val scale : float -> t -> t
 

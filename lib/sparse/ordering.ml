@@ -1,0 +1,110 @@
+(* Fill-reducing orderings of sparse matrices.  Only the structure of
+   the matrix matters here; values are ignored. *)
+
+(* Symmetrised adjacency of a square matrix as a compact CSR pattern:
+   neighbours of [i] are [adj.(off.(i)) .. adj.(off.(i+1) - 1)], sorted,
+   deduplicated, self-loops dropped. *)
+let adjacency m =
+  let n = Csr.rows m in
+  let cnt = Array.make (n + 1) 0 in
+  Csr.iter
+    (fun i j _ ->
+      if i <> j then begin
+        cnt.(i + 1) <- cnt.(i + 1) + 1;
+        cnt.(j + 1) <- cnt.(j + 1) + 1
+      end)
+    m;
+  for i = 0 to n - 1 do
+    cnt.(i + 1) <- cnt.(i + 1) + cnt.(i)
+  done;
+  let adj = Array.make cnt.(n) 0 in
+  let next = Array.sub cnt 0 n in
+  let push i j =
+    adj.(next.(i)) <- j;
+    next.(i) <- next.(i) + 1
+  in
+  Csr.iter
+    (fun i j _ ->
+      if i <> j then begin
+        push i j;
+        push j i
+      end)
+    m;
+  (* Sort each neighbour list and squeeze out duplicates in place; the
+     per-vertex offsets are rebuilt over the compacted array. *)
+  let off = Array.make (n + 1) 0 in
+  let w = ref 0 in
+  for i = 0 to n - 1 do
+    let lo = cnt.(i) and hi = cnt.(i + 1) in
+    let seg = Array.sub adj lo (hi - lo) in
+    Array.sort compare seg;
+    Array.iteri
+      (fun k j ->
+        if k = 0 || j <> seg.(k - 1) then begin
+          adj.(!w) <- j;
+          incr w
+        end)
+      seg;
+    off.(i + 1) <- !w
+  done;
+  (off, Array.sub adj 0 !w)
+
+let rcm m =
+  if Csr.rows m <> Csr.cols m then invalid_arg "Ordering.rcm: matrix is not square";
+  let n = Csr.rows m in
+  let off, adj = adjacency m in
+  let deg i = off.(i + 1) - off.(i) in
+  let order = Array.make n 0 in
+  let pos = ref 0 in
+  let enqueued = Array.make n false in
+  let queue = Queue.create () in
+  (* Neighbours of a visited vertex join the queue lowest-degree first
+     (George & Liu); scratch holds one vertex's unvisited neighbours. *)
+  let visit u =
+    order.(!pos) <- u;
+    incr pos;
+    let nbrs = ref [] in
+    for k = off.(u) to off.(u + 1) - 1 do
+      let v = adj.(k) in
+      if not enqueued.(v) then begin
+        enqueued.(v) <- true;
+        nbrs := v :: !nbrs
+      end
+    done;
+    List.iter
+      (fun v -> Queue.add v queue)
+      (List.sort (fun a b -> if deg a <> deg b then compare (deg a) (deg b) else compare a b)
+         !nbrs)
+  in
+  (* One BFS per connected component, rooted at the unvisited vertex of
+     minimum degree (a cheap stand-in for a pseudo-peripheral root). *)
+  for start = 0 to n - 1 do
+    ignore start;
+    if !pos < n && Queue.is_empty queue then begin
+      let root = ref (-1) in
+      for v = n - 1 downto 0 do
+        if not enqueued.(v) && (!root < 0 || deg v <= deg !root) then root := v
+      done;
+      enqueued.(!root) <- true;
+      Queue.add !root queue
+    end;
+    if not (Queue.is_empty queue) then visit (Queue.pop queue)
+  done;
+  (* Reverse Cuthill–McKee: flip the BFS order. *)
+  Array.init n (fun k -> order.(n - 1 - k))
+
+let inverse perm =
+  let n = Array.length perm in
+  let inv = Array.make n (-1) in
+  Array.iteri
+    (fun k o ->
+      if o < 0 || o >= n || inv.(o) >= 0 then
+        invalid_arg "Ordering.inverse: not a permutation";
+      inv.(o) <- k)
+    perm;
+  inv
+
+let bandwidth m =
+  let b = ref 0 in
+  Csr.iter (fun i j _ -> b := max !b (abs (i - j))) m;
+  !b

@@ -1,0 +1,26 @@
+(** Fill-reducing / bandwidth-reducing orderings of sparse matrices.
+
+    The iterative solvers sweep the lumped chain's generator row by row;
+    a reverse Cuthill–McKee relabelling clusters each state's neighbours
+    around it, shrinking the matrix bandwidth so Gauss–Seidel sweeps and
+    Krylov matrix products walk nearly-contiguous memory.  Only the
+    sparsity {e structure} is consulted; values are ignored. *)
+
+val rcm : Csr.t -> int array
+(** [rcm m] is the reverse Cuthill–McKee ordering of the square matrix
+    [m], computed on the symmetrised pattern of [m] (self-loops
+    ignored): a breadth-first traversal per connected component, rooted
+    at a minimum-degree vertex, neighbours enqueued lowest-degree first,
+    then reversed.  Returns a permutation [perm] with [perm.(k)] the
+    original index of the state placed at position [k]; feed it to
+    {!Csr.permute} and map vectors with {!Vec.gather} / {!Vec.scatter}.
+    @raise Invalid_argument if [m] is not square. *)
+
+val inverse : int array -> int array
+(** [inverse perm] is the inverse permutation ([inverse perm].(perm.(k))
+    [= k]).  @raise Invalid_argument if [perm] is not a permutation. *)
+
+val bandwidth : Csr.t -> int
+(** [bandwidth m] is [max |i - j|] over the stored entries of [m]
+    ([0] for an empty or diagonal matrix) — the quantity {!rcm} tries to
+    reduce. *)

@@ -48,6 +48,22 @@ let diff_inf a b =
   done;
   !acc
 
+let check_perm x perm fn =
+  if Array.length perm <> Array.length x then
+    invalid_arg
+      (Printf.sprintf "Vec.%s: permutation length mismatch (%d vs %d)" fn
+         (Array.length perm) (Array.length x))
+
+let gather x perm =
+  check_perm x perm "gather";
+  Array.map (fun i -> x.(i)) perm
+
+let scatter y perm =
+  check_perm y perm "scatter";
+  let out = Array.make (Array.length y) 0.0 in
+  Array.iteri (fun k i -> out.(i) <- y.(k)) perm;
+  out
+
 let approx_equal ?eps a b =
   Array.length a = Array.length b
   &&

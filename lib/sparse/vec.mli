@@ -31,6 +31,21 @@ val diff_inf : t -> t -> float
 (** Max absolute componentwise difference.
     @raise Invalid_argument on dimension mismatch. *)
 
+val gather : t -> int array -> t
+(** [gather x perm] is the reordered vector [y] with
+    [y.(k) = x.(perm.(k))] — pull [x] into the ordering described by
+    [perm] (where [perm.(k)] is the original index of the element now at
+    position [k], as returned by {!Ordering.rcm}).  Inverse of
+    {!scatter} for a permutation.
+    @raise Invalid_argument on length mismatch. *)
+
+val scatter : t -> int array -> t
+(** [scatter y perm] is the vector [x] with [x.(perm.(k)) = y.(k)] —
+    push a vector computed in [perm]-order back to the original
+    indexing.  [scatter (gather x perm) perm = x] when [perm] is a
+    permutation.
+    @raise Invalid_argument on length mismatch. *)
+
 val approx_equal : ?eps:float -> t -> t -> bool
 
 val pp : Format.formatter -> t -> unit

@@ -26,6 +26,15 @@ scenario must reach speedup_par2 >= 1.0, and Kanban (the largest
 model, where sharding has real work to amortise against) must reach
 >= 1.15.
 
+Multi-level scenarios also carry a "solvers" object — the steady-state
+solver race on the lumped chain (power iteration, Gauss-Seidel in
+reverse Cuthill-McKee order, Jacobi-preconditioned BiCGStab).  Each
+solver must record positive time, a positive iteration count and
+converged=true; the measures must agree (max_measure_delta <= 1e-9,
+agree=true — the bench aborts before writing JSON otherwise); and the
+Krylov solver must need no more iterations than power iteration, which
+is the advantage the solver scale-up claims rest on.
+
 Usage: scripts/check_bench_schema.py [BENCH_refine.json]
 """
 
@@ -73,10 +82,20 @@ MULTILEVEL_FIELDS = [
     "cached_s",
     "speedup_vs_generic",
     "speedup_cached_vs_interned",
+    "solvers",
     "domains",
     "stats",
     "phases",
 ]
+
+SOLVER_NAMES = ["power", "gauss_seidel", "krylov"]
+
+SOLVER_FIELDS = ["s", "iterations", "residual", "converged"]
+
+# Measures reproduced by all three solvers must match to this tolerance
+# (the bench exits 1 before writing JSON when they do not; the recorded
+# value is re-checked here so a hand-edited file cannot sneak through).
+MEASURE_DELTA_CEIL = 1e-9
 
 DOMAINS_FIELDS = ["host_cores", "identical"]
 
@@ -178,6 +197,38 @@ def main():
                     f"{where}: memoised pipeline slower than uncached interned "
                     f"pipeline ({ratio:.3f}x)"
                 )
+            check_fields(sc["solvers"], ["max_measure_delta", "agree"] + SOLVER_NAMES,
+                         f"{where}: solvers")
+            sol = sc["solvers"]
+            if sol["agree"] is not True:
+                fail(f"{where}: solvers.agree is not true")
+            delta = sol["max_measure_delta"]
+            if not isinstance(delta, (int, float)) or delta < 0:
+                fail(f"{where}: solvers.max_measure_delta is not a non-negative number")
+            if delta > MEASURE_DELTA_CEIL:
+                fail(
+                    f"{where}: solvers disagree on measures "
+                    f"(max_measure_delta {delta:.3e} > {MEASURE_DELTA_CEIL:.0e})"
+                )
+            for name in SOLVER_NAMES:
+                swhere = f"{where}: solvers.{name}"
+                check_fields(sol[name], SOLVER_FIELDS, swhere)
+                entry = sol[name]
+                if not isinstance(entry["s"], (int, float)) or entry["s"] <= 0:
+                    fail(f"{swhere}: s is not a positive number")
+                if not isinstance(entry["iterations"], int) or entry["iterations"] <= 0:
+                    fail(f"{swhere}: iterations is not a positive integer")
+                if not isinstance(entry["residual"], (int, float)) or entry["residual"] < 0:
+                    fail(f"{swhere}: residual is not a non-negative number")
+                if entry["converged"] is not True:
+                    fail(f"{swhere}: converged is not true")
+            # The point of the Krylov solver: convergence in (far) fewer
+            # iterations than power iteration on the same lumped chain.
+            if sol["krylov"]["iterations"] > sol["power"]["iterations"]:
+                fail(
+                    f"{where}: krylov took more iterations than power "
+                    f"({sol['krylov']['iterations']} > {sol['power']['iterations']})"
+                )
             check_fields(sc["domains"], DOMAINS_FIELDS, f"{where}: domains")
             dom = sc["domains"]
             if dom["identical"] is not True:
@@ -214,7 +265,7 @@ def main():
 
     print(
         f"{path}: OK ({kinds['flat']} flat, {kinds['multilevel']} multi-level scenarios, "
-        f"per-pipeline stats and domain races present)"
+        f"per-pipeline stats, solver races and domain races present)"
     )
 
 

@@ -69,6 +69,100 @@ let test_gauss_seidel_matches_power () =
   Alcotest.(check bool) "gs converged" true stats.Solver.converged;
   Alcotest.(check bool) "gs = power" true (Vec.diff_inf pi_p pi_gs < 1e-8)
 
+(* Regression: the sweep used to skip zero-diagonal states silently, so
+   absorbing states kept their stale 1/n initial mass and the returned
+   distribution was quietly wrong.  Now the degenerate chain is rejected
+   up front, naming the offending state. *)
+let test_gauss_seidel_rejects_absorbing () =
+  let absorbing = Ctmc.of_triplets 3 [ (0, 1, 1.0); (1, 2, 1.0) ] in
+  Alcotest.check_raises "absorbing state"
+    (Invalid_argument
+       "Solver.steady_state_gauss_seidel: absorbing state 2 (zero generator diagonal)")
+    (fun () -> ignore (Solver.steady_state_gauss_seidel absorbing));
+  (* A state with only a self loop also has a zero generator diagonal. *)
+  let self_loop_only = Ctmc.of_triplets 2 [ (0, 1, 1.0); (1, 1, 5.0) ] in
+  Alcotest.check_raises "self-loop-only state"
+    (Invalid_argument
+       "Solver.steady_state_gauss_seidel: absorbing state 1 (zero generator diagonal)")
+    (fun () -> ignore (Solver.steady_state_gauss_seidel self_loop_only));
+  Alcotest.check_raises "bad relaxation factor"
+    (Invalid_argument "Solver.steady_state_gauss_seidel: relax must be in (0, 1]")
+    (fun () ->
+      ignore (Solver.steady_state_gauss_seidel ~relax:1.5 (birth_death 3 1.0 1.0)))
+
+let test_krylov_birth_death () =
+  let n = 8 and lam = 2.0 and mu = 3.0 in
+  let c = birth_death n lam mu in
+  let expected = birth_death_stationary n lam mu in
+  let pi, stats = Solver.steady_state_krylov ~tol:1e-13 c in
+  Alcotest.(check bool) "converged" true stats.Solver.converged;
+  Alcotest.(check bool) "matches closed form" true (Vec.diff_inf pi expected < 1e-9);
+  let pi_p, stats_p = Solver.steady_state ~tol:1e-13 c in
+  Alcotest.(check bool) "fewer iterations than power" true
+    (stats.Solver.iterations <= stats_p.Solver.iterations);
+  Alcotest.(check bool) "matches power" true (Vec.diff_inf pi pi_p < 1e-9);
+  (* The RCM-ordered solve must come back in the original numbering. *)
+  let pi_rcm, stats_rcm = Solver.steady_state_krylov ~tol:1e-13 ~ordering:Solver.Rcm c in
+  Alcotest.(check bool) "rcm converged" true stats_rcm.Solver.converged;
+  Alcotest.(check bool) "rcm matches natural" true (Vec.diff_inf pi pi_rcm < 1e-9)
+
+let test_krylov_trivial_chain () =
+  (* One state: the normalisation column makes the 1x1 system [1] x = 1. *)
+  let c = Ctmc.of_triplets 1 [ (0, 0, 2.0) ] in
+  let pi, stats = Solver.steady_state_krylov c in
+  Alcotest.(check bool) "converged" true stats.Solver.converged;
+  Alcotest.(check (float 0.0)) "pi = [1]" 1.0 pi.(0)
+
+let test_steady_state_with_dispatch () =
+  let c = birth_death 6 1.0 2.0 in
+  let expected = birth_death_stationary 6 1.0 2.0 in
+  List.iter
+    (fun m ->
+      let pi, stats = Solver.steady_state_with ~tol:1e-13 m c in
+      Alcotest.(check bool) (Solver.method_name m ^ " converged") true
+        stats.Solver.converged;
+      Alcotest.(check bool) (Solver.method_name m ^ " matches closed form") true
+        (Vec.diff_inf pi expected < 1e-8))
+    [ Solver.Power; Solver.Gauss_seidel; Solver.Krylov ]
+
+let poisson_pmf qt k =
+  (* e^{-qt} qt^k / k! computed stably in log space. *)
+  let log_fact = ref 0.0 in
+  for i = 2 to k do
+    log_fact := !log_fact +. log (float_of_int i)
+  done;
+  exp ((float_of_int k *. log qt) -. qt -. !log_fact)
+
+let test_poisson_weights_match_pmf () =
+  let qt = 2.5 and epsilon = 1e-12 in
+  let w = Solver.poisson_weights ~epsilon ~qt in
+  Array.iteri
+    (fun k wk ->
+      Alcotest.(check (float 1e-10)) (Printf.sprintf "w(%d)" k) (poisson_pmf qt k) wk)
+    w;
+  Alcotest.(check bool) "covers the mass" true
+    (Array.fold_left ( +. ) 0.0 w >= 1.0 -. 1e-9)
+
+(* Regression: the weights used to be normalised by the full untruncated
+   sum, so they under-counted the retained mass by up to epsilon.  They
+   must now sum to exactly 1 over the truncated support, also for large
+   qt and loose epsilon (where the truncation actually bites). *)
+let test_poisson_weights_renormalised () =
+  List.iter
+    (fun (qt, epsilon) ->
+      let w = Solver.poisson_weights ~epsilon ~qt in
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "sum to 1 (qt %g, eps %g)" qt epsilon)
+        1.0
+        (Array.fold_left ( +. ) 0.0 w);
+      let mode = int_of_float qt in
+      let r_max = mode + 10 + int_of_float ((8.0 *. sqrt (qt +. 1.0)) +. qt) in
+      Alcotest.(check bool) "within the truncation bound" true
+        (Array.length w <= r_max + 1))
+    [ (0.5, 1e-12); (4.0, 1e-6); (57.3, 1e-12); (400.0, 1e-4) ];
+  let w0 = Solver.poisson_weights ~epsilon:1e-12 ~qt:0.0 in
+  Alcotest.(check bool) "qt = 0 is the point mass" true (w0 = [| 1.0 |])
+
 let test_transient_zero_time () =
   let c = birth_death 4 1.0 1.0 in
   let pi0 = Mrp.point_initial 4 2 in
@@ -295,6 +389,31 @@ let qcheck_tests =
         let c = Ctmc.of_triplets n t in
         let p, _ = Ctmc.uniformized c in
         Array.for_all (fun s -> Float.abs (s -. 1.0) < 1e-9) (Csr.row_sums p));
+    (* Differential solver agreement: three algorithmically unrelated
+       kernels (power iteration, under-relaxed Gauss–Seidel with an RCM
+       sweep order, preconditioned BiCGStab) must land on the same
+       stationary distribution of a random ergodic chain. *)
+    Test.make ~count:40 ~name:"power/gauss-seidel/krylov agree on ergodic chains"
+      (make ~print:string_of_int Gen.(int_range 0 9999))
+      (fun seed ->
+        let spec =
+          { Mdl_oracle.Spec.states = 8 + (seed mod 25);
+            extra = 2 + (3 * (seed mod 7));
+            planted = false;
+            seed }
+        in
+        let c = Mdl_oracle.Gen_chain.ctmc (Mdl_util.Prng.of_seed seed) spec in
+        let pi_p, st_p = Solver.steady_state ~tol:1e-13 ~max_iter:200_000 c in
+        let pi_g, st_g =
+          Solver.steady_state_gauss_seidel ~tol:1e-13 ~max_iter:100_000
+            ~ordering:Solver.Rcm ~relax:0.9 c
+        in
+        let pi_k, st_k =
+          Solver.steady_state_krylov ~tol:1e-13 ~max_iter:100_000 c
+        in
+        st_p.Solver.converged && st_g.Solver.converged && st_k.Solver.converged
+        && Vec.diff_inf pi_p pi_g < 1e-6
+        && Vec.diff_inf pi_p pi_k < 1e-6);
   ]
 
 let tests =
@@ -306,6 +425,14 @@ let tests =
     Alcotest.test_case "uniformized bad lambda" `Quick test_uniformized_bad_lambda;
     Alcotest.test_case "steady state birth-death" `Quick test_steady_state_birth_death;
     Alcotest.test_case "gauss-seidel matches power" `Quick test_gauss_seidel_matches_power;
+    Alcotest.test_case "gauss-seidel rejects absorbing" `Quick
+      test_gauss_seidel_rejects_absorbing;
+    Alcotest.test_case "krylov birth-death" `Quick test_krylov_birth_death;
+    Alcotest.test_case "krylov trivial chain" `Quick test_krylov_trivial_chain;
+    Alcotest.test_case "steady_state_with dispatch" `Quick test_steady_state_with_dispatch;
+    Alcotest.test_case "poisson weights match pmf" `Quick test_poisson_weights_match_pmf;
+    Alcotest.test_case "poisson weights renormalised" `Quick
+      test_poisson_weights_renormalised;
     Alcotest.test_case "transient t=0" `Quick test_transient_zero_time;
     Alcotest.test_case "transient mass conservation" `Quick test_transient_conserves_mass;
     Alcotest.test_case "transient -> steady state" `Quick test_transient_converges_to_steady_state;

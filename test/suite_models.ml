@@ -157,6 +157,55 @@ let test_tandem_msmq_jobs_measure () =
   check_reward_preservation ~name:"tandem msmq-jobs" b.Tandem.md ss
     b.Tandem.rewards_msmq_jobs b.Tandem.initial result
 
+(* The three steady-state kernels must agree on the lumped quotients of
+   the example models — the in-tree version of the bench solver race,
+   gated at the same 1e-9 on the reported measure. *)
+let check_solver_race ~name ss rewards result =
+  let lumped = result.Compositional.lumped in
+  let lumped_ss = Compositional.lump_statespace result ss in
+  let r =
+    Decomposed.to_vector (Compositional.lumped_rewards result rewards) lumped_ss
+  in
+  let reward which (pi, st) =
+    Alcotest.(check bool) (name ^ ": " ^ which ^ " converged") true st.Solver.converged;
+    Solver.expected_reward pi r
+  in
+  let via_power =
+    reward "power" (Md_solve.steady_state ~tol:1e-12 ~max_iter:500_000 lumped lumped_ss)
+  in
+  let via_gs =
+    reward "gauss-seidel"
+      (Solver.steady_state_gauss_seidel ~tol:1e-13 ~max_iter:100_000
+         ~ordering:Solver.Rcm ~relax:0.9
+         (Md_solve.ctmc_of lumped lumped_ss))
+  in
+  let via_krylov =
+    reward "krylov"
+      (Md_solve.steady_state_krylov ~tol:1e-13 ~max_iter:100_000 lumped lumped_ss)
+  in
+  Alcotest.(check bool) (name ^ ": gauss-seidel within 1e-9") true
+    (Float.abs (via_gs -. via_power) < 1e-9);
+  Alcotest.(check bool) (name ^ ": krylov within 1e-9") true
+    (Float.abs (via_krylov -. via_power) < 1e-9)
+
+let test_tandem_solver_race () =
+  let b = Tandem.build (small_tandem 1) in
+  let ss = b.Tandem.exploration.Model.statespace in
+  let result =
+    Compositional.lump Ordinary b.Tandem.md ~rewards:[ b.Tandem.rewards_availability ]
+      ~initial:b.Tandem.initial
+  in
+  check_solver_race ~name:"tandem" ss b.Tandem.rewards_availability result
+
+let test_kanban_solver_race () =
+  let b = Kanban.build (Kanban.default ~cards:2) in
+  let ss = b.Kanban.exploration.Model.statespace in
+  let result =
+    Compositional.lump Ordinary b.Kanban.md ~rewards:[ b.Kanban.rewards_in_system ]
+      ~initial:b.Kanban.initial
+  in
+  check_solver_race ~name:"kanban" ss b.Kanban.rewards_in_system result
+
 let test_md_transient_matches_flat () =
   let b = Workstations.build (Workstations.default ~stations:3) in
   let ss = b.Workstations.exploration.Model.statespace in
@@ -367,4 +416,6 @@ let tests =
     Alcotest.test_case "kanban merge unlocks cell symmetry" `Quick
       test_kanban_merge_unlocks_cell_symmetry;
     Alcotest.test_case "tandem Table-1 shape (J=1)" `Slow test_tandem_table1_shape;
+    Alcotest.test_case "tandem solver race (J=1)" `Slow test_tandem_solver_race;
+    Alcotest.test_case "kanban solver race" `Quick test_kanban_solver_race;
   ]

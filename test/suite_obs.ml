@@ -9,6 +9,8 @@ module Trace = Mdl_obs.Trace
 module Metrics = Mdl_obs.Metrics
 module Logging = Mdl_obs.Logging
 module Csr = Mdl_sparse.Csr
+module Ctmc = Mdl_ctmc.Ctmc
+module Solver = Mdl_ctmc.Solver
 module Partition = Mdl_partition.Partition
 module Refiner = Mdl_partition.Refiner
 module Md = Mdl_md.Md
@@ -444,6 +446,43 @@ let test_metrics_match_refiner_stats () =
     (Metrics.gauge_value "refiner.intern_alphabet");
   Metrics.reset ()
 
+(* ----- transient solves report through the same epilogue -----
+
+   Regression: [transient_operator] used to bypass the [observe_run]
+   epilogue, so uniformisation runs left [solver.runs] /
+   [solver.iterations] untouched and the truncation deficit was
+   invisible.  Pin the exact counter arithmetic of one run. *)
+
+let test_transient_metrics_pin () =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  let c = Ctmc.of_triplets 3 [ (0, 1, 2.0); (1, 2, 1.0); (2, 0, 0.5) ] in
+  let _, lambda = Ctmc.uniformized c in
+  let t = 0.7 and epsilon = 1e-12 in
+  (* One iteration per operator application: the k=0 Poisson term reuses
+     pi0, every later term costs one application. *)
+  let terms = Array.length (Solver.poisson_weights ~epsilon ~qt:(lambda *. t)) in
+  ignore (Solver.transient ~epsilon ~t c [| 1.0; 0.0; 0.0 |]);
+  Alcotest.(check int) "one run recorded" 1 (Metrics.counter_value "solver.runs");
+  Alcotest.(check int) "iterations = Poisson terms - 1" (terms - 1)
+    (Metrics.counter_value "solver.iterations");
+  let residual = Metrics.gauge_value "solver.residual" in
+  Alcotest.(check bool) "residual is the truncation deficit" true
+    (residual >= 0.0 && residual <= epsilon);
+  Alcotest.(check int) "no non-convergence flagged" 0
+    (Metrics.counter_value "solver.non_converged");
+  (* The span taxonomy carries the same run. *)
+  Trace.start ~gc:false ();
+  ignore (Solver.transient ~epsilon ~t c [| 1.0; 0.0; 0.0 |]);
+  Trace.stop ();
+  let seen = ref false in
+  Trace.iter_events (fun ~name ~cat:_ ~start_ns:_ ~dur_ns:_ ~depth:_ ~args:_ ->
+      if name = "solver.transient" then seen := true);
+  Alcotest.(check bool) "solver.transient span present" true !seen;
+  Trace.clear ();
+  Metrics.set_enabled false;
+  Metrics.reset ()
+
 (* ----- instrumentation must never change pipeline outputs ----- *)
 
 let test_tracing_changes_nothing () =
@@ -509,6 +548,7 @@ let tests =
     Alcotest.test_case "metrics JSON" `Quick test_metrics_json;
     Alcotest.test_case "registry matches Refiner.stats" `Quick
       test_metrics_match_refiner_stats;
+    Alcotest.test_case "transient metrics pin" `Quick test_transient_metrics_pin;
     Alcotest.test_case "tracing changes no output" `Quick test_tracing_changes_nothing;
     Alcotest.test_case "logging levels" `Quick test_logging_levels;
   ]

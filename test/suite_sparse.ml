@@ -3,6 +3,7 @@
 module Vec = Mdl_sparse.Vec
 module Coo = Mdl_sparse.Coo
 module Csr = Mdl_sparse.Csr
+module Ordering = Mdl_sparse.Ordering
 
 let matrix_testable =
   Alcotest.testable Csr.pp (fun a b -> Csr.approx_equal a b)
@@ -112,6 +113,93 @@ let test_matrix_market_file_roundtrip () =
       Alcotest.check matrix_testable "file roundtrip" m
         (Mdl_sparse.Matrix_market.read_file path))
 
+let test_of_entry_iter_basics () =
+  let m =
+    Csr.of_entry_iter ~rows:2 ~cols:3 (fun f ->
+        f 1 2 4.0;
+        f 0 0 1.0;
+        f 1 2 (-4.0);
+        f 0 2 2.5;
+        f 0 0 0.5)
+  in
+  Alcotest.(check int) "nnz (duplicates folded, cancellation dropped)" 2 (Csr.nnz m);
+  Alcotest.(check (float 0.0)) "folded value" 1.5 (Csr.get m 0 0);
+  Alcotest.(check (float 0.0)) "plain value" 2.5 (Csr.get m 0 2);
+  Alcotest.check_raises "oob entry"
+    (Invalid_argument "Csr.of_entry_iter: (2,0) out of bounds for 2x3") (fun () ->
+      ignore (Csr.of_entry_iter ~rows:2 ~cols:3 (fun f -> f 2 0 1.0)));
+  let calls = ref 0 in
+  Alcotest.check_raises "non-repeatable iterator"
+    (Invalid_argument "Csr.of_entry_iter: iteration is not repeatable") (fun () ->
+      ignore
+        (Csr.of_entry_iter ~rows:1 ~cols:1 (fun f ->
+             incr calls;
+             if !calls = 2 then f 0 0 1.0)))
+
+let test_csr_permute () =
+  let m = Csr.of_dense [| [| 1.0; 2.0; 0.0 |]; [| 0.0; 0.0; 3.0 |]; [| 4.0; 0.0; 5.0 |] |] in
+  let perm = [| 2; 0; 1 |] in
+  let b = Csr.permute m ~perm in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "B(%d,%d) = A(perm i, perm j)" i j)
+        (Csr.get m perm.(i) perm.(j))
+        (Csr.get b i j)
+    done
+  done;
+  Alcotest.check_raises "not square" (Invalid_argument "Csr.permute: matrix is not square")
+    (fun () ->
+      ignore (Csr.permute (Csr.of_dense [| [| 1.0; 2.0 |] |]) ~perm:[| 0 |]));
+  Alcotest.check_raises "duplicate index" (Invalid_argument "Csr.permute: not a permutation")
+    (fun () -> ignore (Csr.permute m ~perm:[| 0; 0; 1 |]))
+
+let test_csr_diagonal () =
+  let m = Csr.of_dense [| [| 1.5; 2.0 |]; [| 0.0; 0.0 |] |] in
+  Alcotest.(check bool) "diagonal" true
+    (Vec.approx_equal (Csr.diagonal m) [| 1.5; 0.0 |]);
+  Alcotest.check_raises "not square"
+    (Invalid_argument "Csr.diagonal: matrix is not square") (fun () ->
+      ignore (Csr.diagonal (Csr.of_dense [| [| 1.0; 2.0 |] |])))
+
+let test_gather_scatter () =
+  let x = [| 10.0; 20.0; 30.0 |] in
+  let perm = [| 2; 0; 1 |] in
+  Alcotest.(check bool) "gather pulls" true
+    (Vec.approx_equal (Vec.gather x perm) [| 30.0; 10.0; 20.0 |]);
+  Alcotest.(check bool) "scatter pushes back" true
+    (Vec.approx_equal (Vec.scatter (Vec.gather x perm) perm) x);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Vec.gather: permutation length mismatch (2 vs 3)") (fun () ->
+      ignore (Vec.gather x [| 0; 1 |]))
+
+(* A path graph relabelled at random: reverse Cuthill–McKee must
+   recover a bandwidth-1 ordering (the path itself). *)
+let test_rcm_path_bandwidth () =
+  let n = 9 in
+  let labels = [| 4; 7; 0; 8; 2; 6; 1; 5; 3 |] in
+  let triplets =
+    List.concat
+      (List.init (n - 1) (fun i ->
+           [ (labels.(i), labels.(i + 1), 1.0); (labels.(i + 1), labels.(i), 2.0) ]))
+  in
+  let m = Csr.of_triplets ~rows:n ~cols:n triplets in
+  let perm = Ordering.rcm m in
+  let sorted = Array.copy perm in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "perm is a permutation" true
+    (sorted = Array.init n Fun.id);
+  Alcotest.(check int) "path reordered to bandwidth 1" 1
+    (Ordering.bandwidth (Csr.permute m ~perm))
+
+let test_ordering_inverse () =
+  let perm = [| 3; 1; 0; 2 |] in
+  let inv = Ordering.inverse perm in
+  Array.iteri (fun k o -> Alcotest.(check int) "inv(perm k) = k" k inv.(o)) perm;
+  Alcotest.check_raises "not a permutation"
+    (Invalid_argument "Ordering.inverse: not a permutation") (fun () ->
+      ignore (Ordering.inverse [| 0; 0 |]))
+
 let test_identity () =
   let i3 = Csr.identity 3 in
   let x = [| 1.0; 2.0; 3.0 |] in
@@ -135,9 +223,96 @@ let arb_csr = QCheck.make ~print:(fun (r, c, t) ->
       (String.concat ";" (List.map (fun (i, j, v) -> Printf.sprintf "(%d,%d,%g)" i j v) t)))
     gen_csr
 
+(* Random square matrix + shuffle seed, for permutation properties. *)
+let gen_square =
+  let open QCheck.Gen in
+  let* n = int_range 1 10 in
+  let* nt = int_range 0 30 in
+  let* triplets =
+    list_size (return nt)
+      (triple (int_range 0 (n - 1)) (int_range 0 (n - 1))
+         (map (fun k -> float_of_int k /. 2.0) (int_range (-6) 6)))
+  in
+  let+ seed = small_nat in
+  (n, triplets, seed)
+
+let arb_square =
+  QCheck.make
+    ~print:(fun (n, t, seed) ->
+      Printf.sprintf "%dx%d seed %d %s" n n seed
+        (String.concat ";"
+           (List.map (fun (i, j, v) -> Printf.sprintf "(%d,%d,%g)" i j v) t)))
+    gen_square
+
+let random_perm n seed =
+  let prng = Mdl_util.Prng.of_seed seed in
+  let p = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Mdl_util.Prng.int prng (i + 1) in
+    let t = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- t
+  done;
+  p
+
 let qcheck_tests =
   let open QCheck in
   [
+    (* The halves value alphabet keeps duplicate sums exact, and both
+       constructors fold duplicates in emission order, so the two builds
+       must agree bit-for-bit — structure and values. *)
+    Test.make ~count:300 ~name:"of_entry_iter equals of_coo exactly" arb_csr
+      (fun (r, c, t) ->
+        let via_coo = Csr.of_triplets ~rows:r ~cols:c t in
+        let via_iter =
+          Csr.of_entry_iter ~rows:r ~cols:c (fun f ->
+              List.iter (fun (i, j, v) -> f i j v) t)
+        in
+        Csr.equal via_coo via_iter);
+    Test.make ~count:300 ~name:"permute relabels entries" arb_square
+      (fun (n, t, seed) ->
+        let m = Csr.of_triplets ~rows:n ~cols:n t in
+        let perm = random_perm n seed in
+        let b = Csr.permute m ~perm in
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            if Csr.get b i j <> Csr.get m perm.(i) perm.(j) then ok := false
+          done
+        done;
+        !ok);
+    Test.make ~count:300 ~name:"permute by inverse roundtrips" arb_square
+      (fun (n, t, seed) ->
+        let m = Csr.of_triplets ~rows:n ~cols:n t in
+        let perm = random_perm n seed in
+        Csr.equal m (Csr.permute (Csr.permute m ~perm) ~perm:(Ordering.inverse perm)));
+    Test.make ~count:300 ~name:"rcm returns a valid permutation" arb_square
+      (fun (n, t, _) ->
+        let m = Csr.of_triplets ~rows:n ~cols:n t in
+        let perm = Ordering.rcm m in
+        let sorted = Array.copy perm in
+        Array.sort compare sorted;
+        sorted = Array.init n Fun.id);
+    Test.make ~count:300 ~name:"rcm never worsens a path's bandwidth to > 1"
+      (int_range 2 40) (fun n ->
+        (* Any relabelled path graph must come back to bandwidth 1. *)
+        let labels = random_perm n (n * 31 + 7) in
+        let triplets =
+          List.concat
+            (List.init (n - 1) (fun i ->
+                 [
+                   (labels.(i), labels.(i + 1), 1.0);
+                   (labels.(i + 1), labels.(i), 1.0);
+                 ]))
+        in
+        let m = Csr.of_triplets ~rows:n ~cols:n triplets in
+        Ordering.bandwidth (Csr.permute m ~perm:(Ordering.rcm m)) = 1);
+    Test.make ~count:300 ~name:"scatter inverts gather" arb_square
+      (fun (n, _, seed) ->
+        let perm = random_perm n seed in
+        let x = Array.init n (fun i -> float_of_int (i + 1) /. 2.0) in
+        Vec.scatter (Vec.gather x perm) perm = x
+        && Vec.gather (Vec.scatter x perm) perm = x);
     Test.make ~count:200 ~name:"matrix market roundtrips any csr" arb_csr
       (fun (r, c, t) ->
         let m = Csr.of_triplets ~rows:r ~cols:c t in
@@ -200,6 +375,12 @@ let tests =
     Alcotest.test_case "csr mul_vec" `Quick test_csr_mul_vec;
     Alcotest.test_case "csr add/scale/map" `Quick test_csr_add_scale_map;
     Alcotest.test_case "vec ops" `Quick test_vec_ops;
+    Alcotest.test_case "of_entry_iter basics" `Quick test_of_entry_iter_basics;
+    Alcotest.test_case "csr permute" `Quick test_csr_permute;
+    Alcotest.test_case "csr diagonal" `Quick test_csr_diagonal;
+    Alcotest.test_case "gather/scatter" `Quick test_gather_scatter;
+    Alcotest.test_case "rcm path bandwidth" `Quick test_rcm_path_bandwidth;
+    Alcotest.test_case "ordering inverse" `Quick test_ordering_inverse;
     Alcotest.test_case "identity" `Quick test_identity;
     Alcotest.test_case "matrix market roundtrip" `Quick test_matrix_market_roundtrip;
     Alcotest.test_case "matrix market rejects garbage" `Quick
