@@ -363,6 +363,183 @@ let run_solvers ~repeats sc ~r_mem ~lumped_ss =
   in
   (json, List.map (fun (m, _, st, s) -> (m, st.Solver.iterations, s)) raced)
 
+(* ---- batched sweep race ---- *)
+
+(* A reward-sweep family over one scenario, shaped like a sensitivity
+   study: the scenario's base rewards, plus threshold indicators on the
+   largest level at varying cut points, then the whole cycle repeated
+   (a 10-point sweep revisits each distinct spec, as parameter studies
+   do around interesting regions).  The complement-indicator variant
+   ([s < k] right after [s >= k]) is the deterministic cross-bind
+   fixture: both points induce the same class sets with the same
+   member order on the threshold level but opposite class order, so the
+   level-fixpoint memo misses while every splitter class the refinement
+   walks has a member sequence the previous point already published —
+   the store must answer, and [cross_bind_hits > 0] is a sound CI
+   gate. *)
+let sweep_specs sc ~points =
+  let sizes = Mdl_md.Md.sizes sc.md in
+  let level =
+    let li = ref 0 in
+    Array.iteri (fun i n -> if n > sizes.(!li) then li := i) sizes;
+    !li + 1
+  in
+  let size = sizes.(level - 1) in
+  let indicator k up =
+    Decomposed.of_level ~sizes ~level (fun s ->
+        if (if up then s >= k else s < k) then 1.0 else 0.0)
+  in
+  let k1 = max 1 (size / 3) in
+  let k2 = max 1 (2 * size / 3) in
+  let variants =
+    [
+      sc.rewards;
+      indicator k1 true :: sc.rewards;
+      indicator k1 false :: sc.rewards;
+      indicator k2 true :: sc.rewards;
+      indicator k1 true :: indicator k2 true :: sc.rewards;
+    ]
+  in
+  let nv = List.length variants in
+  List.init points (fun i ->
+      {
+        Compositional.sweep_rewards = List.nth variants (i mod nv);
+        sweep_initial = sc.ml_initial;
+      })
+
+let run_sweep ~repeats sc =
+  let npoints = 10 in
+  let specs = sweep_specs sc ~points:npoints in
+  (* Independent per-point baseline: what a caller pays today — one
+     [Compositional.lump] per point over a shared plain cache (rebound
+     per run, rows wiped, intern table warm). *)
+  let oneshot_cache = Mdl_core.Key_cache.create () in
+  let oneshot spec () =
+    Compositional.lump ~specialised:true ~memoise:true ~cache:oneshot_cache
+      Mdl_lumping.State_lumping.Ordinary sc.md
+      ~rewards:spec.Compositional.sweep_rewards ~initial:spec.Compositional.sweep_initial
+  in
+  let oneshot_raced = List.map (fun spec -> min_time ~repeats (oneshot spec)) specs in
+  let oneshot_results = List.map fst oneshot_raced in
+  let oneshot_times = List.map snd oneshot_raced in
+  (* The sweep engine is stateful (warm stores carry the amortisation),
+     so repeats re-run whole sweeps on fresh engines and each point
+     keeps its best time across repeats. *)
+  let times = Array.make npoints infinity in
+  let last = ref None in
+  for _ = 1 to repeats do
+    Gc.full_major ();
+    let sw = Compositional.sweep_create Mdl_lumping.State_lumping.Ordinary sc.md in
+    let results =
+      List.mapi
+        (fun i spec ->
+          let r, s =
+            Mdl_util.Timer.time (fun () ->
+                Compositional.sweep_point sw
+                  ~rewards:spec.Compositional.sweep_rewards
+                  ~initial:spec.Compositional.sweep_initial)
+          in
+          times.(i) <- Float.min times.(i) s;
+          r)
+        specs
+    in
+    last := Some (results, Compositional.sweep_stats sw, Compositional.sweep_cache sw)
+  done;
+  let results, stats, sweep_cache = Option.get !last in
+  (* Bit-identity per point against the independent runs. *)
+  List.iter2
+    (fun r_sweep r_one ->
+      let same =
+        Array.length r_sweep.Compositional.partitions
+          = Array.length r_one.Compositional.partitions
+        && Array.for_all2 Partition.equal r_sweep.Compositional.partitions
+             r_one.Compositional.partitions
+        && Mdl_md.Md.equal r_sweep.Compositional.lumped r_one.Compositional.lumped
+      in
+      if not same then begin
+        Printf.printf "SWEEP DIAGRAM DISAGREES\n";
+        Printf.eprintf "FATAL: %s: sweep point differs from its one-shot lump\n"
+          sc.ml_name;
+        exit 1
+      end)
+    results oneshot_results;
+  (* Measure agreement: steady-state reward measures of each point's
+     lumped chain, sweep result vs one-shot result. *)
+  let measures r spec =
+    let lumped_ss = Compositional.lump_statespace r sc.statespace in
+    let pi, _ = Md_solve.steady_state ~tol:1e-12 ~max_iter:500_000 r.Compositional.lumped lumped_ss in
+    List.map
+      (fun d ->
+        Solver.expected_reward pi
+          (Decomposed.to_vector (Compositional.lumped_rewards r d) lumped_ss))
+      spec.Compositional.sweep_rewards
+  in
+  let max_measure_delta =
+    List.fold_left2
+      (fun acc (r_sweep, r_one) spec ->
+        List.fold_left2
+          (fun acc a b -> Float.max acc (Float.abs (a -. b)))
+          acc (measures r_sweep spec) (measures r_one spec))
+      0.0
+      (List.combine results oneshot_results)
+      specs
+  in
+  if max_measure_delta > 1e-9 then begin
+    Printf.printf "SWEEP MEASURES DISAGREE\n";
+    Printf.eprintf "FATAL: %s: sweep measures differ from one-shot (max delta %.3e)\n"
+      sc.ml_name max_measure_delta;
+    exit 1
+  end;
+  let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+  let warm = List.filteri (fun i _ -> i > 0) (Array.to_list times) in
+  let warm_oneshot = List.filteri (fun i _ -> i > 0) oneshot_times in
+  let cold_first_point_s = times.(0) in
+  let amortised_point_s = mean warm in
+  let oneshot_point_s = mean warm_oneshot in
+  let amortised_speedup = oneshot_point_s /. amortised_point_s in
+  Printf.printf "        sweep %d pts: cold %.4fs  amortised %.4fs  oneshot %.4fs  (%.2fx)  cross-bind %d\n"
+    npoints cold_first_point_s amortised_point_s oneshot_point_s amortised_speedup
+    stats.Compositional.cross_bind_hits;
+  let json =
+    Printf.sprintf
+      {|"sweeps": {
+        "points": %d,
+        "distinct_points": %d,
+        "cold_first_point_s": %.6f,
+        "amortised_point_s": %.6f,
+        "oneshot_point_s": %.6f,
+        "amortised_speedup": %.3f,
+        "cross_bind_hits": %d,
+        "level_fixpoints": %d,
+        "level_fixpoints_reused": %d,
+        "rebuilds": %d,
+        "rebuilds_reused": %d,
+        "store_rows": %d,
+        "max_measure_delta": %.3e,
+        "identical": true
+      }|}
+      npoints
+      (min npoints 5)
+      cold_first_point_s amortised_point_s oneshot_point_s amortised_speedup
+      stats.Compositional.cross_bind_hits stats.Compositional.level_fixpoints
+      stats.Compositional.level_reused stats.Compositional.rebuilds
+      stats.Compositional.rebuilds_reused
+      (Mdl_core.Key_cache.store_size sweep_cache)
+      max_measure_delta
+  in
+  let regression =
+    if stats.Compositional.cross_bind_hits <= 0 then
+      Some
+        (Printf.sprintf "%s: sweep recorded no cross-bind cache hits" sc.ml_name)
+    else if amortised_speedup < 1.0 then
+      Some
+        (Printf.sprintf
+           "%s: amortised sweep point slower than one-shot lumping (%.4fs vs %.4fs)"
+           sc.ml_name amortised_point_s oneshot_point_s)
+    else None
+  in
+  (json, regression)
+
 let run_multilevel ~repeats ~cache ~pools sc =
   (* One end-to-end lump is milliseconds, not seconds: triple the repeat
      count so the min is robust against scheduler/GC noise (the
@@ -432,6 +609,7 @@ let run_multilevel ~repeats ~cache ~pools sc =
        (List.map
           (fun (m, it, s) -> Printf.sprintf "  %s %d it %.4fs" m it s)
           solver_iters));
+  let sweeps_json, sweep_regression = run_sweep ~repeats:solver_repeats sc in
   let json =
     Printf.sprintf
       {|    {
@@ -448,6 +626,7 @@ let run_multilevel ~repeats ~cache ~pools sc =
       %s,
       %s,
       %s,
+      %s,
       %s
     }|}
       sc.ml_name states (Mdl_md.Md.levels sc.md) lumped_states generic_s interned_s
@@ -455,6 +634,7 @@ let run_multilevel ~repeats ~cache ~pools sc =
       (generic_s /. interned_s)
       (interned_s /. cached_s)
       solvers_json
+      sweeps_json
       domains_json
       (stats_json stats)
       (phases_json ~from:span_from ())
@@ -464,7 +644,8 @@ let run_multilevel ~repeats ~cache ~pools sc =
       Some
         (Printf.sprintf "%s: memoised lump slower than uncached interned (%.4fs vs %.4fs)"
            sc.ml_name cached_s interned_s)
-    else domains_regression
+    else if domains_regression <> None then domains_regression
+    else sweep_regression
   in
   { json; o_name = sc.ml_name; regression }
 

@@ -322,6 +322,140 @@ let run inst mode key solve solver check_optimal dot_file export_file merge_leve
   end;
   Option.iter Mdl_util.Domain_pool.shutdown pool
 
+(* ---- batched reward sweeps ---- *)
+
+(* The sweep's reward family: the model's base rewards plus threshold
+   indicators on the largest level at varying cut points, cycled until
+   [points] specs exist — the shape of a sensitivity study around a
+   design parameter.  Matches the family bench/refine races, so the
+   amortisation printed here is the one BENCH_refine.json gates. *)
+let sweep_variants inst =
+  let sizes = Md.sizes inst.md in
+  let level =
+    let li = ref 0 in
+    Array.iteri (fun i n -> if n > sizes.(!li) then li := i) sizes;
+    !li + 1
+  in
+  let size = sizes.(level - 1) in
+  let indicator k up =
+    Decomposed.of_level ~sizes ~level (fun s ->
+        if (if up then s >= k else s < k) then 1.0 else 0.0)
+  in
+  let k1 = max 1 (size / 3) in
+  let k2 = max 1 (2 * size / 3) in
+  let base = List.map snd inst.rewards in
+  [
+    ("base rewards", base);
+    (Printf.sprintf "+ [s%d >= %d]" level k1, indicator k1 true :: base);
+    (Printf.sprintf "+ [s%d < %d]" level k1, indicator k1 false :: base);
+    (Printf.sprintf "+ [s%d >= %d]" level k2, indicator k2 true :: base);
+    ( Printf.sprintf "+ [s%d >= %d] [s%d >= %d]" level k1 level k2,
+      indicator k1 true :: indicator k2 true :: base );
+  ]
+
+let run_sweep inst points solve solver show_stats trace_file show_metrics domains =
+  if Option.is_some trace_file || show_metrics then Trace.start ();
+  if show_metrics then Metrics.set_enabled true;
+  Printf.printf "model: %s\n" inst.name;
+  let ss = inst.statespace in
+  Printf.printf "reachable states: %d; sweep of %d points\n" (Statespace.size ss) points;
+  let pool =
+    if domains > 1 then Some (Mdl_util.Domain_pool.create ~domains) else None
+  in
+  if domains > 1 then Printf.printf "domains: %d\n" domains;
+  let variants = sweep_variants inst in
+  let nv = List.length variants in
+  let refine_stats = Mdl_partition.Refiner.create_stats () in
+  let sw = Compositional.sweep_create ?pool State_lumping.Ordinary inst.md in
+  let times = Array.make (max points 1) 0.0 in
+  for i = 0 to points - 1 do
+    let label, rewards = List.nth variants (i mod nv) in
+    let before = Compositional.sweep_stats sw in
+    let r, s =
+      Mdl_util.Timer.time (fun () ->
+          Compositional.sweep_point ~stats:refine_stats sw ~rewards
+            ~initial:inst.initial)
+    in
+    times.(i) <- s;
+    let after = Compositional.sweep_stats sw in
+    let lumped_ss = Compositional.lump_statespace r ss in
+    Printf.printf
+      "point %2d  %-28s %8.4fs  %6d lumped  levels %d run / %d reused  rebuild %s  \
+       cross-bind +%d\n"
+      i label s
+      (Statespace.size lumped_ss)
+      (after.Compositional.level_fixpoints - before.Compositional.level_fixpoints)
+      (after.Compositional.level_reused - before.Compositional.level_reused)
+      (if after.Compositional.rebuilds_reused > before.Compositional.rebuilds_reused
+       then "reused" else "built")
+      (after.Compositional.cross_bind_hits - before.Compositional.cross_bind_hits);
+    if solve then
+      if not (Compositional.is_closed r ss) then
+        print_endline "  WARNING: reachable set not class-closed; measures skipped"
+      else begin
+        let pi, _ =
+          match solver with
+          | Solver.Power ->
+              Md_solve.steady_state ~tol:1e-12 ~max_iter:500_000
+                r.Compositional.lumped lumped_ss
+          | Solver.Krylov ->
+              Md_solve.steady_state_krylov ~tol:1e-12 r.Compositional.lumped lumped_ss
+          | Solver.Gauss_seidel ->
+              Solver.steady_state_gauss_seidel ~tol:1e-12 ~max_iter:100_000
+                ~ordering:Solver.Rcm ~relax:0.9
+                (Md_solve.ctmc_of r.Compositional.lumped lumped_ss)
+        in
+        List.iter
+          (fun (name, d) ->
+            let v =
+              Solver.expected_reward pi
+                (Decomposed.to_vector (Compositional.lumped_rewards r d) lumped_ss)
+            in
+            Printf.printf "  measure %-16s = %.9f\n" name v)
+          inst.rewards
+      end
+  done;
+  let st = Compositional.sweep_stats sw in
+  if points > 1 then begin
+    let warm = Array.sub times 1 (points - 1) in
+    let amortised = Array.fold_left ( +. ) 0.0 warm /. float_of_int (points - 1) in
+    Printf.printf
+      "cold first point %.4fs; amortised %.4fs per warm point (%.2fx); %d cross-bind \
+       hits, %d/%d level fixpoints reused, %d/%d rebuilds reused, %d rows stored\n"
+      times.(0) amortised
+      (times.(0) /. amortised)
+      st.Compositional.cross_bind_hits st.Compositional.level_reused
+      (st.Compositional.level_reused + st.Compositional.level_fixpoints)
+      st.Compositional.rebuilds_reused
+      (st.Compositional.rebuilds_reused + st.Compositional.rebuilds)
+      (Mdl_core.Key_cache.store_size (Compositional.sweep_cache sw))
+  end;
+  if show_stats then begin
+    let s = refine_stats in
+    Printf.printf
+      "refiner stats (levels actually run): %d splitter passes, %d key evaluations, \
+       %d splits, %.4f s refinement\n"
+      s.Mdl_partition.Refiner.splitter_passes s.Mdl_partition.Refiner.key_evals
+      s.Mdl_partition.Refiner.splits s.Mdl_partition.Refiner.wall_s;
+    Printf.printf "key cache: %d hits, %d misses; rebuild: %d nodes rebuilt, %d reused\n"
+      s.Mdl_partition.Refiner.cache_hits s.Mdl_partition.Refiner.cache_misses
+      s.Mdl_partition.Refiner.nodes_rebuilt s.Mdl_partition.Refiner.nodes_reused
+  end;
+  if Option.is_some trace_file || show_metrics then begin
+    Trace.stop ();
+    Option.iter
+      (fun path ->
+        Trace.write_file path;
+        Printf.printf "Chrome trace (%d spans) written to %s\n" (Trace.span_count ())
+          path)
+      trace_file;
+    if show_metrics then begin
+      Format.printf "%a@?" Metrics.pp ();
+      print_phase_breakdown ()
+    end
+  end;
+  Option.iter Mdl_util.Domain_pool.shutdown pool
+
 (* ---- command line ---- *)
 
 open Cmdliner
@@ -480,10 +614,61 @@ let kanban_cmd =
       const f $ cards $ mode_arg $ key_arg $ solve_arg $ solver_arg $ check_arg $ dot_arg
       $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ domains_arg $ verbose_arg)
 
+let sweep_cmd =
+  let model =
+    let model_conv =
+      Arg.enum
+        [
+          ("tandem", `Tandem);
+          ("polling", `Polling);
+          ("workstations", `Workstations);
+          ("multitier", `Multitier);
+          ("kanban", `Kanban);
+        ]
+    in
+    Arg.(value & opt model_conv `Tandem
+         & info [ "model" ] ~docv:"MODEL"
+             ~doc:"Model to sweep: $(b,tandem), $(b,polling), $(b,workstations), \
+                   $(b,multitier) or $(b,kanban) (default parameters each).")
+  in
+  let size =
+    Arg.(value & opt (some int) None
+         & info [ "size" ] ~docv:"N"
+             ~doc:"The model's main size knob (tandem jobs, polling customers, \
+                   workstation count, multitier clients, kanban cards); the model's \
+                   default when omitted.")
+  in
+  let points =
+    Arg.(value & opt int 10
+         & info [ "points" ] ~docv:"N" ~doc:"Number of sweep points (default 10).")
+  in
+  let f model size points solve solver stats trace metrics domains verbose =
+    Mdl_obs.Logging.setup ~verbose ();
+    let inst =
+      match model with
+      | `Tandem -> build_tandem (Option.value size ~default:1) 3 3 4
+      | `Polling -> build_polling (Option.value size ~default:4)
+      | `Workstations -> build_workstations (Option.value size ~default:4)
+      | `Multitier -> build_multitier (Option.value size ~default:3)
+      | `Kanban -> build_kanban (Option.value size ~default:2)
+    in
+    run_sweep inst points solve solver stats trace metrics domains
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Lump one model repeatedly under a family of reward specifications \
+             through the batched sweep engine (warm key-cache row store, level \
+             fixed-point and rebuild memos), printing per-point reuse and the \
+             cold-vs-amortised timing.  Reward sweeps are an ordinary-mode notion, \
+             so the mode is fixed to ordinary.")
+    Term.(
+      const f $ model $ size $ points $ solve_arg $ solver_arg $ stats_arg $ trace_arg
+      $ metrics_arg $ domains_arg $ verbose_arg)
+
 let main =
   Cmd.group
     (Cmd.info "lumpmd" ~version:"1.0.0"
        ~doc:"Compositional lumping of matrix-diagram-represented Markov models.")
-    [ tandem_cmd; polling_cmd; workstations_cmd; multitier_cmd; kanban_cmd ]
+    [ tandem_cmd; polling_cmd; workstations_cmd; multitier_cmd; kanban_cmd; sweep_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -17,6 +17,20 @@ let c_nodes_reused = Metrics.counter "rebuild.nodes_reused"
 
 let c_lumps = Metrics.counter "lump.runs"
 
+let c_sweep_points = Metrics.counter "sweep.points"
+
+let c_sweep_level_fixpoints = Metrics.counter "sweep.level_fixpoints"
+
+let c_sweep_level_reused = Metrics.counter "sweep.level_reused"
+
+let c_sweep_rebuilds = Metrics.counter "sweep.rebuilds"
+
+let c_sweep_rebuild_reused = Metrics.counter "sweep.rebuild_reused"
+
+let m_sweep_point_seconds =
+  Metrics.histogram ~buckets:(Metrics.log_buckets ~lo:1e-6 ~hi:10.0 ~per_decade:3)
+    "sweep.point_seconds"
+
 type result = {
   lumped : Md.t;
   partitions : Partition.t array;
@@ -265,10 +279,14 @@ let lump_body ?eps ?key ?stats ~specialised ~memoise ?cache ?pool ?par_threshold
     if not (memoise && specialised) then None
     else Some (match cache with Some c -> c | None -> Key_cache.create ())
   in
-  (* Rebinding clears the memoised rows: they are only sound within one
-     monotone refinement run per level.  The intern table and (same-md)
-     flatten context survive the rebind. *)
-  (match cache with Some c -> Key_cache.bind c md | None -> ());
+  (* Rebinding retires the memoised rows (an epoch bump on a persistent
+     cache, a wipe otherwise): per-bind entries are only sound within
+     one monotone refinement run per level.  The intern tables and
+     (same-md) flatten context survive the rebind.  Binding with the
+     run's configuration makes a mismatched shared cache fail loudly
+     here instead of deep inside a splitter pass. *)
+  let choice = Option.value key ~default:Local_key.Formal_sums in
+  (match cache with Some c -> Key_cache.bind ?eps ~choice ~mode c md | None -> ());
   (* Arm (or disarm, so a cache reused across runs never keeps a stale
      pool) intra-node splitter-key sharding on the cache; per-level
      forks below inherit the setting. *)
@@ -387,6 +405,256 @@ let lump ?eps ?key ?stats ?(specialised = true) ?(memoise = true) ?cache ?pool
       (fun () ->
         lump_body ?eps ?key ?stats ~specialised ~memoise ?cache ?pool ?par_threshold
           mode md ~rewards ~initial)
+
+(* ------------------------------------------------------------------ *)
+(* Batched sweeps: one diagram, many reward/initial specifications.    *)
+
+type sweep_spec = {
+  sweep_rewards : Decomposed.t list;
+  sweep_initial : Decomposed.t;
+}
+
+type sweep_stats = {
+  points : int;
+  level_fixpoints : int;
+  level_reused : int;
+  rebuilds : int;
+  rebuilds_reused : int;
+  cross_bind_hits : int;
+}
+
+type sweep = {
+  sw_mode : Mdl_lumping.State_lumping.mode;
+  sw_md : Md.t;
+  sw_eps : float option;
+  sw_key : Local_key.choice;
+  sw_cache : Key_cache.t;
+  sw_pool : Domain_pool.t option;
+  sw_par_threshold : int option;
+  sw_level_memo : (int * int array, int array) Hashtbl.t;
+      (* (level, initial layout) -> final canonical assignment *)
+  sw_rebuild_memo : (int array, Md.t) Hashtbl.t;
+      (* concatenated final assignments -> lumped diagram *)
+  mutable sw_points : int;
+  mutable sw_level_fixpoints : int;
+  mutable sw_level_reused : int;
+  mutable sw_rebuilds : int;
+  mutable sw_rebuilds_reused : int;
+  sw_cross0 : int; (* cache cross-bind counter at engine creation *)
+}
+
+(* One flat int array capturing a partition completely — class order,
+   member order, class contents: [len c0; members of c0 in slice order;
+   len c1; ...].  Refinement is deterministic given this layout (the
+   engine works on a layout-preserving copy of the initial partition),
+   so it is the sound memo key for a level's fixed point.  A coarser
+   key — the class *set*, i.e. {!Partition.canonical_assignment} alone —
+   would be value-correct but could let a memo hit diverge bitwise from
+   a fresh run at a quantization-grid boundary, because splitter-key
+   float sums accumulate in member order. *)
+let layout_key p =
+  let n = Partition.size p in
+  let nc = Partition.num_classes p in
+  let out = Array.make (n + nc) 0 in
+  let w = ref 0 in
+  for c = 0 to nc - 1 do
+    let perm, first, len = Partition.view p c in
+    out.(!w) <- len;
+    incr w;
+    Array.blit perm first out !w len;
+    w := !w + len
+  done;
+  out
+
+let is_identity_assignment a =
+  let ok = ref true in
+  Array.iteri (fun i c -> if c <> i then ok := false) a;
+  !ok
+
+let sweep_create ?eps ?(key = Local_key.Formal_sums) ?cache ?pool ?par_threshold mode
+    md =
+  let cache = match cache with Some c -> c | None -> Key_cache.create () in
+  Key_cache.set_persistent cache true;
+  Key_cache.bind ?eps ~choice:key ~mode cache md;
+  Key_cache.set_pool ?par_threshold cache pool;
+  {
+    sw_mode = mode;
+    sw_md = md;
+    sw_eps = eps;
+    sw_key = key;
+    sw_cache = cache;
+    sw_pool = pool;
+    sw_par_threshold = par_threshold;
+    sw_level_memo = Hashtbl.create 64;
+    sw_rebuild_memo = Hashtbl.create 16;
+    sw_points = 0;
+    sw_level_fixpoints = 0;
+    sw_level_reused = 0;
+    sw_rebuilds = 0;
+    sw_rebuilds_reused = 0;
+    sw_cross0 = Key_cache.cross_bind_hits cache;
+  }
+
+let sweep_point_body ?stats sw ~rewards ~initial =
+  let md = sw.sw_md and mode = sw.sw_mode in
+  let nlevels = Md.levels md in
+  (* Epoch bump: tier-1 rows of earlier points retire, the shared
+     content-keyed store keeps answering across points. *)
+  Key_cache.bind ?eps:sw.sw_eps ~choice:sw.sw_key ~mode sw.sw_cache md;
+  Key_cache.set_pool ?par_threshold:sw.sw_par_threshold sw.sw_cache sw.sw_pool;
+  let inis =
+    Array.init nlevels (fun i ->
+        Trace.with_span ~cat:"lump" "lump.initial_partition" (fun () ->
+            Level_lumping.initial_partition ?eps:sw.sw_eps mode md ~level:(i + 1)
+              ~rewards ~initial))
+  in
+  let finals = Array.make nlevels None in
+  let level_stats_arr = Array.make nlevels None in
+  let misses = ref [] in
+  Array.iteri
+    (fun i p_ini ->
+      let memo_key = (i + 1, layout_key p_ini) in
+      match Hashtbl.find_opt sw.sw_level_memo memo_key with
+      | Some assignment ->
+          (* The memoised fixed point is replayed from its canonical
+             assignment; [comp_lumping_level] canonicalises exactly the
+             same way (discrete -> identity, otherwise renumber by first
+             appearance), so this partition equals the one a fresh run
+             would return — layout included. *)
+          sw.sw_level_reused <- sw.sw_level_reused + 1;
+          Metrics.incr c_sweep_level_reused;
+          let p =
+            if is_identity_assignment assignment then
+              Partition.discrete (Array.length assignment)
+            else Partition.of_class_assignment assignment
+          in
+          finals.(i) <- Some p
+      | None -> misses := (i, memo_key) :: !misses)
+    inis;
+  let misses = Array.of_list (List.rev !misses) in
+  let nmisses = Array.length misses in
+  sw.sw_level_fixpoints <- sw.sw_level_fixpoints + nmisses;
+  Metrics.add c_sweep_level_fixpoints nmisses;
+  let run_level cache (i, _) =
+    let level = i + 1 in
+    let level_stats = Refiner.create_stats () in
+    let p =
+      Level_lumping.comp_lumping_level ?eps:sw.sw_eps ~key:sw.sw_key ~stats:level_stats
+        ~specialised:true ?cache ?pool:sw.sw_pool mode md ~level ~initial:inis.(i)
+    in
+    (p, level_stats)
+  in
+  let level_parallel =
+    match sw.sw_pool with
+    | Some pl -> Domain_pool.size pl > 1 && nmisses > 1 && not (Trace.enabled ())
+    | None -> false
+  in
+  let results = Array.make nmisses None in
+  if level_parallel then begin
+    let pl = Option.get sw.sw_pool in
+    (* As in [lump_body]: fill the lazy column cache from this domain
+       first so every later [node_col] is a pure read, from any
+       domain.  Each miss level refines on its own cache fork; the
+       forks publish their rows to the shared persistent store, so the
+       work survives them. *)
+    Md.warm_col_cache md;
+    Domain_pool.run pl ~n:nmisses (fun t ->
+        results.(t) <- Some (run_level (Some (Key_cache.fork sw.sw_cache)) misses.(t)))
+  end
+  else
+    Array.iteri
+      (fun t miss -> results.(t) <- Some (run_level (Some sw.sw_cache) miss))
+      misses;
+  Array.iteri
+    (fun t (i, memo_key) ->
+      match results.(t) with
+      | None -> assert false
+      | Some (p, level_stats) ->
+          (* [p] is canonical, so [to_class_assignment] already is the
+             canonical assignment. *)
+          Hashtbl.replace sw.sw_level_memo memo_key (Partition.to_class_assignment p);
+          finals.(i) <- Some p;
+          level_stats_arr.(i) <- Some level_stats)
+    misses;
+  (* Merge per-level stats in level order, whatever order the levels
+     refined in, so the totals match a sequential run's. *)
+  (match stats with
+  | Some dst ->
+      Array.iter
+        (function Some ls -> Refiner.add_stats dst ls | None -> ())
+        level_stats_arr
+  | None -> ());
+  let partitions = Array.map Option.get finals in
+  (* Per-level assignment lengths are fixed by the diagram, so the plain
+     concatenation is an injective key for the partition tuple. *)
+  let rebuild_key =
+    Array.concat (Array.to_list (Array.map Partition.to_class_assignment partitions))
+  in
+  match Hashtbl.find_opt sw.sw_rebuild_memo rebuild_key with
+  | Some lumped ->
+      (* The quotient is a pure function of (diagram, partitions, mode):
+         equal canonical assignments rebuild to an [Md.equal] diagram,
+         so the previously built one is aliased.  [nodes_rebuilt] /
+         [nodes_reused] stats are not re-counted for a replay. *)
+      sw.sw_rebuilds_reused <- sw.sw_rebuilds_reused + 1;
+      Metrics.incr c_sweep_rebuild_reused;
+      { lumped; partitions }
+  | None ->
+      sw.sw_rebuilds <- sw.sw_rebuilds + 1;
+      Metrics.incr c_sweep_rebuilds;
+      let r =
+        lump_with_partitions ?stats ~incremental:true ?pool:sw.sw_pool
+          ?par_threshold:sw.sw_par_threshold mode md partitions
+      in
+      Hashtbl.add sw.sw_rebuild_memo rebuild_key r.lumped;
+      r
+
+let sweep_point ?stats sw ~rewards ~initial =
+  sw.sw_points <- sw.sw_points + 1;
+  Metrics.incr c_sweep_points;
+  let traced () =
+    if not (Trace.enabled ()) then sweep_point_body ?stats sw ~rewards ~initial
+    else begin
+      let reused0 = sw.sw_level_reused and rebuilt0 = sw.sw_rebuilds in
+      Trace.with_span ~cat:"lump"
+        ~args:[ ("point", Trace.Int sw.sw_points) ]
+        "sweep.point"
+        (fun () ->
+          let r = sweep_point_body ?stats sw ~rewards ~initial in
+          Trace.add_args
+            [
+              ("levels_reused", Trace.Int (sw.sw_level_reused - reused0));
+              ("rebuilt", Trace.Bool (sw.sw_rebuilds > rebuilt0));
+              ("nodes_out", Trace.Int (Md.num_live_nodes r.lumped));
+            ];
+          r)
+    end
+  in
+  if not (Metrics.enabled ()) then traced ()
+  else begin
+    let r, dt = Mdl_util.Timer.time traced in
+    Metrics.observe m_sweep_point_seconds dt;
+    r
+  end
+
+let sweep_stats sw =
+  {
+    points = sw.sw_points;
+    level_fixpoints = sw.sw_level_fixpoints;
+    level_reused = sw.sw_level_reused;
+    rebuilds = sw.sw_rebuilds;
+    rebuilds_reused = sw.sw_rebuilds_reused;
+    cross_bind_hits = Key_cache.cross_bind_hits sw.sw_cache - sw.sw_cross0;
+  }
+
+let sweep_cache sw = sw.sw_cache
+
+let lump_sweep ?eps ?key ?stats ?cache ?pool ?par_threshold mode md ~points =
+  let sw = sweep_create ?eps ?key ?cache ?pool ?par_threshold mode md in
+  List.map
+    (fun { sweep_rewards; sweep_initial } ->
+      sweep_point ?stats sw ~rewards:sweep_rewards ~initial:sweep_initial)
+    points
 
 let class_tuple r s =
   if Array.length s <> Array.length r.partitions then

@@ -113,6 +113,101 @@ val lump_with_partitions :
     bit-identical at any domain count.
     @raise Invalid_argument on partition count/size mismatch. *)
 
+(** {1 Batched sweeps}
+
+    The paper's headline use case (§6) lumps {e one} structural model
+    repeatedly under varying measures; almost all splitter-key column
+    walks recur between nearby points.  A {!sweep} is a stateful engine
+    over one diagram that keeps three warm stores across points: the
+    cache's cross-bind row store ({!Key_cache.set_persistent} — rows
+    keyed by class {e content}, reused wherever a later point produces
+    the same member sequence), a per-level fixed-point memo (identical
+    initial-partition layouts skip refinement entirely), and a rebuild
+    memo (identical partition tuples alias the previously built lumped
+    diagram).  Results are bit-identical ([Md.equal], equal partitions)
+    to an independent {!lump} per point — every reuse path replays only
+    work whose inputs match exactly — pinned by the differential
+    property suite. *)
+
+type sweep
+(** A sweep engine bound to one diagram, mode and configuration. *)
+
+type sweep_spec = {
+  sweep_rewards : Decomposed.t list;  (** rewards of this point (ordinary mode) *)
+  sweep_initial : Decomposed.t;  (** initial distribution (exact mode) *)
+}
+(** One sweep point: the [rewards]/[initial] pair {!lump} takes. *)
+
+type sweep_stats = {
+  points : int;  (** points run so far *)
+  level_fixpoints : int;  (** per-level fixed points actually refined *)
+  level_reused : int;  (** level results served from the fixed-point memo *)
+  rebuilds : int;  (** quotient rebuilds actually performed *)
+  rebuilds_reused : int;  (** lumped diagrams aliased from the rebuild memo *)
+  cross_bind_hits : int;
+      (** splitter-row lookups answered across points by the cache's
+          persistent store (see {!Key_cache.cross_bind_hits}) *)
+}
+
+val sweep_create :
+  ?eps:float ->
+  ?key:Local_key.choice ->
+  ?cache:Key_cache.t ->
+  ?pool:Mdl_util.Domain_pool.t ->
+  ?par_threshold:int ->
+  Mdl_lumping.State_lumping.mode ->
+  Mdl_md.Md.t ->
+  sweep
+(** An engine over [md].  [cache] (default: a fresh one) is switched to
+    persistent mode and bound to [md] with the engine's configuration —
+    which records [(eps, key, mode)] in the cache, so sharing it with a
+    differently-configured run raises [Invalid_argument].  [pool] and
+    [par_threshold] parallelise each point exactly as in {!lump}
+    (memo-missing levels refine concurrently on cache forks; forks
+    publish to the shared store, so their work persists). *)
+
+val sweep_point :
+  ?stats:Mdl_partition.Refiner.stats ->
+  sweep ->
+  rewards:Decomposed.t list ->
+  initial:Decomposed.t ->
+  result
+(** Lump the engine's diagram for one point.  Equals
+    [lump mode md ~rewards ~initial] (same partitions, [Md.equal]
+    lumped diagram — the memo paths only replay exact-input matches),
+    but amortises: the cache rebind is an epoch bump, level fixed
+    points and the rebuild are memoised, and splitter rows recur via
+    the content-keyed store.  [stats] accumulates refiner counters of
+    the levels that actually ran (memo hits contribute nothing).
+    Observability: a [sweep.point] span when tracing (levels then
+    refine sequentially, as in {!lump}), a [sweep.point_seconds]
+    histogram and [sweep.*] counters when metrics are on. *)
+
+val sweep_stats : sweep -> sweep_stats
+(** Cumulative reuse counters of this engine ([cross_bind_hits] as a
+    delta since engine creation, so a pre-warmed shared cache does not
+    inflate it). *)
+
+val sweep_cache : sweep -> Key_cache.t
+(** The engine's cache — e.g. to inspect {!Key_cache.store_size}. *)
+
+val lump_sweep :
+  ?eps:float ->
+  ?key:Local_key.choice ->
+  ?stats:Mdl_partition.Refiner.stats ->
+  ?cache:Key_cache.t ->
+  ?pool:Mdl_util.Domain_pool.t ->
+  ?par_threshold:int ->
+  Mdl_lumping.State_lumping.mode ->
+  Mdl_md.Md.t ->
+  points:sweep_spec list ->
+  result list
+(** [lump_sweep mode md ~points] runs every point through one fresh
+    engine, in order — the batched equivalent of mapping {!lump} over
+    [points], bit-identical to it and typically several times faster
+    per point once warm (see the [sweeps] section of BENCH_refine.json
+    and [lumpmd sweep]). *)
+
 val class_tuple : result -> int array -> int array
 (** Map a global state to its class tuple (the corresponding state of
     the lumped diagram). *)

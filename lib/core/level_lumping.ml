@@ -82,7 +82,7 @@ let comp_lumping_level ?eps ?(key = Local_key.Formal_sums) ?stats
          throw the previous levels' rows away. *)
       match Key_cache.bound_md kc with
       | Some prev when prev == md -> ()
-      | _ -> Key_cache.bind kc md)
+      | _ -> Key_cache.bind ?eps ~choice:key ~mode kc md)
   | None -> ());
   let ctx =
     match cache with

@@ -116,6 +116,13 @@ val equal : t -> t -> bool
 
 val to_class_assignment : t -> int array
 
+val canonical_assignment : t -> int array
+(** {!to_class_assignment} with class labels renumbered densely by
+    first appearance: {!equal} partitions yield equal arrays whatever
+    their internal numbering, so the array is a canonical key for the
+    partition's {e class set} — the form the sweep engine's memo tables
+    ({!Mdl_core.Compositional.lump_sweep}) key on. *)
+
 val classes : t -> int array array
 (** All classes, indexed by class id (fresh arrays). *)
 

@@ -18,7 +18,13 @@
     dense ranks by first appearance in (deterministically merged) node
     order, which is invariant under any gid numbering.  The test suite
     pins this: concurrent interning of overlapping key sets yields no
-    duplicate gids and identical rank assignments run-to-run. *)
+    duplicate gids and identical rank assignments run-to-run.
+
+    Besides splitter keys, {!Mdl_core.Key_cache} interns splitter-class
+    {e member sequences} through a second table of its own to form the
+    content signatures of its persistent cross-bind row store (the
+    sweep engine's warm tier) — same rules: signature values never
+    reach results, only equality of signatures is consumed. *)
 
 type 'k t
 

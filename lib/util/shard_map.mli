@@ -1,0 +1,45 @@
+(** A sharded, domain-safe key/value map with a lock-free read path.
+
+    The generic sibling of {!Gid_table} for shared caches whose values
+    are not dense ids: the same immutable-bucket-list representation
+    published through [Atomic.t] cells, sharded by hash so writers
+    contend only within a shard, with lock-free {!find} and a
+    double-checked locked insert.  Built for read-mostly workloads —
+    e.g. the cross-bind splitter-row store of {!Mdl_core.Key_cache},
+    where every sweep point after the first answers almost every lookup
+    from the map.
+
+    Bindings are {e first-writer-wins}: {!add} never replaces an
+    existing binding, it returns the one already present.  This is the
+    right semantics for a memo table of a pure function — two domains
+    racing to insert results for the same key insert {e equal} values,
+    and keeping the first published one means every reader that already
+    saw a value keeps seeing that same value.  Publication through the
+    atomic bucket cells gives the usual happens-before edge: a reader
+    that finds a value sees it (and everything reachable from it) fully
+    initialised, even when it was built on another domain. *)
+
+type ('k, 'v) t
+
+val create : ?shards:int -> hash:('k -> int) -> equal:('k -> 'k -> bool) -> unit -> ('k, 'v) t
+(** [shards] is rounded up to a power of two; default 16. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lock-free lookup. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> 'v
+(** [add t k v] binds [k] to [v] unless [k] is already bound, and
+    returns the winning binding ([v] itself when the insert happened,
+    the existing value otherwise).  Safe from any number of domains;
+    concurrent adds of the same key agree on one winner. *)
+
+val size : ('k, 'v) t -> int
+(** Number of bindings.  Exact when no writer is concurrently active;
+    during concurrent insertion the count may lag by in-flight adds. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop every binding (shard by shard, under the shard locks).  The
+    caller must ensure no concurrent reader relies on the old bindings
+    staying complete — clearing while other domains read is memory-safe
+    (readers see either the old or the fresh empty buckets) but not
+    atomic across shards. *)

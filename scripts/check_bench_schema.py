@@ -35,6 +35,18 @@ agree=true — the bench aborts before writing JSON otherwise); and the
 Krylov solver must need no more iterations than power iteration, which
 is the advantage the solver scale-up claims rest on.
 
+Multi-level scenarios also carry a "sweeps" object — the batched
+reward-sweep race (Compositional.lump_sweep over one diagram vs an
+independent Compositional.lump per point).  The sweep must be
+bit-identical to the one-shot path (identical=true, max_measure_delta
+<= 1e-9 — the bench aborts otherwise), must actually reuse warm state
+(cross_bind_hits > 0, some level fixpoint or rebuild served from the
+memos, a non-empty persistent row store), and must amortise: the mean
+warm-point time may never exceed the mean one-shot time
+(amortised_speedup >= 1.0), and on Kanban it must reach >= 2.0.  These
+gates are unconditional — cache reuse, unlike the domain race, owes
+nothing to host parallelism.
+
 Usage: scripts/check_bench_schema.py [BENCH_refine.json]
 """
 
@@ -83,10 +95,37 @@ MULTILEVEL_FIELDS = [
     "speedup_vs_generic",
     "speedup_cached_vs_interned",
     "solvers",
+    "sweeps",
     "domains",
     "stats",
     "phases",
 ]
+
+SWEEPS_FIELDS = [
+    "points",
+    "distinct_points",
+    "cold_first_point_s",
+    "amortised_point_s",
+    "oneshot_point_s",
+    "amortised_speedup",
+    "cross_bind_hits",
+    "level_fixpoints",
+    "level_fixpoints_reused",
+    "rebuilds",
+    "rebuilds_reused",
+    "store_rows",
+    "max_measure_delta",
+    "identical",
+]
+
+# Minimum oneshot_point_s/amortised_point_s per scenario.  The sweep
+# engine must never lose to independent per-point lumping, and on the
+# largest model (Kanban — the most splitter rows to reuse) it must
+# amortise at least 2x.  Unlike the domain race this gate is NOT
+# conditional on host_cores: the sweep's saving is cache reuse, not
+# parallelism, so it holds on any host.
+SWEEP_FLOOR_DEFAULT = 1.0
+SWEEP_FLOOR_KANBAN = 2.0
 
 SOLVER_NAMES = ["power", "gauss_seidel", "krylov"]
 
@@ -229,6 +268,52 @@ def main():
                     f"{where}: krylov took more iterations than power "
                     f"({sol['krylov']['iterations']} > {sol['power']['iterations']})"
                 )
+            check_fields(sc["sweeps"], SWEEPS_FIELDS, f"{where}: sweeps")
+            sw = sc["sweeps"]
+            if sw["identical"] is not True:
+                fail(f"{where}: sweeps.identical is not true")
+            if not isinstance(sw["points"], int) or sw["points"] < 2:
+                fail(f"{where}: sweeps.points is not an integer >= 2 (no amortisation "
+                     f"to measure)")
+            if not isinstance(sw["distinct_points"], int) or not (
+                2 <= sw["distinct_points"] <= sw["points"]
+            ):
+                fail(f"{where}: sweeps.distinct_points out of range")
+            for f in ("cold_first_point_s", "amortised_point_s", "oneshot_point_s"):
+                if not isinstance(sw[f], (int, float)) or sw[f] <= 0:
+                    fail(f"{where}: sweeps.{f} is not a positive number")
+            delta = sw["max_measure_delta"]
+            if not isinstance(delta, (int, float)) or delta < 0:
+                fail(f"{where}: sweeps.max_measure_delta is not a non-negative number")
+            if delta > MEASURE_DELTA_CEIL:
+                fail(
+                    f"{where}: sweep measures disagree with the one-shot path "
+                    f"(max_measure_delta {delta:.3e} > {MEASURE_DELTA_CEIL:.0e})"
+                )
+            for f in ("level_fixpoints", "level_fixpoints_reused", "rebuilds",
+                      "rebuilds_reused", "store_rows", "cross_bind_hits"):
+                if not isinstance(sw[f], int) or sw[f] < 0:
+                    fail(f"{where}: sweeps.{f} is not a non-negative integer")
+            # Every multi-point sweep must actually exercise the cross-bind
+            # tier — zero hits means row persistence silently stopped
+            # working (the bench family includes a complement-indicator
+            # point designed to guarantee store reuse).
+            if sw["cross_bind_hits"] == 0:
+                fail(f"{where}: multi-point sweep recorded no cross-bind cache hits")
+            if sw["level_fixpoints_reused"] + sw["rebuilds_reused"] == 0:
+                fail(f"{where}: sweep reused neither level fixpoints nor rebuilds")
+            if sw["store_rows"] == 0:
+                fail(f"{where}: persistent row store is empty after the sweep")
+            floor = (
+                SWEEP_FLOOR_KANBAN
+                if "kanban" in sc["name"].lower()
+                else SWEEP_FLOOR_DEFAULT
+            )
+            if sw["amortised_speedup"] < floor:
+                fail(
+                    f"{where}: amortised sweep speedup {sw['amortised_speedup']:.3f}x "
+                    f"below the {floor:.2f}x floor"
+                )
             check_fields(sc["domains"], DOMAINS_FIELDS, f"{where}: domains")
             dom = sc["domains"]
             if dom["identical"] is not True:
@@ -265,7 +350,7 @@ def main():
 
     print(
         f"{path}: OK ({kinds['flat']} flat, {kinds['multilevel']} multi-level scenarios, "
-        f"per-pipeline stats, solver races and domain races present)"
+        f"per-pipeline stats, solver races, domain races and batched sweeps present)"
     )
 
 

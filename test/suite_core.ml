@@ -769,6 +769,173 @@ let test_shared_cache_across_models () =
       hw := hw')
     models
 
+let test_cache_config_contract () =
+  (* The (eps, key choice, lumping mode) of a cache's rows are recorded
+     at first bind; a later bind (or lookup) under a different
+     configuration must be refused, not silently served rows computed
+     under the old one. *)
+  let config_mismatch =
+    Invalid_argument
+      "Key_cache: eps / key choice / lumping mode differ from the configuration \
+       recorded at this cache's first use (use a fresh cache per configuration)"
+  in
+  let md, _sizes = concrete_md () in
+  let rewards, initial = lump_inputs md in
+  let cache = Key_cache.create () in
+  ignore (Compositional.lump ~cache State_lumping.Ordinary md ~rewards ~initial);
+  Alcotest.check_raises "mode change refused" config_mismatch (fun () ->
+      ignore (Compositional.lump ~cache State_lumping.Exact md ~rewards ~initial));
+  Alcotest.check_raises "key choice change refused" config_mismatch (fun () ->
+      Key_cache.bind ~choice:Local_key.Expanded_matrices ~mode:State_lumping.Ordinary
+        cache md);
+  Alcotest.check_raises "eps change refused" config_mismatch (fun () ->
+      Key_cache.bind ~eps:1e-3 ~choice:Local_key.Formal_sums
+        ~mode:State_lumping.Ordinary cache md);
+  (* The recorded configuration itself keeps working. *)
+  ignore (Compositional.lump ~cache State_lumping.Ordinary md ~rewards ~initial);
+  (* A fresh cache records whatever it sees first — including a
+     non-default eps. *)
+  let c2 = Key_cache.create () in
+  Key_cache.bind ~eps:1e-3 ~choice:Local_key.Formal_sums ~mode:State_lumping.Ordinary
+    c2 md;
+  Alcotest.check_raises "default eps refused after explicit 1e-3" config_mismatch
+    (fun () ->
+      Key_cache.bind ~choice:Local_key.Formal_sums ~mode:State_lumping.Ordinary c2 md)
+
+let test_persistent_cross_bind () =
+  (* Persistent mode: a same-diagram rebind is an epoch bump, and a
+     re-run of the very same lump is answered entirely by the
+     content-keyed store — zero new misses, every answer counted as a
+     cross-bind hit, bit-identical result. *)
+  let md, _sizes = concrete_md () in
+  let rewards, initial = lump_inputs md in
+  let cache = Key_cache.create () in
+  Key_cache.set_persistent cache true;
+  Alcotest.(check bool) "persistence on" true (Key_cache.persistent cache);
+  let r1 = Compositional.lump ~cache State_lumping.Ordinary md ~rewards ~initial in
+  let misses1 = Key_cache.misses cache in
+  let epoch1 = Key_cache.epoch cache in
+  Alcotest.(check bool) "first run populated the store" true
+    (Key_cache.store_size cache > 0);
+  Alcotest.(check int) "no cross-bind hits within one bind" 0
+    (Key_cache.cross_bind_hits cache);
+  let r2 = Compositional.lump ~cache State_lumping.Ordinary md ~rewards ~initial in
+  Alcotest.(check int) "second run: no new misses" misses1 (Key_cache.misses cache);
+  Alcotest.(check bool) "second run: cross-bind hits" true
+    (Key_cache.cross_bind_hits cache > 0);
+  Alcotest.(check int) "rebind bumped the epoch" (epoch1 + 1) (Key_cache.epoch cache);
+  Alcotest.(check bool) "second run bit-identical" true
+    (Md.equal r1.Compositional.lumped r2.Compositional.lumped);
+  (* Binding a different diagram clears the store — node ids restart per
+     diagram, so content keys could collide across diagrams. *)
+  let md2 =
+    Gen_md.of_spec
+      (Spec.Direct { sizes = [| 3; 2; 2 |]; width = 2; symmetric = true; seed = 5 })
+  in
+  Key_cache.bind ~choice:Local_key.Formal_sums ~mode:State_lumping.Ordinary cache md2;
+  Alcotest.(check int) "different-diagram bind clears the store" 0
+    (Key_cache.store_size cache);
+  (* Toggling persistence off discards rows and store. *)
+  Key_cache.set_persistent cache false;
+  Alcotest.(check bool) "persistence off" false (Key_cache.persistent cache)
+
+(* ----- batched sweeps ----- *)
+
+(* A reward/initial family over one diagram: base spec, a threshold
+   indicator on the last level, its complement (same class sets, flipped
+   class order — the cross-bind fixture), a two-indicator point, then a
+   repeat of the base point (level-memo and rebuild-memo hits). *)
+let sweep_family mode md =
+  let sizes = Md.sizes md in
+  let level = Array.length sizes in
+  let size = sizes.(level - 1) in
+  let k = max 1 (size / 2) in
+  let ind up =
+    Decomposed.of_level ~sizes ~level (fun s ->
+        if (if up then s >= k else s < k) then 1.0 else 0.0)
+  in
+  let scaled = Decomposed.of_level ~sizes ~level:1 (fun s -> float_of_int (s mod 3)) in
+  let base_rewards = [ Decomposed.constant ~sizes 0.0 ] in
+  let base_initial = Decomposed.constant ~sizes 1.0 in
+  let specs rewards initial =
+    { Compositional.sweep_rewards = rewards; sweep_initial = initial }
+  in
+  match mode with
+  | State_lumping.Ordinary ->
+      List.map
+        (fun rewards -> specs rewards base_initial)
+        [
+          base_rewards;
+          [ ind true ];
+          [ ind false ];
+          [ ind true; scaled ];
+          base_rewards;
+        ]
+  | State_lumping.Exact ->
+      (* Exact mode partitions by the initial distribution (and row
+         sums); sweep the initial instead. *)
+      List.map
+        (fun initial -> specs base_rewards initial)
+        [ base_initial; ind true; ind false; scaled; base_initial ]
+
+let test_sweep_matches_per_point =
+  QCheck.Test.make ~count:25
+    ~name:"lump_sweep = independent lump per point (diagram, partitions)"
+    (Mdl_oracle.Qcheck_gen.model ()) (fun spec ->
+      let md = Gen_md.of_spec spec in
+      let ok = ref true in
+      List.iter
+        (fun mode ->
+          let points = sweep_family mode md in
+          let swept = Compositional.lump_sweep mode md ~points in
+          let independent =
+            List.map
+              (fun p ->
+                Compositional.lump mode md ~rewards:p.Compositional.sweep_rewards
+                  ~initial:p.Compositional.sweep_initial)
+              points
+          in
+          List.iter2
+            (fun s i ->
+              if not (Md.equal s.Compositional.lumped i.Compositional.lumped) then
+                ok := false;
+              if
+                not
+                  (Array.for_all2 Partition.equal s.Compositional.partitions
+                     i.Compositional.partitions)
+              then ok := false)
+            swept independent)
+        [ State_lumping.Ordinary; State_lumping.Exact ];
+      !ok)
+
+let test_sweep_reuse_counters () =
+  (* The engine's stats must show each reuse tier firing on the family
+     designed to exercise them: the repeated base point serves its level
+     fixed points and rebuild from the memos, and the complement
+     indicator point reuses splitter rows across binds. *)
+  let md, _sizes = concrete_md () in
+  let points = sweep_family State_lumping.Ordinary md in
+  let sw = Compositional.sweep_create State_lumping.Ordinary md in
+  let results =
+    List.map
+      (fun p ->
+        Compositional.sweep_point sw ~rewards:p.Compositional.sweep_rewards
+          ~initial:p.Compositional.sweep_initial)
+      points
+  in
+  let st = Compositional.sweep_stats sw in
+  Alcotest.(check int) "every point counted" (List.length points)
+    st.Compositional.points;
+  Alcotest.(check bool) "level fixpoints reused" true (st.Compositional.level_reused > 0);
+  Alcotest.(check bool) "rebuilds reused" true (st.Compositional.rebuilds_reused > 0);
+  Alcotest.(check bool) "rows persisted" true
+    (Mdl_core.Key_cache.store_size (Compositional.sweep_cache sw) > 0);
+  (* The repeated base point aliases the first point's diagram. *)
+  let first = List.hd results in
+  let last = List.nth results (List.length results - 1) in
+  Alcotest.(check bool) "repeated point aliases the memoised diagram" true
+    (first.Compositional.lumped == last.Compositional.lumped)
+
 let test_rebuild_counters () =
   let md, _sizes = concrete_md () in
   (* Identity partitions at every level: the rebuild aliases the input
@@ -816,6 +983,7 @@ let qcheck_tests =
     test_expanded_matrices_key_at_least_as_coarse;
     test_specialised_level_refinement_matches_generic;
     test_memoised_lump_matches_uncached;
+    test_sweep_matches_per_point;
   ]
 
 let tests =
@@ -832,6 +1000,11 @@ let tests =
       test_singleton_skip;
     Alcotest.test_case "one cache shared across models" `Quick
       test_shared_cache_across_models;
+    Alcotest.test_case "cache configuration contract enforced" `Quick
+      test_cache_config_contract;
+    Alcotest.test_case "persistent cache serves rows across binds" `Quick
+      test_persistent_cross_bind;
+    Alcotest.test_case "sweep engine reuse counters" `Quick test_sweep_reuse_counters;
     Alcotest.test_case "rebuild reuse/rebuilt counters" `Quick test_rebuild_counters;
     Alcotest.test_case "sufficiency gap: expanded key coarser than formal key" `Quick
       test_sufficiency_gap;

@@ -120,6 +120,76 @@ let test_differential_chain =
     ~name:"parallel lump bit-identical to sequential (flat chains)"
     Qcheck_gen.chain (fun c -> differential_lump State_lumping.Ordinary (Spec.Chain c))
 
+(* ----- batched sweeps under domains ----- *)
+
+(* The sweep engine refines memo-missing levels concurrently on cache
+   forks; the result must stay bit-identical to the sequential engine
+   and to an independent per-point lump at every domain count.  The
+   family mirrors the bench's: a threshold indicator on the last level,
+   its complement (same class contents, flipped class order — forces a
+   level-memo miss that the persistent row store answers), a combined
+   point, and a repeat. *)
+let sweep_points md =
+  let sizes = Md.sizes md in
+  let level = Array.length sizes in
+  let size = sizes.(level - 1) in
+  let k = max 1 (size / 2) in
+  let ind up =
+    Decomposed.of_level ~sizes ~level (fun s ->
+        if (if up then s >= k else s < k) then 1.0 else 0.0)
+  in
+  let reward =
+    Decomposed.of_level ~sizes ~level (fun s -> if s = 0 then 1.0 else 0.0)
+  in
+  let initial = Decomposed.constant ~sizes 1.0 in
+  List.map
+    (fun rewards -> { Compositional.sweep_rewards = rewards; sweep_initial = initial })
+    [ [ reward ]; [ ind true; reward ]; [ ind false; reward ]; [ reward ] ]
+
+let test_differential_sweep =
+  QCheck.Test.make ~count:25
+    ~name:"parallel lump_sweep bit-identical to sequential and per-point (2/4 domains)"
+    (Qcheck_gen.md_model ()) (fun spec ->
+      let md = Gen_md.of_spec spec in
+      let points = sweep_points md in
+      let seq = Compositional.lump_sweep State_lumping.Ordinary md ~points in
+      let independent =
+        List.map
+          (fun p ->
+            Compositional.lump State_lumping.Ordinary md
+              ~rewards:p.Compositional.sweep_rewards
+              ~initial:p.Compositional.sweep_initial)
+          points
+      in
+      List.iter2
+        (fun s i ->
+          if not (Md.equal s.Compositional.lumped i.Compositional.lumped) then
+            QCheck.Test.fail_reportf "sweep point differs from independent lump";
+          if
+            not
+              (Array.for_all2 Partition.equal s.Compositional.partitions
+                 i.Compositional.partitions)
+          then QCheck.Test.fail_reportf "sweep point partitions differ")
+        seq independent;
+      List.iter
+        (fun d ->
+          let par =
+            Compositional.lump_sweep ~pool:(pool d) ~par_threshold:1
+              State_lumping.Ordinary md ~points
+          in
+          List.iter2
+            (fun s p ->
+              if not (Md.equal s.Compositional.lumped p.Compositional.lumped) then
+                QCheck.Test.fail_reportf "%d domains: sweep diagram not bit-identical" d;
+              if
+                not
+                  (Array.for_all2 Partition.equal s.Compositional.partitions
+                     p.Compositional.partitions)
+              then QCheck.Test.fail_reportf "%d domains: sweep partitions differ" d)
+            seq par)
+        [ 2; 4 ];
+      true)
+
 (* Fixed multi-level specs for the unit-level differentials below —
    small but non-trivial (something actually lumps in both). *)
 let kron_spec =
@@ -479,6 +549,7 @@ let qcheck_tests =
     test_differential_exact;
     test_differential_chain;
     test_differential_chain_exact;
+    test_differential_sweep;
     test_gid_rank_determinism;
   ]
 
