@@ -35,6 +35,9 @@ module Solver = Mdl_ctmc.Solver
 module Spec = Mdl_oracle.Spec
 module Gen_chain = Mdl_oracle.Gen_chain
 module Trace = Mdl_obs.Trace
+module Serve = Mdl_serve.Server
+module Serve_client = Mdl_serve.Client
+module Proto = Mdl_serve.Protocol
 
 type flat_scenario = {
   name : string;
@@ -51,6 +54,10 @@ type multilevel_scenario = {
   statespace : Mdl_md.Statespace.t;
   rewards : Mdl_core.Decomposed.t list;
   ml_initial : Mdl_core.Decomposed.t;
+  (* How a lumpd client would name this model: the serve race re-submits
+     it through the wire protocol, so the daemon builds its own copy. *)
+  serve_family : Proto.family;
+  serve_params : (string * int) list;
 }
 
 type outcome = {
@@ -219,6 +226,8 @@ let tandem_ml_scenario ~name ~jobs ~hyper_dim =
     rewards =
       [ b.Mdl_models.Tandem.rewards_availability; b.Mdl_models.Tandem.rewards_msmq_jobs ];
     ml_initial = b.Mdl_models.Tandem.initial;
+    serve_family = Proto.Tandem;
+    serve_params = [ ("jobs", jobs); ("hyper_dim", hyper_dim) ];
   }
 
 let kanban_ml_scenario ~name ~cards =
@@ -229,6 +238,8 @@ let kanban_ml_scenario ~name ~cards =
     statespace = b.Mdl_models.Kanban.exploration.Mdl_san.Model.statespace;
     rewards = [ b.Mdl_models.Kanban.rewards_in_system ];
     ml_initial = b.Mdl_models.Kanban.initial;
+    serve_family = Proto.Kanban;
+    serve_params = [ ("cards", cards) ];
   }
 
 (* Race the memoised pipeline on domain pools against its own sequential
@@ -540,6 +551,135 @@ let run_sweep ~repeats sc =
   in
   (json, regression)
 
+(* ---- serve race: the sweep amortisation through lumpd's wire path ---- *)
+
+(* Boot an in-process lumpd on a private Unix socket, submit the
+   scenario's model through the protocol, then send the same 10-point
+   sweep request twice over two successive connections.  The first
+   request pays statespace interning and every level fixpoint; the
+   second rides the model's warm sweep engine and persistent key-cache
+   store — the service-level restatement of [run_sweep], measured
+   through the full framed JSON path (codec + socket included).  Gates
+   (scripts/check_bench_schema.py): the warm request must not be slower
+   than the cold one, the engine must report cross-bind store hits, and
+   both responses' per-point lumped shapes must agree exactly. *)
+let run_serve sc =
+  let npoints = 10 in
+  let sizes = Mdl_md.Md.sizes sc.md in
+  let level =
+    let li = ref 0 in
+    Array.iteri (fun i n -> if n > sizes.(!li) then li := i) sizes;
+    !li + 1
+  in
+  let size = sizes.(level - 1) in
+  let k1 = max 1 (size / 3) in
+  let k2 = max 1 (2 * size / 3) in
+  let ind k up = { Proto.ind_level = level; ind_ge = up; ind_k = k } in
+  (* Mirror [sweep_specs]' five-variant family, including the
+     complement-indicator pair that forces cross-bind store lookups. *)
+  let variants =
+    [ []; [ ind k1 true ]; [ ind k1 false ]; [ ind k2 true ];
+      [ ind k1 true; ind k2 true ] ]
+  in
+  let nv = List.length variants in
+  let points =
+    List.init npoints (fun i -> { Proto.pt_extra = List.nth variants (i mod nv) })
+  in
+  let metrics_were_enabled = Mdl_obs.Metrics.enabled () in
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lumpd-bench-%d-%s.sock" (Unix.getpid ()) sc.ml_name)
+  in
+  let server = Serve.start (Serve.default_config ~listen:(Serve.Unix_socket sock)) in
+  let fatal fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.printf "SERVE RACE FAILED\n";
+        Printf.eprintf "FATAL: %s: %s\n" sc.ml_name msg;
+        exit 1)
+      fmt
+  in
+  let call c verb =
+    let request = { Proto.rq_id = None; rq_deadline_ms = None; rq_verb = verb } in
+    match Serve_client.request c request with
+    | Ok { Proto.resp_body = Ok p; _ } -> p
+    | Ok { Proto.resp_body = Error (code, msg); _ } ->
+        fatal "serve request rejected: %s: %s" (Proto.error_code_string code) msg
+    | Error msg -> fatal "serve transport error: %s" msg
+  in
+  let model = sc.ml_name ^ "-serve" in
+  let sweep_rq = Proto.Sweep { sw_model = model; sw_points = points } in
+  let timed_sweep c =
+    match Mdl_util.Timer.time (fun () -> call c sweep_rq) with
+    | Proto.Sweep_result r, s -> (r, s)
+    | _ -> fatal "sweep answered with a non-sweep payload"
+  in
+  (* Cold connection: build the model, then pay the first full sweep. *)
+  let c1 = Serve_client.connect (Serve.address server) in
+  let _, submit_s =
+    Mdl_util.Timer.time (fun () ->
+        call c1
+          (Proto.Submit_model
+             {
+               sm_model = model;
+               sm_family = sc.serve_family;
+               sm_size = None;
+               sm_params = sc.serve_params;
+             }))
+  in
+  let cold, cold_s = timed_sweep c1 in
+  Serve_client.close c1;
+  (* Fresh connection: same request, warm engine and store. *)
+  let c2 = Serve_client.connect (Serve.address server) in
+  let warm, warm_s = timed_sweep c2 in
+  Serve_client.close c2;
+  Serve.stop server;
+  (try Sys.remove sock with Sys_error _ -> ());
+  Mdl_obs.Metrics.set_enabled metrics_were_enabled;
+  let shape (p : Proto.point_result) = (p.pr_lumped_states, p.pr_classes) in
+  let identical =
+    List.length cold.Proto.sr_points = List.length warm.Proto.sr_points
+    && List.for_all2
+         (fun a b -> shape a = shape b)
+         cold.Proto.sr_points warm.Proto.sr_points
+  in
+  if not identical then
+    fatal "warm sweep response differs from the cold one";
+  Printf.printf
+    "        serve %d pts: submit %.4fs  cold %.4fs  warm %.4fs  (%.2fx)  cross-bind %d\n"
+    npoints submit_s cold_s warm_s (cold_s /. warm_s)
+    warm.Proto.sr_cross_bind_hits;
+  let json =
+    Printf.sprintf
+      {|"serve": {
+        "points": %d,
+        "submit_s": %.6f,
+        "cold_request_s": %.6f,
+        "warm_request_s": %.6f,
+        "warm_speedup": %.3f,
+        "cross_bind_hits": %d,
+        "level_fixpoints_reused": %d,
+        "store_rows": %d,
+        "identical": true
+      }|}
+      npoints submit_s cold_s warm_s (cold_s /. warm_s)
+      warm.Proto.sr_cross_bind_hits warm.Proto.sr_level_reused
+      warm.Proto.sr_store_rows
+  in
+  let regression =
+    if warm.Proto.sr_cross_bind_hits <= 0 then
+      Some
+        (Printf.sprintf "%s: warm serve sweep reported no cross-bind cache hits"
+           sc.ml_name)
+    else if warm_s > cold_s then
+      Some
+        (Printf.sprintf
+           "%s: warm serve request slower than the cold one (%.4fs vs %.4fs)"
+           sc.ml_name warm_s cold_s)
+    else None
+  in
+  (json, regression)
+
 let run_multilevel ~repeats ~cache ~pools sc =
   (* One end-to-end lump is milliseconds, not seconds: triple the repeat
      count so the min is robust against scheduler/GC noise (the
@@ -610,6 +750,7 @@ let run_multilevel ~repeats ~cache ~pools sc =
           (fun (m, it, s) -> Printf.sprintf "  %s %d it %.4fs" m it s)
           solver_iters));
   let sweeps_json, sweep_regression = run_sweep ~repeats:solver_repeats sc in
+  let serve_json, serve_regression = run_serve sc in
   let json =
     Printf.sprintf
       {|    {
@@ -627,6 +768,7 @@ let run_multilevel ~repeats ~cache ~pools sc =
       %s,
       %s,
       %s,
+      %s,
       %s
     }|}
       sc.ml_name states (Mdl_md.Md.levels sc.md) lumped_states generic_s interned_s
@@ -635,6 +777,7 @@ let run_multilevel ~repeats ~cache ~pools sc =
       (interned_s /. cached_s)
       solvers_json
       sweeps_json
+      serve_json
       domains_json
       (stats_json stats)
       (phases_json ~from:span_from ())
@@ -645,7 +788,8 @@ let run_multilevel ~repeats ~cache ~pools sc =
         (Printf.sprintf "%s: memoised lump slower than uncached interned (%.4fs vs %.4fs)"
            sc.ml_name cached_s interned_s)
     else if domains_regression <> None then domains_regression
-    else sweep_regression
+    else if sweep_regression <> None then sweep_regression
+    else serve_regression
   in
   { json; o_name = sc.ml_name; regression }
 

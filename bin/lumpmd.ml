@@ -130,11 +130,36 @@ let print_phase_breakdown () =
       (List.rev !order)
   end
 
+let setup_tracing trace_file stream_trace show_metrics =
+  (* --stream-trace emits events as spans close (bounded memory);
+     --trace and --metrics buffer — the latter so the Gc words per
+     phase can be aggregated from the span arguments afterwards. *)
+  match stream_trace with
+  | Some path -> Trace.stream_to_file path
+  | None -> if Option.is_some trace_file || show_metrics then Trace.start ()
+
+let finish_tracing trace_file stream_trace show_metrics print_phases =
+  if Option.is_some trace_file || Option.is_some stream_trace || show_metrics then begin
+    let streamed = Trace.streamed_count () in
+    Trace.stop ();
+    (match stream_trace with
+    | Some path -> Printf.printf "Chrome trace (%d spans) streamed to %s\n" streamed path
+    | None ->
+        Option.iter
+          (fun path ->
+            Trace.write_file path;
+            Printf.printf "Chrome trace (%d spans) written to %s\n" (Trace.span_count ())
+              path)
+          trace_file);
+    if show_metrics then begin
+      Format.printf "%a@?" Metrics.pp ();
+      print_phases ()
+    end
+  end
+
 let run inst mode key solve solver check_optimal dot_file export_file merge_level show_stats
-    generic_refiner no_key_cache trace_file show_metrics domains =
-  (* --metrics also turns tracing on (without an export file) so the Gc
-     words per phase can be aggregated from the span arguments. *)
-  if Option.is_some trace_file || show_metrics then Trace.start ();
+    generic_refiner no_key_cache trace_file stream_trace show_metrics domains =
+  setup_tracing trace_file stream_trace show_metrics;
   if show_metrics then Metrics.set_enabled true;
   Printf.printf "model: %s\n" inst.name;
   (* Optional level merging before lumping (exposes cross-level
@@ -307,19 +332,7 @@ let run inst mode key solve solver check_optimal dot_file export_file merge_leve
          else "")
     end
   end;
-  if Option.is_some trace_file || show_metrics then begin
-    Trace.stop ();
-    Option.iter
-      (fun path ->
-        Trace.write_file path;
-        Printf.printf "Chrome trace (%d spans) written to %s\n" (Trace.span_count ())
-          path)
-      trace_file;
-    if show_metrics then begin
-      Format.printf "%a@?" Metrics.pp ();
-      print_phase_breakdown ()
-    end
-  end;
+  finish_tracing trace_file stream_trace show_metrics print_phase_breakdown;
   Option.iter Mdl_util.Domain_pool.shutdown pool
 
 (* ---- batched reward sweeps ---- *)
@@ -353,8 +366,9 @@ let sweep_variants inst =
       indicator k1 true :: indicator k2 true :: base );
   ]
 
-let run_sweep inst points solve solver show_stats trace_file show_metrics domains =
-  if Option.is_some trace_file || show_metrics then Trace.start ();
+let run_sweep inst points solve solver show_stats trace_file stream_trace show_metrics
+    domains =
+  setup_tracing trace_file stream_trace show_metrics;
   if show_metrics then Metrics.set_enabled true;
   Printf.printf "model: %s\n" inst.name;
   let ss = inst.statespace in
@@ -441,19 +455,7 @@ let run_sweep inst points solve solver show_stats trace_file show_metrics domain
       s.Mdl_partition.Refiner.cache_hits s.Mdl_partition.Refiner.cache_misses
       s.Mdl_partition.Refiner.nodes_rebuilt s.Mdl_partition.Refiner.nodes_reused
   end;
-  if Option.is_some trace_file || show_metrics then begin
-    Trace.stop ();
-    Option.iter
-      (fun path ->
-        Trace.write_file path;
-        Printf.printf "Chrome trace (%d spans) written to %s\n" (Trace.span_count ())
-          path)
-      trace_file;
-    if show_metrics then begin
-      Format.printf "%a@?" Metrics.pp ();
-      print_phase_breakdown ()
-    end
-  end;
+  finish_tracing trace_file stream_trace show_metrics print_phase_breakdown;
   Option.iter Mdl_util.Domain_pool.shutdown pool
 
 (* ---- command line ---- *)
@@ -528,6 +530,15 @@ let trace_arg =
        & info [ "trace" ] ~docv:"FILE"
            ~doc:"Record hierarchical spans over the whole pipeline (per level, per refinement fixed point, per splitter pass, rebuild, solver) and write them as Chrome trace-event JSON to $(docv) — loads directly in chrome://tracing, Perfetto or speedscope.")
 
+let stream_trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "stream-trace" ] ~docv:"FILE"
+           ~doc:"Like $(b,--trace), but stream each span to $(docv) as it closes \
+                 instead of buffering the run — memory stays bounded however many \
+                 spans the run produces. Takes precedence over $(b,--trace); the \
+                 $(b,--metrics) per-phase breakdown needs the buffer and is empty \
+                 when streaming.")
+
 let metrics_arg =
   Arg.(value & flag
        & info [ "metrics" ]
@@ -543,76 +554,76 @@ let tandem_cmd =
   let hdim = Arg.(value & opt int 3 & info [ "hyper-dim" ] ~doc:"Hypercube dimension (2^d servers).") in
   let ms = Arg.(value & opt int 3 & info [ "msmq-servers" ] ~doc:"MSMQ servers.") in
   let mq = Arg.(value & opt int 4 & info [ "msmq-queues" ] ~doc:"MSMQ queues.") in
-  let f jobs hdim ms mq mode key solve solver check dot export merge stats generic no_cache trace metrics domains verbose =
+  let f jobs hdim ms mq mode key solve solver check dot export merge stats generic no_cache trace stream metrics domains verbose =
     Mdl_obs.Logging.setup ~verbose ();
     run (build_tandem jobs hdim ms mq) mode key solve solver check dot export merge stats generic
-      no_cache trace metrics domains
+      no_cache trace stream metrics domains
   in
   Cmd.v
     (Cmd.info "tandem" ~doc:"The paper's tandem multi-processor system (Section 5).")
     Term.(
       const f $ jobs $ hdim $ ms $ mq $ mode_arg $ key_arg $ solve_arg $ solver_arg $ check_arg
-      $ dot_arg $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ domains_arg $ verbose_arg)
+      $ dot_arg $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ stream_trace_arg $ metrics_arg $ domains_arg $ verbose_arg)
 
 let polling_cmd =
   let customers =
     Arg.(value & opt int 4 & info [ "customers"; "c" ] ~doc:"Closed population.")
   in
-  let f customers mode key solve solver check dot export merge stats generic no_cache trace metrics domains verbose =
+  let f customers mode key solve solver check dot export merge stats generic no_cache trace stream metrics domains verbose =
     Mdl_obs.Logging.setup ~verbose ();
     run (build_polling customers) mode key solve solver check dot export merge stats generic no_cache
-      trace metrics domains
+      trace stream metrics domains
   in
   Cmd.v
     (Cmd.info "polling" ~doc:"The MSMQ polling station in isolation.")
     Term.(
       const f $ customers $ mode_arg $ key_arg $ solve_arg $ solver_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ domains_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ stream_trace_arg $ metrics_arg $ domains_arg $ verbose_arg)
 
 let workstations_cmd =
   let stations =
     Arg.(value & opt int 4 & info [ "stations"; "n" ] ~doc:"Number of workstations.")
   in
-  let f stations mode key solve solver check dot export merge stats generic no_cache trace metrics domains verbose =
+  let f stations mode key solve solver check dot export merge stats generic no_cache trace stream metrics domains verbose =
     Mdl_obs.Logging.setup ~verbose ();
     run (build_workstations stations) mode key solve solver check dot export merge stats generic no_cache
-      trace metrics domains
+      trace stream metrics domains
   in
   Cmd.v
     (Cmd.info "workstations" ~doc:"Replicated workstation cluster with a spare store.")
     Term.(
       const f $ stations $ mode_arg $ key_arg $ solve_arg $ solver_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ domains_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ stream_trace_arg $ metrics_arg $ domains_arg $ verbose_arg)
 
 let multitier_cmd =
   let clients =
     Arg.(value & opt int 3 & info [ "clients"; "c" ] ~doc:"Closed population.")
   in
-  let f clients mode key solve solver check dot export merge stats generic no_cache trace metrics domains verbose =
+  let f clients mode key solve solver check dot export merge stats generic no_cache trace stream metrics domains verbose =
     Mdl_obs.Logging.setup ~verbose ();
     run (build_multitier clients) mode key solve solver check dot export merge stats generic no_cache
-      trace metrics domains
+      trace stream metrics domains
   in
   Cmd.v
     (Cmd.info "multitier" ~doc:"Closed multi-tier service system (4-level MD).")
     Term.(
       const f $ clients $ mode_arg $ key_arg $ solve_arg $ solver_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ domains_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ stream_trace_arg $ metrics_arg $ domains_arg $ verbose_arg)
 
 let kanban_cmd =
   let cards =
     Arg.(value & opt int 2 & info [ "cards"; "n" ] ~doc:"Kanban cards per cell.")
   in
-  let f cards mode key solve solver check dot export merge stats generic no_cache trace metrics domains verbose =
+  let f cards mode key solve solver check dot export merge stats generic no_cache trace stream metrics domains verbose =
     Mdl_obs.Logging.setup ~verbose ();
     run (build_kanban cards) mode key solve solver check dot export merge stats generic no_cache
-      trace metrics domains
+      trace stream metrics domains
   in
   Cmd.v
     (Cmd.info "kanban" ~doc:"The Kanban manufacturing system (4-level MD benchmark).")
     Term.(
       const f $ cards $ mode_arg $ key_arg $ solve_arg $ solver_arg $ check_arg $ dot_arg
-      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ metrics_arg $ domains_arg $ verbose_arg)
+      $ export_arg $ merge_arg $ stats_arg $ generic_refiner_arg $ no_key_cache_arg $ trace_arg $ stream_trace_arg $ metrics_arg $ domains_arg $ verbose_arg)
 
 let sweep_cmd =
   let model =
@@ -642,7 +653,7 @@ let sweep_cmd =
     Arg.(value & opt int 10
          & info [ "points" ] ~docv:"N" ~doc:"Number of sweep points (default 10).")
   in
-  let f model size points solve solver stats trace metrics domains verbose =
+  let f model size points solve solver stats trace stream metrics domains verbose =
     Mdl_obs.Logging.setup ~verbose ();
     let inst =
       match model with
@@ -652,7 +663,7 @@ let sweep_cmd =
       | `Multitier -> build_multitier (Option.value size ~default:3)
       | `Kanban -> build_kanban (Option.value size ~default:2)
     in
-    run_sweep inst points solve solver stats trace metrics domains
+    run_sweep inst points solve solver stats trace stream metrics domains
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -663,7 +674,7 @@ let sweep_cmd =
              so the mode is fixed to ordinary.")
     Term.(
       const f $ model $ size $ points $ solve_arg $ solver_arg $ stats_arg $ trace_arg
-      $ metrics_arg $ domains_arg $ verbose_arg)
+      $ stream_trace_arg $ metrics_arg $ domains_arg $ verbose_arg)
 
 let main =
   Cmd.group

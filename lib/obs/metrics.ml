@@ -263,6 +263,63 @@ let escape_json buf s =
       | c -> Buffer.add_char buf c)
     s
 
+(* ---- Prometheus text exposition format (version 0.0.4) ---- *)
+
+(* Registry names are dotted ([serve.request_seconds]); Prometheus
+   metric names are [[a-zA-Z_:][a-zA-Z0-9_:]*].  Dots and dashes map to
+   underscores, anything else unexpected maps to '_' too. *)
+let prom_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%.17g" f
+
+let to_prometheus buf =
+  List.iter
+    (fun m ->
+      match m with
+      | Counter c ->
+          let n = prom_name c.c_name in
+          Buffer.add_string buf (Printf.sprintf "# HELP %s mdlump counter %s\n" n c.c_name);
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" n (Atomic.get c.c_value))
+      | Gauge g ->
+          let n = prom_name g.g_name in
+          Buffer.add_string buf (Printf.sprintf "# HELP %s mdlump gauge %s\n" n g.g_name);
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" n);
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s\n" n (prom_float (Atomic.get g.g_value)))
+      | Histogram h ->
+          let n = prom_name h.h_name in
+          let count, sum, counts = merge_hist h in
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s mdlump histogram %s\n" n h.h_name);
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+          (* Prometheus buckets are cumulative, the per-shard counts are
+             not; the running total converts, and the +Inf bucket equals
+             the count series by construction. *)
+          let cum = ref 0 in
+          Array.iteri
+            (fun i c ->
+              cum := !cum + c;
+              let le =
+                if i < Array.length h.h_bounds then prom_float h.h_bounds.(i) else "+Inf"
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n le !cum))
+            counts;
+          Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" n (prom_float sum));
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n count))
+    (metrics_snapshot ())
+
 let to_json buf =
   let snapshot = metrics_snapshot () in
   let items kind f =

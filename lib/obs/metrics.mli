@@ -105,3 +105,15 @@ val pp : Format.formatter -> unit -> unit
 val to_json : Buffer.t -> unit
 (** Append a JSON object [{"counters": {...}, "gauges": {...},
     "histograms": {...}}] with every registered metric. *)
+
+val to_prometheus : Buffer.t -> unit
+(** Append every registered metric in the Prometheus {e text exposition
+    format} (version 0.0.4) — the body served by [lumpd]'s
+    [GET /metrics] endpoint.  Registry names are sanitised to the
+    Prometheus grammar (dots and dashes become underscores, so
+    [serve.request_seconds] scrapes as [serve_request_seconds]);
+    counters and gauges emit one sample each, histograms emit the
+    cumulative [_bucket{le="..."}] series (the implicit overflow bucket
+    as [le="+Inf"]) plus [_sum] and [_count].  Zero-valued metrics are
+    included — a scraper sees every registered series from the first
+    scrape. *)

@@ -39,22 +39,68 @@ let events : event Dynarray.t = Dynarray.create ()
 
 let stack : frame list ref = ref []
 
+(* Streaming sink: when set, completed spans are rendered immediately
+   and handed to the sink instead of being buffered, so a long run
+   traces with memory bounded by the deepest open nest, not the span
+   count.  [sink_first] tracks whether the JSON array separator is
+   needed; [sink_close] releases the sink's resource (file handle) at
+   {!stop}. *)
+let sink : (string -> unit) option ref = ref None
+
+let sink_close : (unit -> unit) ref = ref (fun () -> ())
+
+let sink_first = ref true
+
+let streamed = ref 0
+
 let enabled () = !enabled_flag
+
+let streaming () = !sink <> None
+
+let streamed_count () = !streamed
 
 let clear () =
   Dynarray.clear events;
   stack := []
 
+let close_sink () =
+  match !sink with
+  | None -> ()
+  | Some emit ->
+      emit "\n]\n";
+      sink := None;
+      let close = !sink_close in
+      sink_close := (fun () -> ());
+      close ()
+
 let start ?(gc = true) () =
+  close_sink ();
   clear ();
   gc_flag := gc;
   if !epoch = None then epoch := Some (Timer.now_ns ());
   enabled_flag := true
 
+let start_streaming ?(gc = true) ?(close = fun () -> ()) emit =
+  close_sink ();
+  clear ();
+  gc_flag := gc;
+  if !epoch = None then epoch := Some (Timer.now_ns ());
+  sink := Some emit;
+  sink_close := close;
+  sink_first := true;
+  streamed := 0;
+  emit "[";
+  enabled_flag := true
+
+let stream_to_file ?gc path =
+  let oc = open_out path in
+  start_streaming ?gc ~close:(fun () -> close_out oc) (output_string oc)
+
 let stop () =
   (match !stack with
   | [] -> ()
   | f :: _ -> raise (Nesting_error (Printf.sprintf "Trace.stop: span %S still open" f.f_name)));
+  close_sink ();
   enabled_flag := false
 
 let resume () =
@@ -88,6 +134,75 @@ let begin_span ?(cat = "mdl") ?(args = []) name =
       :: !stack
   end
 
+(* ---- Chrome trace_event rendering ---- *)
+
+let escape_json buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_value buf = function
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      (* JSON has no nan/infinity literals; clamp to strings. *)
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
+      else begin
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (string_of_float f);
+        Buffer.add_char buf '"'
+      end
+  | Str s ->
+      Buffer.add_char buf '"';
+      escape_json buf s;
+      Buffer.add_char buf '"'
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+
+(* One duration event ([ph = "X"]) as a JSON object, timestamps in
+   microseconds relative to the trace epoch — shared by the buffered
+   export and the streaming sink. *)
+let render_event buf ~t0 ~name ~cat ~start_ns ~dur_ns ~depth ~args =
+  Buffer.add_string buf "{\"name\": \"";
+  escape_json buf name;
+  Buffer.add_string buf "\", \"cat\": \"";
+  escape_json buf cat;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\", \"ph\": \"X\", \"pid\": 1, \"tid\": 1, \"ts\": %.3f, \"dur\": %.3f"
+       (Int64.to_float (Int64.sub start_ns t0) /. 1e3)
+       (Int64.to_float dur_ns /. 1e3));
+  Buffer.add_string buf ", \"args\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_char buf '"';
+      escape_json buf k;
+      Buffer.add_string buf "\": ";
+      add_value buf v)
+    (("depth", Int depth) :: args);
+  Buffer.add_string buf "}}"
+
+let stream_event ev =
+  match !sink with
+  | None -> false
+  | Some emit ->
+      let t0 = match !epoch with Some t -> t | None -> 0L in
+      let buf = Buffer.create 256 in
+      if !sink_first then sink_first := false else Buffer.add_char buf ',';
+      Buffer.add_string buf "\n  ";
+      render_event buf ~t0 ~name:ev.ev_name ~cat:ev.ev_cat ~start_ns:ev.ev_start_ns
+        ~dur_ns:ev.ev_dur_ns ~depth:ev.ev_depth ~args:ev.ev_args;
+      emit (Buffer.contents buf);
+      incr streamed;
+      true
+
 let end_span name =
   if !enabled_flag then begin
     match !stack with
@@ -115,7 +230,7 @@ let end_span name =
           else args
         in
         stack := rest;
-        Dynarray.push events
+        let ev =
           {
             ev_name = f.f_name;
             ev_cat = f.f_cat;
@@ -124,6 +239,8 @@ let end_span name =
             ev_depth = List.length rest;
             ev_args = args;
           }
+        in
+        if not (stream_event ev) then Dynarray.push events ev
   end
 
 let with_span ?cat ?args name f =
@@ -166,36 +283,7 @@ let phase_totals ?from () =
   Hashtbl.fold (fun name s acc -> (name, s) :: acc) totals []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-(* ---- Chrome trace_event export ---- *)
-
-let escape_json buf s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s
-
-let add_value buf = function
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f ->
-      (* JSON has no nan/infinity literals; clamp to strings. *)
-      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
-      else begin
-        Buffer.add_char buf '"';
-        Buffer.add_string buf (string_of_float f);
-        Buffer.add_char buf '"'
-      end
-  | Str s ->
-      Buffer.add_char buf '"';
-      escape_json buf s;
-      Buffer.add_char buf '"'
-  | Bool b -> Buffer.add_string buf (string_of_bool b)
+(* ---- Chrome trace_event export (buffered mode) ---- *)
 
 let export_json buf =
   let t0 = match !epoch with Some t -> t | None -> 0L in
@@ -203,28 +291,11 @@ let export_json buf =
   let first = ref true in
   iter_events (fun ~name ~cat ~start_ns ~dur_ns ~depth ~args ->
       if !first then first := false else Buffer.add_char buf ',';
-      Buffer.add_string buf "\n    {\"name\": \"";
-      escape_json buf name;
-      Buffer.add_string buf "\", \"cat\": \"";
-      escape_json buf cat;
+      Buffer.add_string buf "\n    ";
       (* Duration events with microsecond timestamps relative to the
          trace epoch; one process, one thread — the nesting carries the
          hierarchy. *)
-      Buffer.add_string buf
-        (Printf.sprintf
-           "\", \"ph\": \"X\", \"pid\": 1, \"tid\": 1, \"ts\": %.3f, \"dur\": %.3f"
-           (Int64.to_float (Int64.sub start_ns t0) /. 1e3)
-           (Int64.to_float dur_ns /. 1e3));
-      Buffer.add_string buf ", \"args\": {";
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_string buf ", ";
-          Buffer.add_char buf '"';
-          escape_json buf k;
-          Buffer.add_string buf "\": ";
-          add_value buf v)
-        (("depth", Int depth) :: args);
-      Buffer.add_string buf "}}");
+      render_event buf ~t0 ~name ~cat ~start_ns ~dur_ns ~depth ~args);
   Buffer.add_string buf "\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n"
 
 let write_file path =

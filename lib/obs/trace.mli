@@ -36,11 +36,50 @@ val enabled : unit -> bool
 (** Whether spans are currently being recorded. *)
 
 val start : ?gc:bool -> unit -> unit
-(** [start ()] clears the buffer and enables recording; [gc:false]
-    switches the per-span allocation sampling off (default on). *)
+(** [start ()] clears the buffer and enables recording in {e buffered}
+    mode; [gc:false] switches the per-span allocation sampling off
+    (default on).  An active streaming sink (see {!start_streaming}) is
+    terminated and closed first. *)
+
+(** {2 Streaming sink mode}
+
+    Buffered mode holds every completed span until export — fine for
+    one lump run, unbounded for a long-running sweep or a daemon.  In
+    {e streaming} mode each span is rendered as one Chrome trace-event
+    JSON object the moment it closes and handed to a sink, so memory
+    stays bounded by the deepest open nest regardless of how many spans
+    the run produces ({!span_count} stays [0]; {!streamed_count} counts
+    the emitted events).  The sink receives the chunks of a valid JSON
+    array document ([[evt, evt, ...]] — the Chrome {e JSON array
+    format}, which every trace viewer accepts), terminated when {!stop}
+    (or a later {!start}/{!start_streaming}) closes the sink.  Streamed
+    spans do not appear in {!iter_events}/{!phase_totals}/
+    {!export_json}. *)
+
+val start_streaming :
+  ?gc:bool -> ?close:(unit -> unit) -> (string -> unit) -> unit
+(** [start_streaming emit] clears the buffer and enables recording in
+    streaming mode: every completed span is passed to [emit] as one
+    JSON chunk.  [close] (default a no-op) runs after the array
+    terminator is emitted — use it to release the sink's resource.
+    [gc] as in {!start}. *)
+
+val stream_to_file : ?gc:bool -> string -> unit
+(** [stream_to_file path] is {!start_streaming} into [path]: spans are
+    appended to the file as they close and the file is completed and
+    closed at {!stop} — constant memory at any span count
+    ([lumpd --trace], [lumpmd --stream-trace]). *)
+
+val streaming : unit -> bool
+(** Whether a streaming sink is currently installed. *)
+
+val streamed_count : unit -> int
+(** Events emitted through the streaming sink since it was installed. *)
 
 val stop : unit -> unit
-(** Disable recording, {e keeping} buffered events for export.
+(** Disable recording, {e keeping} buffered events for export.  In
+    streaming mode, additionally emit the array terminator and close
+    the sink.
     @raise Nesting_error if a span is still open. *)
 
 val resume : unit -> unit

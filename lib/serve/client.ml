@@ -1,0 +1,50 @@
+module P = Protocol
+
+type t = {
+  fd : Unix.file_descr;
+  reader : P.reader;
+  mutable closed : bool;
+}
+
+let connect (addr : Server.address) =
+  let fd =
+    match addr with
+    | Server.Unix_socket path ->
+        let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+    | Server.Tcp (host, port) ->
+        let a =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> Unix.inet_addr_loopback
+        in
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (a, port));
+        fd
+  in
+  { fd; reader = P.reader fd; closed = false }
+
+let request ?(timeout_s = 30.0) c rq =
+  if c.closed then Error "connection is closed"
+  else
+    match
+      P.write_frame c.fd (Json.to_string (P.request_to_json rq))
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "send failed: %s" (Unix.error_message e))
+    | () -> (
+        let deadline = Unix.gettimeofday () +. timeout_s in
+        let stop () = Unix.gettimeofday () > deadline in
+        match P.read_frame ~stop c.reader with
+        | Ok payload -> P.response_of_string payload
+        | Error P.Stopped -> Error "timed out waiting for the response"
+        | Error P.Eof -> Error "server closed the connection"
+        | Error P.Truncated -> Error "server closed the connection mid-frame"
+        | Error (P.Oversized n) -> Error (Printf.sprintf "oversized response (%d bytes)" n)
+        | Error (P.Malformed msg) -> Error (Printf.sprintf "malformed frame: %s" msg))
+
+let close c =
+  if not c.closed then begin
+    c.closed <- true;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end

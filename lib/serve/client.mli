@@ -1,0 +1,21 @@
+(** A minimal synchronous [lumpd] client: one connection, one
+    outstanding request at a time — what the end-to-end tests, the
+    bench's warm-vs-cold race and scripting against the daemon need.
+    Anything fancier should speak {!Protocol} directly. *)
+
+type t
+
+val connect : Server.address -> t
+(** Connect to a daemon.
+    @raise Unix.Unix_error when the socket cannot be reached. *)
+
+val request :
+  ?timeout_s:float -> t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request and block for its response.  [timeout_s] (default
+    30 s) bounds the wait for the response frame; on timeout, transport
+    error or undecodable response the connection is no longer usable —
+    {!close} it.  Protocol-level errors arrive as [Ok] responses with
+    [resp_body = Error _]. *)
+
+val close : t -> unit
+(** Close the connection (idempotent). *)

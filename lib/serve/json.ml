@@ -1,0 +1,316 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ---- parser ---- *)
+
+type state = { s : string; mutable pos : int }
+
+let max_depth = 512
+
+let error st msg = raise (Parse_error (Printf.sprintf "offset %d: %s" st.pos msg))
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  while
+    st.pos < String.length st.s
+    && match st.s.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    advance st
+  done
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | Some d -> error st (Printf.sprintf "expected %C, found %C" c d)
+  | None -> error st (Printf.sprintf "expected %C, found end of input" c)
+
+let literal st word v =
+  let n = String.length word in
+  if st.pos + n <= String.length st.s && String.sub st.s st.pos n = word then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else error st (Printf.sprintf "expected %s" word)
+
+(* UTF-8 encode one code point (for \uXXXX escapes; surrogate pairs are
+   combined by the caller). *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+
+let hex4 st =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    (match peek st with
+    | Some ('0' .. '9' as c) -> v := (!v * 16) + (Char.code c - Char.code '0')
+    | Some ('a' .. 'f' as c) -> v := (!v * 16) + (Char.code c - Char.code 'a' + 10)
+    | Some ('A' .. 'F' as c) -> v := (!v * 16) + (Char.code c - Char.code 'A' + 10)
+    | _ -> error st "expected 4 hex digits after \\u");
+    advance st
+  done;
+  !v
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+        advance st;
+        (match peek st with
+        | Some '"' -> Buffer.add_char buf '"'; advance st
+        | Some '\\' -> Buffer.add_char buf '\\'; advance st
+        | Some '/' -> Buffer.add_char buf '/'; advance st
+        | Some 'b' -> Buffer.add_char buf '\b'; advance st
+        | Some 'f' -> Buffer.add_char buf '\012'; advance st
+        | Some 'n' -> Buffer.add_char buf '\n'; advance st
+        | Some 'r' -> Buffer.add_char buf '\r'; advance st
+        | Some 't' -> Buffer.add_char buf '\t'; advance st
+        | Some 'u' ->
+            advance st;
+            let cp = hex4 st in
+            let cp =
+              (* High surrogate: a low surrogate must follow. *)
+              if cp >= 0xd800 && cp <= 0xdbff then begin
+                if
+                  st.pos + 1 < String.length st.s
+                  && st.s.[st.pos] = '\\'
+                  && st.s.[st.pos + 1] = 'u'
+                then begin
+                  advance st;
+                  advance st;
+                  let lo = hex4 st in
+                  if lo < 0xdc00 || lo > 0xdfff then
+                    error st "invalid low surrogate";
+                  0x10000 + ((cp - 0xd800) lsl 10) + (lo - 0xdc00)
+                end
+                else error st "unpaired high surrogate"
+              end
+              else if cp >= 0xdc00 && cp <= 0xdfff then
+                error st "unpaired low surrogate"
+              else cp
+            in
+            add_utf8 buf cp
+        | _ -> error st "invalid escape");
+        loop ()
+    | Some c when Char.code c < 0x20 -> error st "unescaped control character in string"
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  if peek st = Some '-' then advance st;
+  let digits () =
+    let n = ref 0 in
+    let rec go () =
+      match peek st with
+      | Some '0' .. '9' ->
+          incr n;
+          advance st;
+          go ()
+      | _ -> ()
+    in
+    go ();
+    if !n = 0 then error st "expected digit"
+  in
+  (* Integer part: 0, or nonzero leading digit. *)
+  (match peek st with
+  | Some '0' -> advance st
+  | Some '1' .. '9' -> digits ()
+  | _ -> error st "expected digit");
+  (match peek st with
+  | Some '.' ->
+      is_float := true;
+      advance st;
+      digits ()
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      digits ()
+  | _ -> ());
+  let text = String.sub st.s start (st.pos - start) in
+  if !is_float then Float (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> Float (float_of_string text) (* out of int range *)
+
+let rec parse_value st depth =
+  if depth > max_depth then error st "document nested too deep";
+  skip_ws st;
+  match peek st with
+  | None -> error st "expected a JSON value, found end of input"
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Obj []
+      end
+      else begin
+        let members = ref [] in
+        let rec loop () =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st (depth + 1) in
+          members := (k, v) :: !members;
+          skip_ws st;
+          match peek st with
+          | Some ',' -> advance st; loop ()
+          | Some '}' -> advance st
+          | _ -> error st "expected ',' or '}'"
+        in
+        loop ();
+        Obj (List.rev !members)
+      end
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec loop () =
+          let v = parse_value st (depth + 1) in
+          items := v :: !items;
+          skip_ws st;
+          match peek st with
+          | Some ',' -> advance st; loop ()
+          | Some ']' -> advance st
+          | _ -> error st "expected ',' or ']'"
+        in
+        loop ();
+        List (List.rev !items)
+      end
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> error st (Printf.sprintf "unexpected character %C" c)
+
+let parse s =
+  let st = { s; pos = 0 } in
+  let v = parse_value st 0 in
+  skip_ws st;
+  if st.pos <> String.length s then error st "trailing bytes after document";
+  v
+
+let parse_result s =
+  match parse s with v -> Ok v | exception Parse_error msg -> Error msg
+
+(* ---- printer ---- *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        (* Keep a ".0" so the value reparses as Float — field kinds
+           (count vs seconds) survive a round trip. *)
+        Buffer.add_string buf (Printf.sprintf "%.1f" f)
+      else if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
+      else
+        (* JSON has no non-finite literals; the protocol never emits
+           them, but a total printer must not produce invalid JSON. *)
+        Buffer.add_string buf "null"
+  | Str s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf v)
+        items;
+      Buffer.add_char buf ']'
+  | Obj members ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          to_buffer buf v)
+        members;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+let member k = function
+  | Obj members ->
+      List.fold_left (fun acc (k', v) -> if k' = k then Some v else acc) None members
+  | _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool a, Bool b -> a = b
+  | Int a, Int b -> a = b
+  | Float a, Float b -> Float.equal a b
+  | Str a, Str b -> String.equal a b
+  | List a, List b -> List.equal equal a b
+  | Obj a, Obj b ->
+      List.equal (fun (ka, va) (kb, vb) -> String.equal ka kb && equal va vb) a b
+  | _ -> false

@@ -1,0 +1,59 @@
+(** A minimal JSON tree, parser and printer for the [lumpd] wire
+    protocol.
+
+    The repository deliberately has no JSON dependency — every producer
+    so far ({!Mdl_obs.Trace.export_json}, {!Mdl_obs.Metrics.to_json},
+    the bench writer) hand-rolls its output.  The service protocol also
+    needs to {e read} JSON, so this module adds the smallest complete
+    codec: a strict recursive-descent parser over RFC 8259 documents
+    and a printer whose float rendering ([%.17g]) round-trips every
+    finite [float] bit-exactly — which is what lets the end-to-end
+    tests pin wire results {e equal}, not approximately equal, to
+    in-process ones.
+
+    Numbers parse as {!constructor-Int} when they are integral, fit in
+    an OCaml [int] and were written without ['.'/'e'] notation, and as
+    {!constructor-Float} otherwise; [1] and [1.0] therefore compare
+    unequal as trees, matching the protocol's separation of count and
+    time fields.  Object member order is preserved (the printer emits
+    in construction order); duplicate keys are accepted by the parser
+    with last-one-wins lookup through {!member}. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+      (** Members in document order; {!member} looks up by key. *)
+
+exception Parse_error of string
+(** Raised by {!parse} on malformed input, with a position-annotated
+    message (["offset 12: expected ':'"]). *)
+
+val parse : string -> t
+(** Parse one complete JSON document.  Leading and trailing JSON
+    whitespace is allowed; any other trailing bytes raise.
+    @raise Parse_error on malformed input, unterminated strings or
+    documents nested deeper than 512 levels. *)
+
+val parse_result : string -> (t, string) result
+(** {!parse} with the error message as a [result] — the shape the
+    protocol decoder wants. *)
+
+val to_buffer : Buffer.t -> t -> unit
+(** Append the document, compactly (no insignificant whitespace). *)
+
+val to_string : t -> string
+(** {!to_buffer} into a fresh string. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ms)] is the value of the {e last} member named [k],
+    or [None]; [None] on non-objects. *)
+
+val equal : t -> t -> bool
+(** Structural equality ([Float] compared by [Float.equal], so [nan]
+    equals itself and [0.] differs from [-0.] — exactly the equality
+    the codec round-trip property needs). *)

@@ -1,0 +1,834 @@
+let version = 1
+
+type family = Tandem | Polling | Workstations | Multitier | Kanban
+
+type mode = Ordinary | Exact
+
+type solver = Power | Gauss_seidel | Krylov
+
+type reward_spec = { ind_level : int; ind_ge : bool; ind_k : int }
+
+type point = { pt_extra : reward_spec list }
+
+type submit = {
+  sm_model : string;
+  sm_family : family;
+  sm_size : int option;
+  sm_params : (string * int) list;
+}
+
+type lump = { lp_model : string; lp_mode : mode; lp_extra : reward_spec list }
+
+type sweep = { sw_model : string; sw_points : point list }
+
+type solve = { sv_model : string; sv_solver : solver }
+
+type ping = { pg_sleep_ms : int }
+
+type verb =
+  | Submit_model of submit
+  | Lump of lump
+  | Sweep of sweep
+  | Solve of solve
+  | Stats
+  | Ping of ping
+  | Shutdown
+
+type request = { rq_id : string option; rq_deadline_ms : int option; rq_verb : verb }
+
+type error_code =
+  | Parse_error
+  | Bad_request
+  | Unknown_verb
+  | Unsupported_version
+  | Frame_too_large
+  | Unknown_model
+  | Model_exists
+  | Queue_full
+  | Deadline_exceeded
+  | Shutting_down
+  | Internal
+
+type model_info = {
+  mi_model : string;
+  mi_family : family;
+  mi_states : int;
+  mi_levels : int;
+  mi_level_sizes : int list;
+  mi_fresh : bool;
+}
+
+type lump_result = { lr_lumped_states : int; lr_classes : int list; lr_wall_s : float }
+
+type point_result = { pr_lumped_states : int; pr_classes : int list; pr_wall_s : float }
+
+type sweep_result = {
+  sr_points : point_result list;
+  sr_cross_bind_hits : int;
+  sr_level_reused : int;
+  sr_rebuilds_reused : int;
+  sr_store_rows : int;
+  sr_wall_s : float;
+}
+
+type solve_result = {
+  so_solver : solver;
+  so_iterations : int;
+  so_converged : bool;
+  so_residual : float;
+  so_measures : (string * float) list;
+  so_wall_s : float;
+}
+
+type model_stat = {
+  ms_model : string;
+  ms_family : family;
+  ms_states : int;
+  ms_store_rows : int;
+  ms_gid_count : int;
+  ms_cross_bind_hits : int;
+  ms_points : int;
+}
+
+type stats_result = {
+  st_uptime_s : float;
+  st_draining : bool;
+  st_inflight : int;
+  st_queue_depth : int;
+  st_requests : int;
+  st_rejected_queue_full : int;
+  st_rejected_deadline : int;
+  st_protocol_errors : int;
+  st_models : model_stat list;
+}
+
+type payload =
+  | Model_info of model_info
+  | Lump_result of lump_result
+  | Sweep_result of sweep_result
+  | Solve_result of solve_result
+  | Stats_result of stats_result
+  | Pong
+  | Shutdown_ack of { draining : bool }
+
+type response = {
+  resp_id : string option;
+  resp_body : (payload, error_code * string) result;
+}
+
+(* ---- enum tables ---- *)
+
+let error_codes =
+  [
+    (Parse_error, "parse_error");
+    (Bad_request, "bad_request");
+    (Unknown_verb, "unknown_verb");
+    (Unsupported_version, "unsupported_version");
+    (Frame_too_large, "frame_too_large");
+    (Unknown_model, "unknown_model");
+    (Model_exists, "model_exists");
+    (Queue_full, "queue_full");
+    (Deadline_exceeded, "deadline_exceeded");
+    (Shutting_down, "shutting_down");
+    (Internal, "internal");
+  ]
+
+let error_code_string c = List.assoc c error_codes
+
+let error_code_of_string s =
+  List.find_map (fun (c, n) -> if n = s then Some c else None) error_codes
+
+let families =
+  [
+    (Tandem, "tandem");
+    (Polling, "polling");
+    (Workstations, "workstations");
+    (Multitier, "multitier");
+    (Kanban, "kanban");
+  ]
+
+let family_string f = List.assoc f families
+
+let family_of_string s =
+  List.find_map (fun (f, n) -> if n = s then Some f else None) families
+
+let solvers = [ (Power, "power"); (Gauss_seidel, "gauss-seidel"); (Krylov, "krylov") ]
+
+let solver_string s = List.assoc s solvers
+
+let solver_of_string s =
+  List.find_map (fun (v, n) -> if n = s then Some v else None) solvers
+
+let mode_string = function Ordinary -> "ordinary" | Exact -> "exact"
+
+let mode_of_string = function
+  | "ordinary" -> Some Ordinary
+  | "exact" -> Some Exact
+  | _ -> None
+
+let verb_name = function
+  | Submit_model _ -> "submit-model"
+  | Lump _ -> "lump"
+  | Sweep _ -> "sweep"
+  | Solve _ -> "solve"
+  | Stats -> "stats"
+  | Ping _ -> "ping"
+  | Shutdown -> "shutdown"
+
+(* The response's payload tag; [Pong]/[Shutdown_ack] reuse their verb
+   names so a response always names the verb it answers. *)
+let payload_name = function
+  | Model_info _ -> "submit-model"
+  | Lump_result _ -> "lump"
+  | Sweep_result _ -> "sweep"
+  | Solve_result _ -> "solve"
+  | Stats_result _ -> "stats"
+  | Pong -> "ping"
+  | Shutdown_ack _ -> "shutdown"
+
+(* ---- encoding ---- *)
+
+let opt_member k v rest = match v with None -> rest | Some x -> (k, x) :: rest
+
+let reward_spec_to_json r =
+  Json.Obj
+    [
+      ("level", Json.Int r.ind_level);
+      ("op", Json.Str (if r.ind_ge then ">=" else "<"));
+      ("k", Json.Int r.ind_k);
+    ]
+
+let point_to_json p =
+  Json.Obj [ ("extra_rewards", Json.List (List.map reward_spec_to_json p.pt_extra)) ]
+
+let request_to_json rq =
+  let verb_members =
+    match rq.rq_verb with
+    | Submit_model s ->
+        [
+          ("model", Json.Str s.sm_model);
+          ("family", Json.Str (family_string s.sm_family));
+        ]
+        @ (match s.sm_size with None -> [] | Some n -> [ ("size", Json.Int n) ])
+        @
+        if s.sm_params = [] then []
+        else
+          [ ("params", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.sm_params)) ]
+    | Lump l ->
+        [
+          ("model", Json.Str l.lp_model);
+          ("mode", Json.Str (mode_string l.lp_mode));
+          ("extra_rewards", Json.List (List.map reward_spec_to_json l.lp_extra));
+        ]
+    | Sweep s ->
+        [
+          ("model", Json.Str s.sw_model);
+          ("points", Json.List (List.map point_to_json s.sw_points));
+        ]
+    | Solve s ->
+        [ ("model", Json.Str s.sv_model); ("solver", Json.Str (solver_string s.sv_solver)) ]
+    | Stats | Shutdown -> []
+    | Ping p -> if p.pg_sleep_ms = 0 then [] else [ ("sleep_ms", Json.Int p.pg_sleep_ms) ]
+  in
+  Json.Obj
+    (("v", Json.Int version)
+    :: opt_member "id" (Option.map (fun s -> Json.Str s) rq.rq_id)
+         (opt_member "deadline_ms"
+            (Option.map (fun d -> Json.Int d) rq.rq_deadline_ms)
+            (("verb", Json.Str (verb_name rq.rq_verb)) :: verb_members)))
+
+let measures_to_json ms = Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) ms)
+
+let point_result_to_json p =
+  Json.Obj
+    [
+      ("lumped_states", Json.Int p.pr_lumped_states);
+      ("classes", Json.List (List.map (fun c -> Json.Int c) p.pr_classes));
+      ("wall_s", Json.Float p.pr_wall_s);
+    ]
+
+let payload_to_json = function
+  | Model_info m ->
+      Json.Obj
+        [
+          ("model", Json.Str m.mi_model);
+          ("family", Json.Str (family_string m.mi_family));
+          ("states", Json.Int m.mi_states);
+          ("levels", Json.Int m.mi_levels);
+          ("level_sizes", Json.List (List.map (fun n -> Json.Int n) m.mi_level_sizes));
+          ("fresh", Json.Bool m.mi_fresh);
+        ]
+  | Lump_result l ->
+      Json.Obj
+        [
+          ("lumped_states", Json.Int l.lr_lumped_states);
+          ("classes", Json.List (List.map (fun c -> Json.Int c) l.lr_classes));
+          ("wall_s", Json.Float l.lr_wall_s);
+        ]
+  | Sweep_result s ->
+      Json.Obj
+        [
+          ("points", Json.List (List.map point_result_to_json s.sr_points));
+          ("cross_bind_hits", Json.Int s.sr_cross_bind_hits);
+          ("level_reused", Json.Int s.sr_level_reused);
+          ("rebuilds_reused", Json.Int s.sr_rebuilds_reused);
+          ("store_rows", Json.Int s.sr_store_rows);
+          ("wall_s", Json.Float s.sr_wall_s);
+        ]
+  | Solve_result s ->
+      Json.Obj
+        [
+          ("solver", Json.Str (solver_string s.so_solver));
+          ("iterations", Json.Int s.so_iterations);
+          ("converged", Json.Bool s.so_converged);
+          ("residual", Json.Float s.so_residual);
+          ("measures", measures_to_json s.so_measures);
+          ("wall_s", Json.Float s.so_wall_s);
+        ]
+  | Stats_result s ->
+      Json.Obj
+        [
+          ("uptime_s", Json.Float s.st_uptime_s);
+          ("draining", Json.Bool s.st_draining);
+          ("inflight", Json.Int s.st_inflight);
+          ("queue_depth", Json.Int s.st_queue_depth);
+          ("requests", Json.Int s.st_requests);
+          ("rejected_queue_full", Json.Int s.st_rejected_queue_full);
+          ("rejected_deadline", Json.Int s.st_rejected_deadline);
+          ("protocol_errors", Json.Int s.st_protocol_errors);
+          ( "models",
+            Json.List
+              (List.map
+                 (fun m ->
+                   Json.Obj
+                     [
+                       ("model", Json.Str m.ms_model);
+                       ("family", Json.Str (family_string m.ms_family));
+                       ("states", Json.Int m.ms_states);
+                       ("store_rows", Json.Int m.ms_store_rows);
+                       ("gid_count", Json.Int m.ms_gid_count);
+                       ("cross_bind_hits", Json.Int m.ms_cross_bind_hits);
+                       ("points", Json.Int m.ms_points);
+                     ])
+                 s.st_models) );
+        ]
+  | Pong -> Json.Obj []
+  | Shutdown_ack { draining } -> Json.Obj [ ("draining", Json.Bool draining) ]
+
+let response_to_json resp =
+  let id = opt_member "id" (Option.map (fun s -> Json.Str s) resp.resp_id) in
+  match resp.resp_body with
+  | Ok payload ->
+      Json.Obj
+        (("v", Json.Int version)
+        :: id
+             [
+               ("ok", Json.Bool true);
+               ("verb", Json.Str (payload_name payload));
+               ("result", payload_to_json payload);
+             ])
+  | Error (code, msg) ->
+      Json.Obj
+        (("v", Json.Int version)
+        :: id
+             [
+               ("ok", Json.Bool false);
+               ( "error",
+                 Json.Obj
+                   [
+                     ("code", Json.Str (error_code_string code));
+                     ("message", Json.Str msg);
+                   ] );
+             ])
+
+(* ---- decoding ---- *)
+
+let ( let* ) = Result.bind
+
+let bad fmt = Printf.ksprintf (fun msg -> Error (Bad_request, msg)) fmt
+
+let get_str j k =
+  match Json.member k j with
+  | Some (Json.Str s) -> Ok s
+  | Some _ -> bad "field %S must be a string" k
+  | None -> bad "missing field %S" k
+
+let get_opt_str j k =
+  match Json.member k j with
+  | Some (Json.Str s) -> Ok (Some s)
+  | Some Json.Null | None -> Ok None
+  | Some _ -> bad "field %S must be a string" k
+
+let get_int j k =
+  match Json.member k j with
+  | Some (Json.Int i) -> Ok i
+  | Some _ -> bad "field %S must be an integer" k
+  | None -> bad "missing field %S" k
+
+let get_opt_int j k =
+  match Json.member k j with
+  | Some (Json.Int i) -> Ok (Some i)
+  | Some Json.Null | None -> Ok None
+  | Some _ -> bad "field %S must be an integer" k
+
+let get_bool j k =
+  match Json.member k j with
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> bad "field %S must be a boolean" k
+  | None -> bad "missing field %S" k
+
+(* Numeric fields that are semantically floats also accept integer
+   literals ([1] for [1.0]) — hand-written clients get this wrong
+   constantly, and there is no ambiguity reading a number as seconds. *)
+let get_float j k =
+  match Json.member k j with
+  | Some (Json.Float f) -> Ok f
+  | Some (Json.Int i) -> Ok (float_of_int i)
+  | Some _ -> bad "field %S must be a number" k
+  | None -> bad "missing field %S" k
+
+let get_list j k =
+  match Json.member k j with
+  | Some (Json.List l) -> Ok l
+  | Some _ -> bad "field %S must be an array" k
+  | None -> bad "missing field %S" k
+
+let get_opt_list j k =
+  match Json.member k j with
+  | Some (Json.List l) -> Ok l
+  | Some Json.Null | None -> Ok []
+  | Some _ -> bad "field %S must be an array" k
+
+let map_result f l =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest ->
+        let* y = f x in
+        go (y :: acc) rest
+  in
+  go [] l
+
+let get_int_list j k =
+  let* l = get_list j k in
+  map_result
+    (function Json.Int i -> Ok i | _ -> bad "field %S must contain integers" k)
+    l
+
+let reward_spec_of_json j =
+  let* level = get_int j "level" in
+  if level < 1 then bad "extra_rewards: level must be >= 1"
+  else
+    let* op = get_str j "op" in
+    let* ge =
+      match op with
+      | ">=" -> Ok true
+      | "<" -> Ok false
+      | other -> bad "extra_rewards: op must be \">=\" or \"<\", not %S" other
+    in
+    let* k = get_int j "k" in
+    Ok { ind_level = level; ind_ge = ge; ind_k = k }
+
+let point_of_json j =
+  let* extra = get_opt_list j "extra_rewards" in
+  let* specs = map_result reward_spec_of_json extra in
+  Ok { pt_extra = specs }
+
+let check_version j =
+  match Json.member "v" j with
+  | None | Some Json.Null -> Ok ()
+  | Some (Json.Int v) ->
+      if v >= 1 && v <= version then Ok ()
+      else Error (Unsupported_version, Printf.sprintf "protocol version %d not supported (this server speaks %d)" v version)
+  | Some _ -> bad "field \"v\" must be an integer"
+
+let request_of_json j =
+  match j with
+  | Json.Obj _ ->
+      let* () = check_version j in
+      let* id = get_opt_str j "id" in
+      let* deadline = get_opt_int j "deadline_ms" in
+      let* () =
+        match deadline with
+        | Some d when d <= 0 -> bad "deadline_ms must be positive"
+        | _ -> Ok ()
+      in
+      let* verb_s = get_str j "verb" in
+      let* verb =
+        match verb_s with
+        | "submit-model" ->
+            let* model = get_str j "model" in
+            let* family_s = get_str j "family" in
+            let* family =
+              match family_of_string family_s with
+              | Some f -> Ok f
+              | None -> bad "unknown model family %S" family_s
+            in
+            let* size = get_opt_int j "size" in
+            let* () =
+              match size with
+              | Some n when n < 1 -> bad "size must be >= 1"
+              | _ -> Ok ()
+            in
+            let* params =
+              match Json.member "params" j with
+              | None | Some Json.Null -> Ok []
+              | Some (Json.Obj members) ->
+                  map_result
+                    (fun (k, v) ->
+                      match v with
+                      | Json.Int i -> Ok (k, i)
+                      | _ -> bad "params.%s must be an integer" k)
+                    members
+              | Some _ -> bad "field \"params\" must be an object"
+            in
+            Ok (Submit_model { sm_model = model; sm_family = family; sm_size = size; sm_params = params })
+        | "lump" ->
+            let* model = get_str j "model" in
+            let* mode_s =
+              match Json.member "mode" j with
+              | None | Some Json.Null -> Ok "ordinary"
+              | Some (Json.Str s) -> Ok s
+              | Some _ -> bad "field \"mode\" must be a string"
+            in
+            let* mode =
+              match mode_of_string mode_s with
+              | Some m -> Ok m
+              | None -> bad "unknown mode %S" mode_s
+            in
+            let* extra = get_opt_list j "extra_rewards" in
+            let* specs = map_result reward_spec_of_json extra in
+            Ok (Lump { lp_model = model; lp_mode = mode; lp_extra = specs })
+        | "sweep" ->
+            let* model = get_str j "model" in
+            let* pts = get_list j "points" in
+            let* points = map_result point_of_json pts in
+            if points = [] then bad "sweep needs at least one point"
+            else Ok (Sweep { sw_model = model; sw_points = points })
+        | "solve" ->
+            let* model = get_str j "model" in
+            let* solver_s =
+              match Json.member "solver" j with
+              | None | Some Json.Null -> Ok "power"
+              | Some (Json.Str s) -> Ok s
+              | Some _ -> bad "field \"solver\" must be a string"
+            in
+            let* solver =
+              match solver_of_string solver_s with
+              | Some s -> Ok s
+              | None -> bad "unknown solver %S" solver_s
+            in
+            Ok (Solve { sv_model = model; sv_solver = solver })
+        | "stats" -> Ok Stats
+        | "ping" ->
+            let* sleep = get_opt_int j "sleep_ms" in
+            let sleep = Option.value sleep ~default:0 in
+            if sleep < 0 then bad "sleep_ms must be non-negative"
+            else Ok (Ping { pg_sleep_ms = sleep })
+        | "shutdown" -> Ok Shutdown
+        | other -> Error (Unknown_verb, Printf.sprintf "unknown verb %S" other)
+      in
+      Ok { rq_id = id; rq_deadline_ms = deadline; rq_verb = verb }
+  | _ -> bad "request must be a JSON object"
+
+let request_of_string s =
+  match Json.parse_result s with
+  | Error msg -> Error (Parse_error, msg)
+  | Ok j -> request_of_json j
+
+let point_result_of_json j =
+  let* lumped = get_int j "lumped_states" in
+  let* classes = get_int_list j "classes" in
+  let* wall = get_float j "wall_s" in
+  Ok { pr_lumped_states = lumped; pr_classes = classes; pr_wall_s = wall }
+
+let measures_of_json j k =
+  match Json.member k j with
+  | Some (Json.Obj members) ->
+      map_result
+        (fun (name, v) ->
+          match v with
+          | Json.Float f -> Ok (name, f)
+          | Json.Int i -> Ok (name, float_of_int i)
+          | _ -> bad "measure %S must be a number" name)
+        members
+  | Some _ -> bad "field %S must be an object" k
+  | None -> bad "missing field %S" k
+
+let payload_of_json verb j =
+  match verb with
+  | "submit-model" ->
+      let* model = get_str j "model" in
+      let* family_s = get_str j "family" in
+      let* family =
+        match family_of_string family_s with
+        | Some f -> Ok f
+        | None -> bad "unknown model family %S" family_s
+      in
+      let* states = get_int j "states" in
+      let* levels = get_int j "levels" in
+      let* level_sizes = get_int_list j "level_sizes" in
+      let* fresh = get_bool j "fresh" in
+      Ok
+        (Model_info
+           {
+             mi_model = model;
+             mi_family = family;
+             mi_states = states;
+             mi_levels = levels;
+             mi_level_sizes = level_sizes;
+             mi_fresh = fresh;
+           })
+  | "lump" ->
+      let* lumped = get_int j "lumped_states" in
+      let* classes = get_int_list j "classes" in
+      let* wall = get_float j "wall_s" in
+      Ok (Lump_result { lr_lumped_states = lumped; lr_classes = classes; lr_wall_s = wall })
+  | "sweep" ->
+      let* pts = get_list j "points" in
+      let* points = map_result point_result_of_json pts in
+      let* cross = get_int j "cross_bind_hits" in
+      let* level_reused = get_int j "level_reused" in
+      let* rebuilds_reused = get_int j "rebuilds_reused" in
+      let* store_rows = get_int j "store_rows" in
+      let* wall = get_float j "wall_s" in
+      Ok
+        (Sweep_result
+           {
+             sr_points = points;
+             sr_cross_bind_hits = cross;
+             sr_level_reused = level_reused;
+             sr_rebuilds_reused = rebuilds_reused;
+             sr_store_rows = store_rows;
+             sr_wall_s = wall;
+           })
+  | "solve" ->
+      let* solver_s = get_str j "solver" in
+      let* solver =
+        match solver_of_string solver_s with
+        | Some s -> Ok s
+        | None -> bad "unknown solver %S" solver_s
+      in
+      let* iterations = get_int j "iterations" in
+      let* converged = get_bool j "converged" in
+      let* residual = get_float j "residual" in
+      let* measures = measures_of_json j "measures" in
+      let* wall = get_float j "wall_s" in
+      Ok
+        (Solve_result
+           {
+             so_solver = solver;
+             so_iterations = iterations;
+             so_converged = converged;
+             so_residual = residual;
+             so_measures = measures;
+             so_wall_s = wall;
+           })
+  | "stats" ->
+      let* uptime = get_float j "uptime_s" in
+      let* draining = get_bool j "draining" in
+      let* inflight = get_int j "inflight" in
+      let* queue_depth = get_int j "queue_depth" in
+      let* requests = get_int j "requests" in
+      let* rejected_queue_full = get_int j "rejected_queue_full" in
+      let* rejected_deadline = get_int j "rejected_deadline" in
+      let* protocol_errors = get_int j "protocol_errors" in
+      let* models = get_list j "models" in
+      let* models =
+        map_result
+          (fun m ->
+            let* name = get_str m "model" in
+            let* family_s = get_str m "family" in
+            let* family =
+              match family_of_string family_s with
+              | Some f -> Ok f
+              | None -> bad "unknown model family %S" family_s
+            in
+            let* states = get_int m "states" in
+            let* store_rows = get_int m "store_rows" in
+            let* gid_count = get_int m "gid_count" in
+            let* cross = get_int m "cross_bind_hits" in
+            let* points = get_int m "points" in
+            Ok
+              {
+                ms_model = name;
+                ms_family = family;
+                ms_states = states;
+                ms_store_rows = store_rows;
+                ms_gid_count = gid_count;
+                ms_cross_bind_hits = cross;
+                ms_points = points;
+              })
+          models
+      in
+      Ok
+        (Stats_result
+           {
+             st_uptime_s = uptime;
+             st_draining = draining;
+             st_inflight = inflight;
+             st_queue_depth = queue_depth;
+             st_requests = requests;
+             st_rejected_queue_full = rejected_queue_full;
+             st_rejected_deadline = rejected_deadline;
+             st_protocol_errors = protocol_errors;
+             st_models = models;
+           })
+  | "ping" -> Ok Pong
+  | "shutdown" ->
+      let* draining = get_bool j "draining" in
+      Ok (Shutdown_ack { draining })
+  | other -> bad "unknown response verb %S" other
+
+let response_of_json j =
+  let err_of = function Bad_request, msg -> msg | _, msg -> msg in
+  match j with
+  | Json.Obj _ -> (
+      let id = match Json.member "id" j with Some (Json.Str s) -> Some s | _ -> None in
+      match Json.member "ok" j with
+      | Some (Json.Bool true) -> (
+          match (Json.member "verb" j, Json.member "result" j) with
+          | Some (Json.Str verb), Some result -> (
+              match payload_of_json verb result with
+              | Ok payload -> Ok { resp_id = id; resp_body = Ok payload }
+              | Error e -> Error (err_of e))
+          | _ -> Error "ok response needs \"verb\" and \"result\"")
+      | Some (Json.Bool false) -> (
+          match Json.member "error" j with
+          | Some err -> (
+              match (Json.member "code" err, Json.member "message" err) with
+              | Some (Json.Str code_s), Some (Json.Str msg) -> (
+                  match error_code_of_string code_s with
+                  | Some code -> Ok { resp_id = id; resp_body = Error (code, msg) }
+                  | None -> Error (Printf.sprintf "unknown error code %S" code_s))
+              | _ -> Error "error object needs string \"code\" and \"message\"")
+          | None -> Error "error response lacks \"error\" object")
+      | _ -> Error "response lacks boolean \"ok\"")
+  | _ -> Error "response must be a JSON object"
+
+let response_of_string s =
+  match Json.parse_result s with
+  | Error msg -> Error (Printf.sprintf "response is not valid JSON: %s" msg)
+  | Ok j -> response_of_json j
+
+(* ---- framing ---- *)
+
+let max_frame_default = 16 * 1024 * 1024
+
+let frame_string payload =
+  Printf.sprintf "%d\n%s\n" (String.length payload) payload
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write fd b !written (n - !written)
+  done
+
+let write_frame fd payload = write_all fd (frame_string payload)
+
+type frame_error =
+  | Eof
+  | Truncated
+  | Oversized of int
+  | Malformed of string
+  | Stopped
+
+type reader = {
+  fd : Unix.file_descr;
+  max_frame : int;
+  buf : Bytes.t;
+  mutable start : int;  (* unconsumed bytes: buf.[start .. len-1] *)
+  mutable len : int;
+  mutable at_eof : bool;
+}
+
+let reader ?(max_frame = max_frame_default) fd =
+  { fd; max_frame; buf = Bytes.create 65536; start = 0; len = 0; at_eof = false }
+
+exception Stop_read of frame_error
+
+(* Refill the buffer with at least one byte, waiting in 0.2 s [select]
+   slices so [stop] (server drain) interrupts an idle read. *)
+let refill r stop =
+  if r.at_eof then raise (Stop_read Eof);
+  if r.start = r.len then begin
+    r.start <- 0;
+    r.len <- 0
+  end
+  else if r.len = Bytes.length r.buf then begin
+    Bytes.blit r.buf r.start r.buf 0 (r.len - r.start);
+    r.len <- r.len - r.start;
+    r.start <- 0
+  end;
+  let rec wait () =
+    if stop () then raise (Stop_read Stopped);
+    match Unix.select [ r.fd ] [] [] 0.2 with
+    | [], _, _ -> wait ()
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+  in
+  wait ();
+  match Unix.read r.fd r.buf r.len (Bytes.length r.buf - r.len) with
+  | 0 ->
+      r.at_eof <- true;
+      raise (Stop_read Eof)
+  | n -> r.len <- r.len + n
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      r.at_eof <- true;
+      raise (Stop_read Eof)
+
+let read_byte r stop =
+  if r.start >= r.len then refill r stop;
+  let c = Bytes.get r.buf r.start in
+  r.start <- r.start + 1;
+  c
+
+(* The length prefix: ASCII digits then '\n' (a lone '\r' before the
+   '\n' is tolerated).  Anything else is a framing fault — the stream
+   cannot be resynchronised. *)
+let read_length r stop =
+  let rec go acc ndigits =
+    let c = try read_byte r stop with Stop_read Eof when ndigits > 0 -> raise (Stop_read Truncated) in
+    match c with
+    | '0' .. '9' ->
+        if ndigits >= 12 then raise (Stop_read (Malformed "length prefix too long"));
+        go ((acc * 10) + (Char.code c - Char.code '0')) (ndigits + 1)
+    | '\r' ->
+        let c2 = try read_byte r stop with Stop_read Eof -> raise (Stop_read Truncated) in
+        if c2 = '\n' && ndigits > 0 then acc
+        else raise (Stop_read (Malformed "length prefix must end in a newline"))
+    | '\n' ->
+        if ndigits > 0 then acc
+        else raise (Stop_read (Malformed "empty length prefix"))
+    | c ->
+        raise
+          (Stop_read
+             (Malformed (Printf.sprintf "length prefix contains %C (decimal digits expected)" c)))
+  in
+  go 0 0
+
+let read_frame ?(stop = fun () -> false) r =
+  match
+    let len = read_length r stop in
+    if len > r.max_frame then raise (Stop_read (Oversized len));
+    let out = Bytes.create len in
+    let filled = ref 0 in
+    while !filled < len do
+      if r.start >= r.len then begin
+        match refill r stop with
+        | () -> ()
+        | exception Stop_read Eof -> raise (Stop_read Truncated)
+      end;
+      let n = min (len - !filled) (r.len - r.start) in
+      Bytes.blit r.buf r.start out !filled n;
+      r.start <- r.start + n;
+      filled := !filled + n
+    done;
+    (match try read_byte r stop with Stop_read Eof -> raise (Stop_read Truncated) with
+    | '\n' -> ()
+    | _ -> raise (Stop_read (Malformed "frame payload not terminated by a newline")));
+    Bytes.unsafe_to_string out
+  with
+  | payload -> Ok payload
+  | exception Stop_read e -> Error e

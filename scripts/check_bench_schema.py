@@ -47,6 +47,15 @@ warm-point time may never exceed the mean one-shot time
 gates are unconditional — cache reuse, unlike the domain race, owes
 nothing to host parallelism.
 
+Multi-level scenarios also carry a "serve" object — the same sweep sent
+twice through an in-process lumpd daemon over its framed JSON socket
+protocol, by two successive client connections.  Both responses must
+agree point-by-point (identical=true — the bench aborts otherwise),
+the second (warm) request must not be slower than the first (cold)
+one, and the warm response must report cross-bind store hits and a
+non-empty persistent row store: the daemon's value proposition is that
+a later client never re-pays an earlier client's lumping work.
+
 Usage: scripts/check_bench_schema.py [BENCH_refine.json]
 """
 
@@ -96,9 +105,22 @@ MULTILEVEL_FIELDS = [
     "speedup_cached_vs_interned",
     "solvers",
     "sweeps",
+    "serve",
     "domains",
     "stats",
     "phases",
+]
+
+SERVE_FIELDS = [
+    "points",
+    "submit_s",
+    "cold_request_s",
+    "warm_request_s",
+    "warm_speedup",
+    "cross_bind_hits",
+    "level_fixpoints_reused",
+    "store_rows",
+    "identical",
 ]
 
 SWEEPS_FIELDS = [
@@ -314,6 +336,30 @@ def main():
                     f"{where}: amortised sweep speedup {sw['amortised_speedup']:.3f}x "
                     f"below the {floor:.2f}x floor"
                 )
+            check_fields(sc["serve"], SERVE_FIELDS, f"{where}: serve")
+            srv = sc["serve"]
+            if srv["identical"] is not True:
+                fail(f"{where}: serve.identical is not true")
+            if not isinstance(srv["points"], int) or srv["points"] < 2:
+                fail(f"{where}: serve.points is not an integer >= 2")
+            for f in ("submit_s", "cold_request_s", "warm_request_s", "warm_speedup"):
+                if not isinstance(srv[f], (int, float)) or srv[f] <= 0:
+                    fail(f"{where}: serve.{f} is not a positive number")
+            for f in ("cross_bind_hits", "level_fixpoints_reused", "store_rows"):
+                if not isinstance(srv[f], int) or srv[f] < 0:
+                    fail(f"{where}: serve.{f} is not a non-negative integer")
+            # The daemon's whole value proposition: a second client's
+            # identical sweep must ride the warm engine and persistent
+            # store, never re-paying the cold request.
+            if srv["warm_request_s"] > srv["cold_request_s"]:
+                fail(
+                    f"{where}: warm serve request slower than the cold one "
+                    f"({srv['warm_request_s']:.4f}s > {srv['cold_request_s']:.4f}s)"
+                )
+            if srv["cross_bind_hits"] == 0:
+                fail(f"{where}: warm serve sweep recorded no cross-bind cache hits")
+            if srv["store_rows"] == 0:
+                fail(f"{where}: serve persistent row store is empty after the sweeps")
             check_fields(sc["domains"], DOMAINS_FIELDS, f"{where}: domains")
             dom = sc["domains"]
             if dom["identical"] is not True:
@@ -350,7 +396,8 @@ def main():
 
     print(
         f"{path}: OK ({kinds['flat']} flat, {kinds['multilevel']} multi-level scenarios, "
-        f"per-pipeline stats, solver races, domain races and batched sweeps present)"
+        f"per-pipeline stats, solver races, domain races, batched sweeps and serve "
+        f"races present)"
     )
 
 

@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (0.0.4) scrape.
+
+Reads the scrape body from FILE (or stdin when FILE is "-") and fails
+(exit 1) unless it is well-formed:
+
+  - every line is a comment, a "# HELP <name> <text>" / "# TYPE <name>
+    <type>" annotation, a sample, or blank;
+  - TYPE annotations name a known type (counter, gauge, histogram,
+    summary, untyped) and appear at most once per family, before the
+    family's samples;
+  - sample names and label names are legal, label values are quoted,
+    and sample values parse as floats ("NaN"/"+Inf"/"-Inf" included);
+  - counter and gauge samples carry no unexplained suffix;
+  - every histogram family has _bucket/_sum/_count samples, its bucket
+    counts are cumulative (non-decreasing in ascending "le" order), it
+    ends with an le="+Inf" bucket, and that bucket equals _count.
+
+Any further arguments are metric families that must be present with at
+least one sample — CI passes the serve_*, lump_* and key_cache_*
+families so a metrics refactor cannot silently drop the series the
+dashboards are built on.
+
+Usage: scripts/check_prom.py FILE [required_family ...]
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+LABEL_RE = re.compile(r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def fail(msg):
+    print(f"prometheus exposition error: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_value(text, where):
+    if text in ("NaN", "+Inf", "-Inf", "Inf"):
+        return float(text.replace("Inf", "inf"))
+    try:
+        return float(text)
+    except ValueError:
+        fail(f"{where}: unparsable sample value {text!r}")
+
+
+def split_labels(raw, where):
+    """'a="x",b="y"' -> dict, honouring escaped quotes."""
+    labels = {}
+    if raw is None or raw == "":
+        return labels
+    parts, cur, in_str, esc = [], "", False, False
+    for ch in raw:
+        if esc:
+            cur += ch
+            esc = False
+        elif ch == "\\":
+            cur += ch
+            esc = True
+        elif ch == '"':
+            cur += ch
+            in_str = not in_str
+        elif ch == "," and not in_str:
+            parts.append(cur)
+            cur = ""
+        else:
+            cur += ch
+    if cur:
+        parts.append(cur)
+    for part in parts:
+        m = LABEL_RE.match(part)
+        if not m:
+            fail(f"{where}: malformed label {part!r}")
+        labels[m.group("name")] = m.group("value")
+    return labels
+
+
+def family_of(sample_name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_prom.py FILE [required_family ...]")
+    path = sys.argv[1]
+    required = sys.argv[2:]
+    body = sys.stdin.read() if path == "-" else open(path).read()
+
+    types = {}  # family -> declared type
+    helped = set()
+    samples = {}  # family -> list of (suffix, labels, value)
+    seen_sample_for = set()
+
+    for lineno, line in enumerate(body.split("\n"), start=1):
+        where = f"line {lineno}"
+        if line == "":
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not NAME_RE.match(parts[2]):
+                    fail(f"{where}: malformed {parts[1]} annotation: {line!r}")
+                name = parts[2]
+                if parts[1] == "HELP":
+                    if name in helped:
+                        fail(f"{where}: duplicate HELP for {name}")
+                    helped.add(name)
+                else:
+                    kind = parts[3].strip() if len(parts) > 3 else ""
+                    if kind not in TYPES:
+                        fail(f"{where}: unknown TYPE {kind!r} for {name}")
+                    if name in types:
+                        fail(f"{where}: duplicate TYPE for {name}")
+                    if name in seen_sample_for:
+                        fail(f"{where}: TYPE for {name} after its samples")
+                    types[name] = kind
+            # other comments are legal and ignored
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"{where}: unparsable sample line: {line!r}")
+        name = m.group("name")
+        labels = split_labels(m.group("labels"), where)
+        value = parse_value(m.group("value"), where)
+        fam = family_of(name)
+        if fam not in types:
+            fam = name  # _bucket/_sum/_count on an undeclared family
+        seen_sample_for.add(fam)
+        suffix = name[len(fam):] if name.startswith(fam) else ""
+        samples.setdefault(fam, []).append((suffix, labels, value))
+        kind = types.get(fam)
+        if kind in ("counter", "gauge") and suffix:
+            fail(f"{where}: {kind} family {fam} has suffixed sample {name}")
+        if kind == "counter" and value < 0:
+            fail(f"{where}: counter {name} is negative ({value})")
+
+    for fam, kind in types.items():
+        if fam not in samples:
+            fail(f"family {fam} declares TYPE {kind} but exposes no samples")
+        if kind != "histogram":
+            continue
+        buckets, total_sum, total_count = [], None, None
+        for suffix, labels, value in samples[fam]:
+            if suffix == "_bucket":
+                if "le" not in labels:
+                    fail(f"histogram {fam}: bucket without an le label")
+                le = labels["le"]
+                buckets.append((float("inf") if le == "+Inf" else float(le), value))
+            elif suffix == "_sum":
+                total_sum = value
+            elif suffix == "_count":
+                total_count = value
+            else:
+                fail(f"histogram {fam}: unexpected sample suffix {suffix!r}")
+        if not buckets:
+            fail(f"histogram {fam}: no _bucket samples")
+        if total_sum is None or total_count is None:
+            fail(f"histogram {fam}: missing _sum or _count")
+        in_order = sorted(buckets, key=lambda b: b[0])
+        if in_order != buckets:
+            fail(f"histogram {fam}: buckets not in ascending le order")
+        prev = 0.0
+        for le, count in buckets:
+            if count < prev:
+                fail(
+                    f"histogram {fam}: bucket le={le} count {count} below "
+                    f"previous bucket's {prev} (not cumulative)"
+                )
+            prev = count
+        if buckets[-1][0] != float("inf"):
+            fail(f"histogram {fam}: no le=\"+Inf\" bucket")
+        if buckets[-1][1] != total_count:
+            fail(
+                f"histogram {fam}: +Inf bucket {buckets[-1][1]} != _count "
+                f"{total_count}"
+            )
+
+    missing = [fam for fam in required if fam not in samples]
+    if missing:
+        fail(f"required metric families absent: {', '.join(missing)}")
+
+    nsamples = sum(len(v) for v in samples.values())
+    print(
+        f"{path}: OK ({len(samples)} families, {nsamples} samples, "
+        f"{sum(1 for k in types.values() if k == 'histogram')} histograms"
+        + (f", {len(required)} required families present" if required else "")
+        + ")"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the lumpd daemon, as CI runs it.
+
+Boots the built daemon on a private Unix socket with an ephemeral
+Prometheus port, then exercises one request per protocol verb through
+the framed newline-JSON wire path (docs/PROTOCOL.md):
+
+  submit-model  polling model, then an idempotent re-submit (fresh=false)
+  lump          ordinary mode on the submitted model
+  sweep         twice with identical points: the second (warm) response
+                must report cross_bind_hits > 0 — a later client rides
+                the earlier client's lumping work
+  solve         power iteration; measures must be finite probabilities
+  stats         must list the model with the points run so far
+  ping          round trip
+  shutdown      graceful drain; the process must exit 0 by itself
+
+A deliberately malformed frame must come back as a typed parse_error
+(not a hangup), and the Prometheus scrape is validated with
+scripts/check_prom.py, requiring the serve_*, lump_* and key_cache_*
+families.
+
+Usage: scripts/lumpd_smoke.py [path/to/lumpd.exe]
+       (default: _build/default/bin/lumpd.exe)
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+SCRIPTS = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_EXE = os.path.join(SCRIPTS, "..", "_build", "default", "bin", "lumpd.exe")
+
+
+def fail(msg):
+    print(f"lumpd smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def send_frame(sock, payload: bytes):
+    sock.sendall(b"%d\n%s\n" % (len(payload), payload))
+
+
+def recv_frame(sock, deadline):
+    buf = b""
+    while b"\n" not in buf:
+        chunk = _recv(sock, 1, deadline)
+        buf += chunk
+    length = int(buf.split(b"\n", 1)[0])
+    body = buf.split(b"\n", 1)[1]
+    while len(body) < length + 1:  # payload + trailing newline
+        body += _recv(sock, length + 1 - len(body), deadline)
+    return body[:length]
+
+
+def _recv(sock, n, deadline):
+    sock.settimeout(max(0.1, deadline - time.monotonic()))
+    chunk = sock.recv(n)
+    if not chunk:
+        fail("daemon closed the connection mid-frame")
+    return chunk
+
+
+def request(sock, obj, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    send_frame(sock, json.dumps(obj).encode())
+    return json.loads(recv_frame(sock, deadline))
+
+
+def expect_ok(resp, verb):
+    if resp.get("ok") is not True:
+        fail(f"{verb}: expected ok response, got {resp}")
+    if resp.get("verb") != verb:
+        fail(f"{verb}: response names verb {resp.get('verb')!r}")
+    return resp["result"]
+
+
+def expect_error(resp, code, where):
+    if resp.get("ok") is not False:
+        fail(f"{where}: expected error response, got {resp}")
+    got = resp.get("error", {}).get("code")
+    if got != code:
+        fail(f"{where}: expected error code {code!r}, got {got!r}")
+
+
+def main():
+    exe = sys.argv[1] if len(sys.argv) > 1 else DEFAULT_EXE
+    if not os.path.exists(exe):
+        fail(f"daemon binary not found at {exe} (run dune build first)")
+    sock_path = os.path.join(
+        tempfile.mkdtemp(prefix="lumpd-smoke-"), "lumpd.sock"
+    )
+    proc = subprocess.Popen(
+        [exe, "--socket", sock_path, "--metrics-port", "0", "--timeout", "60000"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    metrics_url = None
+    try:
+        # The daemon prints its bound addresses at boot.
+        boot_deadline = time.monotonic() + 30
+        while time.monotonic() < boot_deadline:
+            line = proc.stdout.readline()
+            if not line:
+                fail(f"daemon exited at boot (rc={proc.poll()})")
+            print(f"  boot: {line.rstrip()}")
+            if line.startswith("metrics on "):
+                metrics_url = line.split("metrics on ", 1)[1].strip()
+                break
+        if metrics_url is None:
+            fail("daemon never announced its metrics port")
+
+        c = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        c.connect(sock_path)
+
+        # submit-model, then the idempotent re-submit.
+        submit = {
+            "v": 1,
+            "id": "smoke-1",
+            "verb": "submit-model",
+            "model": "m",
+            "family": "polling",
+            "size": 3,
+        }
+        info = expect_ok(request(c, submit), "submit-model")
+        if not info.get("fresh"):
+            fail("first submit-model not fresh")
+        if info.get("states", 0) <= 0:
+            fail("submit-model reported no states")
+        print(f"  submit-model: {info['states']} states, {info['levels']} levels")
+        info2 = expect_ok(request(c, submit), "submit-model")
+        if info2.get("fresh"):
+            fail("identical re-submit claimed to be fresh")
+
+        # lump
+        lump = expect_ok(
+            request(c, {"id": "smoke-2", "verb": "lump", "model": "m"}), "lump"
+        )
+        if lump.get("lumped_states", 0) <= 0:
+            fail("lump reported no lumped states")
+        print(f"  lump: {lump['lumped_states']} lumped states")
+
+        # sweep, cold then warm (same points, fresh connection for warm)
+        points = [
+            {},
+            {"extra_rewards": [{"level": 1, "op": ">=", "k": 1}]},
+            {"extra_rewards": [{"level": 1, "op": "<", "k": 1}]},
+        ]
+        sweep = {"id": "smoke-3", "verb": "sweep", "model": "m", "points": points}
+        cold = expect_ok(request(c, sweep), "sweep")
+        c.close()
+        c = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        c.connect(sock_path)
+        warm = expect_ok(request(c, sweep), "sweep")
+        if warm.get("cross_bind_hits", 0) <= 0:
+            fail("warm sweep reported no cross-bind hits — the store went cold")
+        if [p["lumped_states"] for p in cold["points"]] != [
+            p["lumped_states"] for p in warm["points"]
+        ]:
+            fail("warm sweep disagrees with the cold one")
+        if warm["wall_s"] > cold["wall_s"]:
+            print(
+                f"  sweep: WARNING warm {warm['wall_s']:.4f}s > cold "
+                f"{cold['wall_s']:.4f}s (noisy host?)"
+            )
+        print(
+            f"  sweep: cold {cold['wall_s']:.4f}s warm {warm['wall_s']:.4f}s "
+            f"cross-bind {warm['cross_bind_hits']}"
+        )
+
+        # solve
+        solve = expect_ok(
+            request(
+                c,
+                {"id": "smoke-4", "verb": "solve", "model": "m", "solver": "power"},
+            ),
+            "solve",
+        )
+        if not solve.get("converged"):
+            fail("solve did not converge")
+        for name, value in solve.get("measures", {}).items():
+            if not (isinstance(value, (int, float)) and value == value):
+                fail(f"solve measure {name} is not a finite number")
+        print(f"  solve: {solve['iterations']} iterations, measures {solve['measures']}")
+
+        # stats
+        stats = expect_ok(request(c, {"id": "smoke-5", "verb": "stats"}), "stats")
+        models = {m["model"]: m for m in stats.get("models", [])}
+        if "m" not in models:
+            fail("stats does not list the submitted model")
+        if models["m"].get("points", 0) < 2 * len(points):
+            fail("stats under-counts the sweep points run")
+        print(f"  stats: {models['m']}")
+
+        # ping
+        expect_ok(request(c, {"id": "smoke-6", "verb": "ping"}), "ping")
+        print("  ping: pong")
+
+        # malformed payload in a well-formed frame: typed error, socket
+        # stays usable.
+        send_frame(c, b"{not json")
+        resp = json.loads(recv_frame(c, time.monotonic() + 10))
+        expect_error(resp, "parse_error", "malformed payload")
+        expect_ok(request(c, {"id": "smoke-7", "verb": "ping"}), "ping")
+        print("  malformed payload: typed parse_error, connection survived")
+
+        # Prometheus scrape, validated by check_prom.py with the
+        # families the dashboards rely on.
+        body = urllib.request.urlopen(metrics_url, timeout=10).read()
+        with tempfile.NamedTemporaryFile(
+            mode="wb", suffix=".prom", delete=False
+        ) as fh:
+            fh.write(body)
+            prom_path = fh.name
+        subprocess.run(
+            [
+                sys.executable,
+                os.path.join(SCRIPTS, "check_prom.py"),
+                prom_path,
+                "serve_requests",
+                "serve_connections",
+                "serve_inflight",
+                "serve_request_seconds",
+                "lump_runs",
+                "key_cache_hits",
+                "key_cache_misses",
+            ],
+            check=True,
+        )
+        os.unlink(prom_path)
+
+        # shutdown: ack, then the process drains and exits by itself.
+        ack = expect_ok(request(c, {"id": "smoke-8", "verb": "shutdown"}), "shutdown")
+        if ack.get("draining") is not True:
+            fail("shutdown did not acknowledge draining")
+        c.close()
+        rc = proc.wait(timeout=30)
+        if rc != 0:
+            fail(f"daemon exited {rc} after shutdown")
+        print("lumpd smoke: OK (all verbs, error path, metrics scrape, clean drain)")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    main()

@@ -14,4 +14,5 @@ let () =
       ("errors", Suite_errors.tests);
       ("oracle", Suite_oracle.tests);
       ("parallel", Test_parallel.tests);
+      ("serve", Suite_serve.tests);
     ]
