@@ -1,0 +1,287 @@
+(* loadgen: a concurrent-client load bench for lumpd.
+
+   Boots a real daemon (socket listener, connection threads, execution
+   slots) on a temporary Unix socket, submits one small tandem model,
+   and then drives it from N concurrent client threads with a
+   deterministic mixed-verb workload — ping, stats, lump, sweep, solve
+   — each client on its own connection, measuring client-side request
+   latency through the full framed JSON path.
+
+   The result is a "load" object (per-verb p50/p95/p99 latency and
+   counts, overall throughput, protocol error count) merged into
+   BENCH_refine.json next to the scenario results, where
+   scripts/check_bench_schema.py gates it: quantiles must be ordered,
+   every verb of the mix must have been served, throughput must be
+   positive and the error count zero.
+
+     dune exec bench/loadgen.exe --                  # 4 clients x 24 requests
+     dune exec bench/loadgen.exe -- --clients 8 --requests 50 --no-merge *)
+
+module Serve = Mdl_serve.Server
+module Serve_client = Mdl_serve.Client
+module Proto = Mdl_serve.Protocol
+module Json = Mdl_serve.Json
+module Timer = Mdl_util.Timer
+
+let fatal fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "FATAL: loadgen: %s\n" msg;
+      exit 1)
+    fmt
+
+(* ---- workload ---- *)
+
+let model_name = "loadgen-tandem"
+
+let submit_verb =
+  Proto.Submit_model
+    {
+      sm_model = model_name;
+      sm_family = Proto.Tandem;
+      sm_size = None;
+      sm_params = [ ("jobs", 1); ("hyper_dim", 2) ];
+    }
+
+(* The per-client request mix, cycled deterministically: light
+   control-plane verbs interleaved with real lumping work. *)
+let mix =
+  [|
+    Proto.Ping { pg_sleep_ms = 0 };
+    Proto.Lump { lp_model = model_name; lp_mode = Proto.Ordinary; lp_extra = [] };
+    Proto.Stats;
+    Proto.Sweep
+      {
+        sw_model = model_name;
+        sw_points = [ { Proto.pt_extra = [] }; { Proto.pt_extra = [] } ];
+      };
+    Proto.Ping { pg_sleep_ms = 1 };
+    Proto.Solve { sv_model = model_name; sv_solver = Proto.Power };
+  |]
+
+type sample = { s_verb : string; s_latency : float; s_error : bool }
+
+let run_client addr ~client ~requests =
+  let c = Serve_client.connect addr in
+  let samples =
+    List.init requests (fun i ->
+        let verb = mix.((client + i) mod Array.length mix) in
+        let rq =
+          {
+            Proto.rq_id = Some (Printf.sprintf "c%d-%d" client i);
+            rq_deadline_ms = None;
+            rq_trace = false;
+            rq_verb = verb;
+          }
+        in
+        let reply, latency = Timer.time (fun () -> Serve_client.request c rq) in
+        let error =
+          match reply with
+          | Ok { Proto.resp_body = Ok _; _ } -> false
+          | Ok { Proto.resp_body = Error _; _ } | Error _ -> true
+        in
+        { s_verb = Proto.verb_name verb; s_latency = latency; s_error = error })
+  in
+  Serve_client.close c;
+  samples
+
+(* ---- aggregation ---- *)
+
+(* Nearest-rank percentile over a sorted latency array — monotone in
+   [q] by construction, which the schema gate relies on. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+
+type verb_load = {
+  vl_verb : string;
+  vl_count : int;
+  vl_errors : int;
+  vl_p50 : float;
+  vl_p95 : float;
+  vl_p99 : float;
+}
+
+let aggregate samples =
+  let by_verb = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let l = try Hashtbl.find by_verb s.s_verb with Not_found -> [] in
+      Hashtbl.replace by_verb s.s_verb (s :: l))
+    samples;
+  Hashtbl.fold
+    (fun verb ss acc ->
+      let lat = Array.of_list (List.map (fun s -> s.s_latency) ss) in
+      Array.sort compare lat;
+      {
+        vl_verb = verb;
+        vl_count = List.length ss;
+        vl_errors = List.length (List.filter (fun s -> s.s_error) ss);
+        vl_p50 = percentile lat 0.50;
+        vl_p95 = percentile lat 0.95;
+        vl_p99 = percentile lat 0.99;
+      }
+      :: acc)
+    by_verb []
+  |> List.sort (fun a b -> compare a.vl_verb b.vl_verb)
+
+let load_json ~clients ~requests ~wall_s ~errors verbs =
+  let total = clients * requests in
+  let per_verb =
+    String.concat ",\n"
+      (List.map
+         (fun v ->
+           Printf.sprintf
+             {|      "%s": {
+        "count": %d,
+        "errors": %d,
+        "p50_s": %.6f,
+        "p95_s": %.6f,
+        "p99_s": %.6f
+      }|}
+             v.vl_verb v.vl_count v.vl_errors v.vl_p50 v.vl_p95 v.vl_p99)
+         verbs)
+  in
+  Printf.sprintf
+    {|"load": {
+    "clients": %d,
+    "requests_per_client": %d,
+    "requests": %d,
+    "wall_s": %.6f,
+    "throughput_rps": %.3f,
+    "errors": %d,
+    "verbs": {
+%s
+    }
+  }|}
+    clients requests total wall_s
+    (float_of_int total /. wall_s)
+    errors per_verb
+
+(* Splice the "load" object into BENCH_refine.json, before the closing
+   brace.  The file is validated as JSON first; a stale "load" member
+   (refine.exe was not re-run) is an error rather than a silent
+   double-merge. *)
+let merge_into path load =
+  let contents =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error msg -> fatal "cannot read %s: %s (run bench/refine.exe first)" path msg
+  in
+  (match Json.parse_result contents with
+  | Error msg -> fatal "%s is not valid JSON: %s" path msg
+  | Ok j ->
+      if Json.member "load" j <> None then
+        fatal "%s already has a \"load\" object; regenerate it with bench/refine.exe"
+          path);
+  let tail = "  ]\n}\n" in
+  let tn = String.length tail in
+  let cn = String.length contents in
+  if cn < tn || String.sub contents (cn - tn) tn <> tail then
+    fatal "%s does not end with the expected refine layout" path;
+  let oc = open_out_bin path in
+  output_string oc (String.sub contents 0 (cn - tn));
+  output_string oc (Printf.sprintf "  ],\n  %s\n}\n" load);
+  close_out oc;
+  (* The spliced document must still parse. *)
+  let ic = open_in_bin path in
+  let merged = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Json.parse_result merged with
+  | Ok _ -> ()
+  | Error msg -> fatal "merge produced invalid JSON: %s" msg
+
+(* ---- driver ---- *)
+
+let () =
+  let clients = ref 4 in
+  let requests = ref 24 in
+  let out = ref "BENCH_refine.json" in
+  let merge = ref true in
+  let rec parse = function
+    | [] -> ()
+    | "--clients" :: v :: rest ->
+        clients := int_of_string v;
+        parse rest
+    | "--requests" :: v :: rest ->
+        requests := int_of_string v;
+        parse rest
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | "--no-merge" :: rest ->
+        merge := false;
+        parse rest
+    | a :: _ -> fatal "unknown argument %s" a
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !clients < 1 || !requests < 1 then fatal "--clients and --requests must be >= 1";
+  let metrics_were_enabled = Mdl_obs.Metrics.enabled () in
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lumpd-loadgen-%d.sock" (Unix.getpid ()))
+  in
+  let server =
+    Serve.start
+      {
+        (Serve.default_config ~listen:(Serve.Unix_socket sock)) with
+        Serve.max_inflight = 4;
+        queue_capacity = 256;
+      }
+  in
+  let addr = Serve.address server in
+  (* Build the model once before the clock starts; the load phase then
+     measures the warm daemon, not model construction. *)
+  let c = Serve_client.connect addr in
+  (match
+     Serve_client.request c
+       {
+         Proto.rq_id = Some "loadgen-submit";
+         rq_deadline_ms = None;
+         rq_trace = false;
+         rq_verb = submit_verb;
+       }
+   with
+  | Ok { Proto.resp_body = Ok _; _ } -> ()
+  | Ok { Proto.resp_body = Error (code, msg); _ } ->
+      fatal "submit rejected: %s: %s" (Proto.error_code_string code) msg
+  | Error msg -> fatal "submit transport error: %s" msg);
+  Serve_client.close c;
+  let results = Array.make !clients [] in
+  let all, wall_s =
+    Timer.time (fun () ->
+        let threads =
+          List.init !clients (fun i ->
+              Thread.create
+                (fun () -> results.(i) <- run_client addr ~client:i ~requests:!requests)
+                ())
+        in
+        List.iter Thread.join threads;
+        List.concat (Array.to_list results))
+  in
+  Serve.stop server;
+  (try Sys.remove sock with Sys_error _ -> ());
+  Mdl_obs.Metrics.set_enabled metrics_were_enabled;
+  let errors = List.length (List.filter (fun s -> s.s_error) all) in
+  let verbs = aggregate all in
+  let total = !clients * !requests in
+  Printf.printf "loadgen: %d clients x %d requests in %.3fs (%.1f req/s, %d errors)\n"
+    !clients !requests wall_s
+    (float_of_int total /. wall_s)
+    errors;
+  List.iter
+    (fun v ->
+      Printf.printf "  %-12s %4d reqs  p50 %.4fs  p95 %.4fs  p99 %.4fs\n" v.vl_verb
+        v.vl_count v.vl_p50 v.vl_p95 v.vl_p99)
+    verbs;
+  let load = load_json ~clients:!clients ~requests:!requests ~wall_s ~errors verbs in
+  if !merge then begin
+    merge_into !out load;
+    Printf.printf "merged \"load\" into %s\n" !out
+  end
+  else print_endline ("{" ^ load ^ "}")

@@ -600,7 +600,9 @@ let run_serve sc =
       fmt
   in
   let call c verb =
-    let request = { Proto.rq_id = None; rq_deadline_ms = None; rq_verb = verb } in
+    let request =
+      { Proto.rq_id = None; rq_deadline_ms = None; rq_trace = false; rq_verb = verb }
+    in
     match Serve_client.request c request with
     | Ok { Proto.resp_body = Ok p; _ } -> p
     | Ok { Proto.resp_body = Error (code, msg); _ } ->

@@ -15,7 +15,7 @@ module Server = Mdl_serve.Server
 module Trace = Mdl_obs.Trace
 
 let run socket tcp metrics_port max_inflight queue_capacity timeout_ms trace_file
-    stream_trace verbose =
+    stream_trace access_log verbose =
   Mdl_obs.Logging.setup ~verbose ();
   let listen =
     match (tcp, socket) with
@@ -51,6 +51,7 @@ let run socket tcp metrics_port max_inflight queue_capacity timeout_ms trace_fil
       max_inflight;
       queue_capacity;
       default_deadline_ms = timeout_ms;
+      access_log;
     }
   in
   let server = Server.start config in
@@ -123,6 +124,13 @@ let stream_trace_arg =
                  the daemon runs (forces $(b,--max-inflight 1)); takes precedence \
                  over $(b,--trace).")
 
+let access_log_arg =
+  Arg.(value & opt (some string) None
+       & info [ "access-log" ] ~docv:"FILE"
+           ~doc:"Append one structured JSON line per request to $(docv): timestamp, \
+                 server request id, client id, verb, model, queue and execution \
+                 nanoseconds, status, response bytes.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Enable debug logging.")
 
@@ -141,6 +149,6 @@ let cmd =
          ])
     Term.(
       const run $ socket_arg $ tcp_arg $ metrics_arg $ inflight_arg $ queue_arg
-      $ timeout_arg $ trace_arg $ stream_trace_arg $ verbose_arg)
+      $ timeout_arg $ trace_arg $ stream_trace_arg $ access_log_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

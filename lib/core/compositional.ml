@@ -387,24 +387,25 @@ let lump_body ?eps ?key ?stats ~specialised ~memoise ?cache ?pool ?par_threshold
         (if r.lumped == md then " (aliased: nothing lumped)" else ""));
   r
 
-let lump ?eps ?key ?stats ?(specialised = true) ?(memoise = true) ?cache ?pool
+let lump ?tctx ?eps ?key ?stats ?(specialised = true) ?(memoise = true) ?cache ?pool
     ?par_threshold mode md ~rewards ~initial =
-  Metrics.incr c_lumps;
-  if not (Trace.enabled ()) then
-    lump_body ?eps ?key ?stats ~specialised ~memoise ?cache ?pool ?par_threshold mode
-      md ~rewards ~initial
-  else
-    Trace.with_span ~cat:"lump"
-      ~args:
-        [
-          ("levels", Trace.Int (Md.levels md));
-          ("specialised", Trace.Bool specialised);
-          ("memoise", Trace.Bool memoise);
-        ]
-      "lump"
-      (fun () ->
+  Trace.with_ctx_opt tctx (fun () ->
+      Metrics.incr c_lumps;
+      if not (Trace.enabled ()) then
         lump_body ?eps ?key ?stats ~specialised ~memoise ?cache ?pool ?par_threshold
-          mode md ~rewards ~initial)
+          mode md ~rewards ~initial
+      else
+        Trace.with_span ~cat:"lump"
+          ~args:
+            [
+              ("levels", Trace.Int (Md.levels md));
+              ("specialised", Trace.Bool specialised);
+              ("memoise", Trace.Bool memoise);
+            ]
+          "lump"
+          (fun () ->
+            lump_body ?eps ?key ?stats ~specialised ~memoise ?cache ?pool
+              ?par_threshold mode md ~rewards ~initial))
 
 (* ------------------------------------------------------------------ *)
 (* Batched sweeps: one diagram, many reward/initial specifications.    *)
@@ -609,7 +610,8 @@ let sweep_point_body ?stats sw ~rewards ~initial =
       Hashtbl.add sw.sw_rebuild_memo rebuild_key r.lumped;
       r
 
-let sweep_point ?stats sw ~rewards ~initial =
+let sweep_point ?tctx ?stats sw ~rewards ~initial =
+  Trace.with_ctx_opt tctx @@ fun () ->
   sw.sw_points <- sw.sw_points + 1;
   Metrics.incr c_sweep_points;
   let traced () =
@@ -649,7 +651,8 @@ let sweep_stats sw =
 
 let sweep_cache sw = sw.sw_cache
 
-let lump_sweep ?eps ?key ?stats ?cache ?pool ?par_threshold mode md ~points =
+let lump_sweep ?tctx ?eps ?key ?stats ?cache ?pool ?par_threshold mode md ~points =
+  Trace.with_ctx_opt tctx @@ fun () ->
   let sw = sweep_create ?eps ?key ?cache ?pool ?par_threshold mode md in
   List.map
     (fun { sweep_rewards; sweep_initial } ->

@@ -29,6 +29,7 @@ type result = {
     [add_node] effects on the store. *)
 
 val lump :
+  ?tctx:Mdl_obs.Trace.Ctx.t ->
   ?eps:float ->
   ?key:Local_key.choice ->
   ?stats:Mdl_partition.Refiner.stats ->
@@ -85,7 +86,11 @@ val lump :
     logged on the [mdl.lump] source at debug level; pass [stats] to
     additionally accumulate the {!Mdl_partition.Refiner.stats} of every
     level into one record (the [--stats] flag of [bin/lumpmd] does
-    this), including the cache hit/miss and node reuse counters. *)
+    this), including the cache hit/miss and node reuse counters.
+    [tctx] records the run's spans into that explicit
+    {!Mdl_obs.Trace.Ctx.t} instead of the caller's current context
+    (default) — how [lumpd] isolates concurrently traced requests;
+    {!sweep_point} and {!lump_sweep} take the same argument. *)
 
 val lump_with_partitions :
   ?stats:Mdl_partition.Refiner.stats ->
@@ -167,6 +172,7 @@ val sweep_create :
     publish to the shared store, so their work persists). *)
 
 val sweep_point :
+  ?tctx:Mdl_obs.Trace.Ctx.t ->
   ?stats:Mdl_partition.Refiner.stats ->
   sweep ->
   rewards:Decomposed.t list ->
@@ -192,6 +198,7 @@ val sweep_cache : sweep -> Key_cache.t
 (** The engine's cache — e.g. to inspect {!Key_cache.store_size}. *)
 
 val lump_sweep :
+  ?tctx:Mdl_obs.Trace.Ctx.t ->
   ?eps:float ->
   ?key:Local_key.choice ->
   ?stats:Mdl_partition.Refiner.stats ->

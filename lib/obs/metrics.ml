@@ -187,6 +187,48 @@ let histogram_stats name =
       (count, sum)
   | None -> (0, 0.0)
 
+type hist_snapshot = {
+  hs_bounds : float array;
+  hs_counts : int array;
+  hs_count : int;
+  hs_sum : float;
+}
+
+let histogram_snapshot name =
+  let h =
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with Some (Histogram h) -> Some h | _ -> None)
+  in
+  match h with
+  | Some h ->
+      let count, sum, counts = merge_hist h in
+      Some { hs_bounds = Array.copy h.h_bounds; hs_counts = counts; hs_count = count; hs_sum = sum }
+  | None -> None
+
+(* Linear interpolation inside the winning bucket, the standard
+   Prometheus [histogram_quantile] estimate; the overflow bucket
+   degrades to its lower bound (the largest finite bound). *)
+let snapshot_quantile s q =
+  if s.hs_count = 0 then 0.0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank = q *. float_of_int s.hs_count in
+    let nb = Array.length s.hs_bounds in
+    let cum = ref 0 and i = ref 0 in
+    while !i < Array.length s.hs_counts && float_of_int (!cum + s.hs_counts.(!i)) < rank do
+      cum := !cum + s.hs_counts.(!i);
+      i := !i + 1
+    done;
+    if !i >= nb then (if nb = 0 then 0.0 else s.hs_bounds.(nb - 1))
+    else begin
+      let lo = if !i = 0 then 0.0 else s.hs_bounds.(!i - 1) in
+      let hi = s.hs_bounds.(!i) in
+      let in_bucket = s.hs_counts.(!i) in
+      if in_bucket = 0 then hi
+      else lo +. ((hi -. lo) *. (rank -. float_of_int !cum) /. float_of_int in_bucket)
+    end
+  end
+
 let histogram_buckets name =
   let h =
     locked (fun () ->

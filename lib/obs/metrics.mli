@@ -88,6 +88,29 @@ val histogram_buckets : string -> (float * int) array
 (** [(upper_bound, count)] per bucket, the overflow bucket last with
     bound [infinity]; [[||]] when unregistered. *)
 
+type hist_snapshot = {
+  hs_bounds : float array;  (** strictly increasing finite upper bounds *)
+  hs_counts : int array;  (** per-bucket counts, overflow bucket last *)
+  hs_count : int;  (** total observations, [= sum of hs_counts] *)
+  hs_sum : float;  (** sum of observed values *)
+}
+(** One consistent read of a histogram: bounds, non-cumulative bucket
+    counts (one more than bounds — the overflow bucket is last), total
+    count and sum.  All shards are merged under their locks in a single
+    pass, so [hs_count] always equals the sum of [hs_counts] even while
+    other domains keep observing. *)
+
+val histogram_snapshot : string -> hist_snapshot option
+(** Snapshot of the named histogram; [None] when unregistered.  The
+    arrays are fresh copies — callers may mutate them. *)
+
+val snapshot_quantile : hist_snapshot -> float -> float
+(** [snapshot_quantile s q] estimates the [q]-quantile ([0 <= q <= 1],
+    clamped) from the bucket counts by linear interpolation within the
+    winning bucket — the same estimate as Prometheus'
+    [histogram_quantile].  Ranks landing in the overflow bucket degrade
+    to the largest finite bound; [0.] on an empty snapshot. *)
+
 (** {2 Registry} *)
 
 val reset : unit -> unit

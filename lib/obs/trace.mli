@@ -10,8 +10,20 @@
     events, [ph = "X"]), which loads directly in [chrome://tracing],
     Perfetto and [speedscope].
 
+    {b Contexts.}  All recording state lives in a {!Ctx.t} — span
+    stack, event buffer or streaming sink, Gc-sampling flag, epoch.
+    The module-level functions below operate on the thread's {e
+    current} context: a process-wide default, unless the calling thread
+    has installed its own with {!with_ctx} (as [lumpd] does per traced
+    request, so two requests tracing concurrently can never interleave
+    spans).  A context is {b single-owner}: exactly one thread records
+    into it at a time; there is no internal locking.  Two threads (or
+    domains) recording into two {e different} contexts are fully
+    independent.
+
     {b Overhead.}  Tracing is {e off} by default.  Every instrumentation
-    site checks {!enabled} first — one mutable-bool load — so the
+    site checks {!enabled} first — one atomic load plus one context
+    field load while no ambient context is installed anywhere — so the
     disabled cost is a predictable branch per candidate span; no
     timestamps are read, nothing allocates, and pipeline outputs are
     bit-identical with tracing on or off (pinned by the test suite).
@@ -20,20 +32,111 @@
     {!start}), every span also records the [Gc.quick_stat] deltas across
     its extent — minor/major/promoted words and minor/major collection
     counts — as span arguments ([gc.minor_words], ...), so cache-miss
-    allocation is visible phase by phase in the trace viewer.
-
-    Single-domain by design, like the engine it instruments: the buffer
-    and stack are plain mutable state. *)
+    allocation is visible phase by phase in the trace viewer. *)
 
 type value = Int of int | Float of float | Str of string | Bool of bool
 (** Span-argument values, mapped to the corresponding JSON types. *)
 
 exception Nesting_error of string
 (** Raised by {!end_span} when closing does not match the innermost
-    open span (or none is open) — spans must close strictly LIFO. *)
+    open span (or none is open) — spans must close strictly LIFO.  The
+    check is per-context: a mismatch in one context cannot be caused by
+    (or observed from) spans open in another. *)
+
+(** {1 Trace contexts}
+
+    An explicit recording context.  Every operation of the module-level
+    API exists here with the context as an explicit argument and
+    identical semantics (including the exact {!Nesting_error}
+    messages); the module-level functions are thin wrappers applying
+    the thread's current context. *)
+
+module Ctx : sig
+  type t
+  (** One recording context: enabled flag, Gc-sampling flag, epoch,
+      event buffer, span stack, optional streaming sink.  Single-owner;
+      see the module preamble. *)
+
+  val create : unit -> t
+  (** A fresh disabled context with an empty buffer and no epoch (the
+      epoch is fixed by its first {!start}/{!start_streaming}). *)
+
+  val enabled : t -> bool
+
+  val start : ?gc:bool -> t -> unit
+
+  val start_streaming : ?gc:bool -> ?close:(unit -> unit) -> t -> (string -> unit) -> unit
+
+  val stream_to_file : ?gc:bool -> t -> string -> unit
+
+  val streaming : t -> bool
+
+  val streamed_count : t -> int
+
+  val stop : t -> unit
+
+  val resume : t -> unit
+
+  val with_span :
+    ?cat:string -> ?args:(string * value) list -> t -> string -> (unit -> 'a) -> 'a
+
+  val begin_span : ?cat:string -> ?args:(string * value) list -> t -> string -> unit
+
+  val end_span : t -> string -> unit
+
+  val add_args : t -> (string * value) list -> unit
+
+  val open_spans : t -> int
+
+  val span_count : t -> int
+
+  val iter_events :
+    ?from:int ->
+    t ->
+    (name:string ->
+    cat:string ->
+    start_ns:int64 ->
+    dur_ns:int64 ->
+    depth:int ->
+    args:(string * value) list ->
+    unit) ->
+    unit
+
+  val phase_totals : ?from:int -> t -> (string * float) list
+
+  val span_rollup : ?from:int -> t -> (string * int * float) list
+  (** Per-span-name [(name, count, inclusive seconds)] over the
+      buffered events, sorted by name — the rollup [lumpd] returns for
+      [trace: true] requests.  Like {!phase_totals}, nested spans each
+      count their own full extent. *)
+
+  val export_json : t -> Buffer.t -> unit
+
+  val write_file : t -> string -> unit
+
+  val clear : t -> unit
+end
+
+val with_ctx : Ctx.t -> (unit -> 'a) -> 'a
+(** [with_ctx ctx f] runs [f ()] with [ctx] installed as the calling
+    thread's current context: every module-level call made by this
+    thread during [f] (including from the instrumented libraries)
+    records into [ctx] instead of the default context.  Installs nest
+    — the previous installation (if any) is restored when [f] returns
+    or raises.  The installation is {e per-thread}: threads spawned by
+    [f] see the default context (the engine's domain-parallel paths are
+    disabled while tracing, so a traced run's spans all occur on the
+    installing thread). *)
+
+val with_ctx_opt : Ctx.t option -> (unit -> 'a) -> 'a
+(** [with_ctx_opt (Some ctx) f] is [with_ctx ctx f]; [with_ctx_opt None
+    f] is [f ()] — the shape instrumented entry points use for their
+    optional [?tctx] argument (thread a context when given one, record
+    into the caller's current context otherwise). *)
 
 val enabled : unit -> bool
-(** Whether spans are currently being recorded. *)
+(** Whether spans are currently being recorded in the thread's current
+    context. *)
 
 val start : ?gc:bool -> unit -> unit
 (** [start ()] clears the buffer and enables recording in {e buffered}

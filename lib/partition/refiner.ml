@@ -319,7 +319,8 @@ type on_split = parent:int -> ids:int list -> unit
 
 (* ---- generic (fallback) pipeline ---- *)
 
-let comp_lumping ?stats ?on_split spec ~initial =
+let comp_lumping ?tctx ?stats ?on_split spec ~initial =
+  Trace.with_ctx_opt tctx @@ fun () ->
   let st = create_stats () in
   let prepare pd p slice =
     st.fallback_passes <- st.fallback_passes + 1;
@@ -400,7 +401,8 @@ type float_spec = {
   fsplitter_keys : slice -> float_buf -> unit;
 }
 
-let comp_lumping_float ?stats ?on_split fspec ~initial =
+let comp_lumping_float ?tctx ?stats ?on_split fspec ~initial =
+  Trace.with_ctx_opt tctx @@ fun () ->
   let st = create_stats () in
   let buf = { fb_states = [||]; fb_keys = [||]; fb_len = 0 } in
   let cls = ref [||] in

@@ -153,7 +153,12 @@ type on_split = parent:int -> ids:int list -> unit
     partition owes to an actual split. *)
 
 val comp_lumping :
-  ?stats:stats -> ?on_split:on_split -> 'k spec -> initial:Partition.t -> Partition.t
+  ?tctx:Mdl_obs.Trace.Ctx.t ->
+  ?stats:stats ->
+  ?on_split:on_split ->
+  'k spec ->
+  initial:Partition.t ->
+  Partition.t
 (** [comp_lumping spec ~initial] returns the coarsest refinement of
     [initial] that is stable under [spec.splitter_keys] splitting (the
     input partition is not mutated; the result is an id-preserving
@@ -163,7 +168,9 @@ val comp_lumping :
     onto it (so one record can aggregate several calls); [on_split]
     exports the split trace.  Termination: a class re-enters the
     worklist only when freshly created by a split, and partitions only
-    ever get finer. @raise Invalid_argument if [initial] is not over
+    ever get finer.  [tctx] records the run's spans into that explicit
+    {!Mdl_obs.Trace.Ctx.t} instead of the caller's current context.
+    @raise Invalid_argument if [initial] is not over
     [spec.size] states. *)
 
 (** {2 Monomorphic float pipeline} *)
@@ -188,7 +195,12 @@ type float_spec = {
 }
 
 val comp_lumping_float :
-  ?stats:stats -> ?on_split:on_split -> float_spec -> initial:Partition.t -> Partition.t
+  ?tctx:Mdl_obs.Trace.Ctx.t ->
+  ?stats:stats ->
+  ?on_split:on_split ->
+  float_spec ->
+  initial:Partition.t ->
+  Partition.t
 (** {!comp_lumping} through the allocation-free float pipeline: same
     fixed point as the generic engine over the spec
     [{ key_compare = Float.compare on quantized keys; ... }]. *)

@@ -34,7 +34,12 @@ type verb =
   | Ping of ping
   | Shutdown
 
-type request = { rq_id : string option; rq_deadline_ms : int option; rq_verb : verb }
+type request = {
+  rq_id : string option;
+  rq_deadline_ms : int option;
+  rq_trace : bool;
+  rq_verb : verb;
+}
 
 type error_code =
   | Parse_error
@@ -80,6 +85,19 @@ type solve_result = {
   so_wall_s : float;
 }
 
+type span_stat = { sp_name : string; sp_count : int; sp_total_s : float }
+
+type trace_rollup = { tr_request : string; tr_spans : span_stat list }
+
+type verb_stat = {
+  vs_verb : string;
+  vs_requests : int;
+  vs_errors : int;
+  vs_p50_s : float;
+  vs_p95_s : float;
+  vs_p99_s : float;
+}
+
 type model_stat = {
   ms_model : string;
   ms_family : family;
@@ -99,6 +117,7 @@ type stats_result = {
   st_rejected_queue_full : int;
   st_rejected_deadline : int;
   st_protocol_errors : int;
+  st_verbs : verb_stat list;
   st_models : model_stat list;
 }
 
@@ -113,6 +132,7 @@ type payload =
 
 type response = {
   resp_id : string option;
+  resp_trace : trace_rollup option;
   resp_body : (payload, error_code * string) result;
 }
 
@@ -235,7 +255,9 @@ let request_to_json rq =
     :: opt_member "id" (Option.map (fun s -> Json.Str s) rq.rq_id)
          (opt_member "deadline_ms"
             (Option.map (fun d -> Json.Int d) rq.rq_deadline_ms)
-            (("verb", Json.Str (verb_name rq.rq_verb)) :: verb_members)))
+            (opt_member "trace"
+               (if rq.rq_trace then Some (Json.Bool true) else None)
+               (("verb", Json.Str (verb_name rq.rq_verb)) :: verb_members))))
 
 let measures_to_json ms = Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) ms)
 
@@ -296,6 +318,20 @@ let payload_to_json = function
           ("rejected_queue_full", Json.Int s.st_rejected_queue_full);
           ("rejected_deadline", Json.Int s.st_rejected_deadline);
           ("protocol_errors", Json.Int s.st_protocol_errors);
+          ( "verbs",
+            Json.List
+              (List.map
+                 (fun v ->
+                   Json.Obj
+                     [
+                       ("verb", Json.Str v.vs_verb);
+                       ("requests", Json.Int v.vs_requests);
+                       ("errors", Json.Int v.vs_errors);
+                       ("p50_s", Json.Float v.vs_p50_s);
+                       ("p95_s", Json.Float v.vs_p95_s);
+                       ("p99_s", Json.Float v.vs_p99_s);
+                     ])
+                 s.st_verbs) );
           ( "models",
             Json.List
               (List.map
@@ -315,31 +351,53 @@ let payload_to_json = function
   | Pong -> Json.Obj []
   | Shutdown_ack { draining } -> Json.Obj [ ("draining", Json.Bool draining) ]
 
+let trace_rollup_to_json tr =
+  Json.Obj
+    [
+      ("request", Json.Str tr.tr_request);
+      ( "spans",
+        Json.List
+          (List.map
+             (fun sp ->
+               Json.Obj
+                 [
+                   ("name", Json.Str sp.sp_name);
+                   ("count", Json.Int sp.sp_count);
+                   ("total_s", Json.Float sp.sp_total_s);
+                 ])
+             tr.tr_spans) );
+    ]
+
 let response_to_json resp =
   let id = opt_member "id" (Option.map (fun s -> Json.Str s) resp.resp_id) in
+  let trace rest =
+    opt_member "trace" (Option.map trace_rollup_to_json resp.resp_trace) rest
+  in
   match resp.resp_body with
   | Ok payload ->
       Json.Obj
         (("v", Json.Int version)
         :: id
-             [
-               ("ok", Json.Bool true);
-               ("verb", Json.Str (payload_name payload));
-               ("result", payload_to_json payload);
-             ])
+             (trace
+                [
+                  ("ok", Json.Bool true);
+                  ("verb", Json.Str (payload_name payload));
+                  ("result", payload_to_json payload);
+                ]))
   | Error (code, msg) ->
       Json.Obj
         (("v", Json.Int version)
         :: id
-             [
-               ("ok", Json.Bool false);
-               ( "error",
-                 Json.Obj
-                   [
-                     ("code", Json.Str (error_code_string code));
-                     ("message", Json.Str msg);
-                   ] );
-             ])
+             (trace
+                [
+                  ("ok", Json.Bool false);
+                  ( "error",
+                    Json.Obj
+                      [
+                        ("code", Json.Str (error_code_string code));
+                        ("message", Json.Str msg);
+                      ] );
+                ]))
 
 (* ---- decoding ---- *)
 
@@ -452,6 +510,12 @@ let request_of_json j =
         | Some d when d <= 0 -> bad "deadline_ms must be positive"
         | _ -> Ok ()
       in
+      let* trace =
+        match Json.member "trace" j with
+        | None | Some Json.Null -> Ok false
+        | Some (Json.Bool b) -> Ok b
+        | Some _ -> bad "field \"trace\" must be a boolean"
+      in
       let* verb_s = get_str j "verb" in
       let* verb =
         match verb_s with
@@ -527,7 +591,7 @@ let request_of_json j =
         | "shutdown" -> Ok Shutdown
         | other -> Error (Unknown_verb, Printf.sprintf "unknown verb %S" other)
       in
-      Ok { rq_id = id; rq_deadline_ms = deadline; rq_verb = verb }
+      Ok { rq_id = id; rq_deadline_ms = deadline; rq_trace = trace; rq_verb = verb }
   | _ -> bad "request must be a JSON object"
 
 let request_of_string s =
@@ -632,6 +696,27 @@ let payload_of_json verb j =
       let* rejected_queue_full = get_int j "rejected_queue_full" in
       let* rejected_deadline = get_int j "rejected_deadline" in
       let* protocol_errors = get_int j "protocol_errors" in
+      let* verbs = get_opt_list j "verbs" in
+      let* verbs =
+        map_result
+          (fun v ->
+            let* name = get_str v "verb" in
+            let* requests = get_int v "requests" in
+            let* errors = get_int v "errors" in
+            let* p50 = get_float v "p50_s" in
+            let* p95 = get_float v "p95_s" in
+            let* p99 = get_float v "p99_s" in
+            Ok
+              {
+                vs_verb = name;
+                vs_requests = requests;
+                vs_errors = errors;
+                vs_p50_s = p50;
+                vs_p95_s = p95;
+                vs_p99_s = p99;
+              })
+          verbs
+      in
       let* models = get_list j "models" in
       let* models =
         map_result
@@ -671,6 +756,7 @@ let payload_of_json verb j =
              st_rejected_queue_full = rejected_queue_full;
              st_rejected_deadline = rejected_deadline;
              st_protocol_errors = protocol_errors;
+             st_verbs = verbs;
              st_models = models;
            })
   | "ping" -> Ok Pong
@@ -679,30 +765,55 @@ let payload_of_json verb j =
       Ok (Shutdown_ack { draining })
   | other -> bad "unknown response verb %S" other
 
+let span_stat_of_json sp =
+  let* name = get_str sp "name" in
+  let* count = get_int sp "count" in
+  let* total = get_float sp "total_s" in
+  Ok { sp_name = name; sp_count = count; sp_total_s = total }
+
+let trace_rollup_of_json tr =
+  let* request = get_str tr "request" in
+  let* spans = get_opt_list tr "spans" in
+  let* spans = map_result span_stat_of_json spans in
+  Ok { tr_request = request; tr_spans = spans }
+
 let response_of_json j =
   let err_of = function Bad_request, msg -> msg | _, msg -> msg in
   match j with
   | Json.Obj _ -> (
       let id = match Json.member "id" j with Some (Json.Str s) -> Some s | _ -> None in
-      match Json.member "ok" j with
-      | Some (Json.Bool true) -> (
-          match (Json.member "verb" j, Json.member "result" j) with
-          | Some (Json.Str verb), Some result -> (
-              match payload_of_json verb result with
-              | Ok payload -> Ok { resp_id = id; resp_body = Ok payload }
-              | Error e -> Error (err_of e))
-          | _ -> Error "ok response needs \"verb\" and \"result\"")
-      | Some (Json.Bool false) -> (
-          match Json.member "error" j with
-          | Some err -> (
-              match (Json.member "code" err, Json.member "message" err) with
-              | Some (Json.Str code_s), Some (Json.Str msg) -> (
-                  match error_code_of_string code_s with
-                  | Some code -> Ok { resp_id = id; resp_body = Error (code, msg) }
-                  | None -> Error (Printf.sprintf "unknown error code %S" code_s))
-              | _ -> Error "error object needs string \"code\" and \"message\"")
-          | None -> Error "error response lacks \"error\" object")
-      | _ -> Error "response lacks boolean \"ok\"")
+      let trace =
+        match Json.member "trace" j with
+        | None | Some Json.Null -> Ok None
+        | Some tr -> (
+            match trace_rollup_of_json tr with
+            | Ok r -> Ok (Some r)
+            | Error (_, msg) -> Error msg)
+      in
+      match trace with
+      | Error msg -> Error msg
+      | Ok trace -> (
+          match Json.member "ok" j with
+          | Some (Json.Bool true) -> (
+              match (Json.member "verb" j, Json.member "result" j) with
+              | Some (Json.Str verb), Some result -> (
+                  match payload_of_json verb result with
+                  | Ok payload ->
+                      Ok { resp_id = id; resp_trace = trace; resp_body = Ok payload }
+                  | Error e -> Error (err_of e))
+              | _ -> Error "ok response needs \"verb\" and \"result\"")
+          | Some (Json.Bool false) -> (
+              match Json.member "error" j with
+              | Some err -> (
+                  match (Json.member "code" err, Json.member "message" err) with
+                  | Some (Json.Str code_s), Some (Json.Str msg) -> (
+                      match error_code_of_string code_s with
+                      | Some code ->
+                          Ok { resp_id = id; resp_trace = trace; resp_body = Error (code, msg) }
+                      | None -> Error (Printf.sprintf "unknown error code %S" code_s))
+                  | _ -> Error "error object needs string \"code\" and \"message\"")
+              | None -> Error "error response lacks \"error\" object")
+          | _ -> Error "response lacks boolean \"ok\""))
   | _ -> Error "response must be a JSON object"
 
 let response_of_string s =

@@ -83,6 +83,10 @@ type request = {
   rq_deadline_ms : int option;
       (** per-request deadline, measured from the moment the server
           reads the frame; overrides the server default *)
+  rq_trace : bool;
+      (** when [true], the server traces this request's execution and
+          returns a per-span rollup in the response's [trace] member.
+          Encoded on the wire only when set; absent means [false]. *)
   rq_verb : verb;
 }
 
@@ -138,6 +142,28 @@ type solve_result = {
   so_wall_s : float;
 }
 
+type span_stat = {
+  sp_name : string;  (** span name, e.g. ["serve.lump"] *)
+  sp_count : int;  (** completed spans with this name *)
+  sp_total_s : float;  (** total {e inclusive} seconds across them *)
+}
+(** One line of a trace rollup — the per-name aggregate of the spans a
+    traced request produced (see {!Mdl_obs.Trace.Ctx.span_rollup}). *)
+
+type trace_rollup = {
+  tr_request : string;  (** the server-assigned request id *)
+  tr_spans : span_stat list;  (** sorted by span name *)
+}
+
+type verb_stat = {
+  vs_verb : string;  (** wire verb name, e.g. ["lump"] *)
+  vs_requests : int;  (** requests of this verb handled since start *)
+  vs_errors : int;  (** of which answered with an error *)
+  vs_p50_s : float;  (** execution-latency quantiles, estimated from *)
+  vs_p95_s : float;  (** the per-verb histogram by linear interpolation *)
+  vs_p99_s : float;  (** within the winning bucket; [0.] when unserved *)
+}
+
 type model_stat = {
   ms_model : string;
   ms_family : family;
@@ -157,6 +183,7 @@ type stats_result = {
   st_rejected_queue_full : int;
   st_rejected_deadline : int;
   st_protocol_errors : int;
+  st_verbs : verb_stat list;  (** per-verb counters and latency quantiles *)
   st_models : model_stat list;
 }
 
@@ -171,6 +198,9 @@ type payload =
 
 type response = {
   resp_id : string option;
+  resp_trace : trace_rollup option;
+      (** present exactly when the request set [rq_trace]; carries the
+          server-assigned request id and the span rollup *)
   resp_body : (payload, error_code * string) result;
       (** [Error (code, message)]: [message] is human-oriented detail,
           [code] is the contract *)
@@ -180,6 +210,10 @@ type response = {
 
 val error_code_string : error_code -> string
 (** The wire name, e.g. ["queue_full"]. *)
+
+val verb_name : verb -> string
+(** The wire name of a verb, e.g. ["submit-model"] — also the [verb]
+    key of the server's per-verb metric families and {!verb_stat}s. *)
 
 val error_code_of_string : string -> error_code option
 

@@ -29,7 +29,42 @@ let m_inflight = Metrics.gauge "serve.inflight"
 let m_queue_depth = Metrics.gauge "serve.queue_depth"
 let m_models = Metrics.gauge "serve.models"
 let m_store_rows = Metrics.gauge "serve.store_rows"
+let m_uptime = Metrics.gauge "serve.uptime_seconds"
+
+(* [serve.request_seconds] covers the slotted verbs only: stats and
+   shutdown bypass the execution slots, so folding their near-zero
+   latencies into the same histogram would drag the quantiles of the
+   actual work down.  They get their own family instead. *)
 let m_latency = Metrics.histogram "serve.request_seconds"
+let m_control_latency = Metrics.histogram "serve.control_seconds"
+
+(* Per-verb telemetry, pre-registered for every verb so the families
+   exist (at zero) in the first scrape rather than popping into being
+   when a verb is first used.  [queue_seconds] is time spent acquiring
+   an execution slot; [exec_seconds] is time actually executing. *)
+type verb_metrics = {
+  vm_requests : Metrics.counter;
+  vm_errors : Metrics.counter;
+  vm_queue : Metrics.histogram;
+  vm_exec : Metrics.histogram;
+}
+
+let verb_names =
+  [ "submit-model"; "lump"; "sweep"; "solve"; "stats"; "ping"; "shutdown" ]
+
+let verb_families =
+  List.map
+    (fun v ->
+      ( v,
+        {
+          vm_requests = Metrics.counter (Printf.sprintf "serve.verb.%s.requests" v);
+          vm_errors = Metrics.counter (Printf.sprintf "serve.verb.%s.errors" v);
+          vm_queue = Metrics.histogram (Printf.sprintf "serve.verb.%s.queue_seconds" v);
+          vm_exec = Metrics.histogram (Printf.sprintf "serve.verb.%s.exec_seconds" v);
+        } ))
+    verb_names
+
+let verb_metrics v = List.assoc v verb_families
 
 (* ---- configuration ---- *)
 
@@ -42,6 +77,7 @@ type config = {
   queue_capacity : int;
   default_deadline_ms : int option;
   max_frame : int;
+  access_log : string option;
 }
 
 let default_config ~listen =
@@ -52,6 +88,7 @@ let default_config ~listen =
     queue_capacity = 32;
     default_deadline_ms = None;
     max_frame = P.max_frame_default;
+    access_log = None;
   }
 
 (* ---- model registry ---- *)
@@ -203,9 +240,14 @@ type t = {
   mutable waiting : int;
   mutable draining : bool;
   mutable requests : int;
+  mutable next_req : int;  (* server-side request-id counter; guarded by [mu] *)
+  verb_counts : (string, int * int) Hashtbl.t;
+      (* verb -> (requests, errors), for the stats verb; guarded by [mu] *)
   mutable rejected_queue_full : int;
   mutable rejected_deadline : int;
   mutable protocol_errors : int;
+  access_out : out_channel option;  (* structured access log, one JSON line per request *)
+  access_mu : Mutex.t;
   started_wall : float;
   (* socket machinery; absent when driven purely in-process *)
   mutable listen_fd : Unix.file_descr option;
@@ -573,11 +615,41 @@ let exec_stats t =
   let models =
     List.sort (fun a b -> compare a.P.ms_model b.P.ms_model) models
   in
+  (* One entry per verb, in registry order; quantiles estimated from the
+     per-verb execution histogram (0. until the verb has been served). *)
+  let verbs =
+    List.map
+      (fun v ->
+        let requests, errors =
+          match locked t (fun () -> Hashtbl.find_opt t.verb_counts v) with
+          | Some (r, e) -> (r, e)
+          | None -> (0, 0)
+        in
+        let q =
+          match
+            Metrics.histogram_snapshot (Printf.sprintf "serve.verb.%s.exec_seconds" v)
+          with
+          | Some s when s.Metrics.hs_count > 0 ->
+              fun p -> Metrics.snapshot_quantile s p
+          | _ -> fun _ -> 0.0
+        in
+        {
+          P.vs_verb = v;
+          vs_requests = requests;
+          vs_errors = errors;
+          vs_p50_s = q 0.50;
+          vs_p95_s = q 0.95;
+          vs_p99_s = q 0.99;
+        })
+      verb_names
+  in
+  let uptime = Unix.gettimeofday () -. t.started_wall in
+  Metrics.set m_uptime uptime;
   locked t (fun () ->
       Ok
         (P.Stats_result
            {
-             st_uptime_s = Unix.gettimeofday () -. t.started_wall;
+             st_uptime_s = uptime;
              st_draining = t.draining;
              st_inflight = t.inflight;
              st_queue_depth = t.waiting;
@@ -585,6 +657,7 @@ let exec_stats t =
              st_rejected_queue_full = t.rejected_queue_full;
              st_rejected_deadline = t.rejected_deadline;
              st_protocol_errors = t.protocol_errors;
+             st_verbs = verbs;
              st_models = models;
            }))
 
@@ -627,23 +700,89 @@ let spanned name f =
   end
   else f ()
 
+let verb_model = function
+  | P.Submit_model s -> Some s.P.sm_model
+  | P.Lump l -> Some l.P.lp_model
+  | P.Sweep s -> Some s.P.sw_model
+  | P.Solve s -> Some s.P.sv_model
+  | P.Stats | P.Ping _ | P.Shutdown -> None
+
+let ns_to_s ns = Int64.to_float ns /. 1e9
+
+(* One JSON line per request: who, what, how long queued vs executing,
+   outcome, and the size of the answer.  Written under its own lock so
+   concurrent request threads never interleave lines. *)
+let log_access t ~req_id ~verb ~model ~queue_ns ~exec_ns (resp : P.response) =
+  match t.access_out with
+  | None -> ()
+  | Some oc ->
+      let bytes = String.length (Json.to_string (P.response_to_json resp)) in
+      let status =
+        match resp.P.resp_body with
+        | Ok _ -> "ok"
+        | Error (code, _) -> P.error_code_string code
+      in
+      let members =
+        [ ("ts", Json.Float (Unix.gettimeofday ())); ("request", Json.Str req_id) ]
+        @ (match resp.P.resp_id with
+          | Some id -> [ ("id", Json.Str id) ]
+          | None -> [])
+        @ [ ("verb", Json.Str verb) ]
+        @ (match model with Some m -> [ ("model", Json.Str m) ] | None -> [])
+        @ [
+            ("queue_ns", Json.Int (Int64.to_int queue_ns));
+            ("exec_ns", Json.Int (Int64.to_int exec_ns));
+            ("status", Json.Str status);
+            ("bytes", Json.Int bytes);
+          ]
+      in
+      let line = Json.to_string (Json.Obj members) in
+      Mutex.protect t.access_mu (fun () ->
+          output_string oc line;
+          output_char oc '\n';
+          flush oc)
+
 let handle t (rq : P.request) =
   let received = Timer.now_ns () in
-  locked t (fun () -> t.requests <- t.requests + 1);
+  let req_num =
+    locked t (fun () ->
+        t.requests <- t.requests + 1;
+        t.next_req <- t.next_req + 1;
+        t.next_req)
+  in
+  let req_id = Printf.sprintf "r-%d" req_num in
   Metrics.incr m_requests;
+  let vname = P.verb_name rq.rq_verb in
+  let vm = verb_metrics vname in
   let deadline = deadline_of t received rq.rq_deadline_ms in
-  let body =
+  let queue_ns = ref 0L in
+  let exec_ns = ref 0L in
+  let run_exec f =
+    let t0 = Timer.now_ns () in
+    let body = f () in
+    exec_ns := Int64.sub (Timer.now_ns ()) t0;
+    Metrics.observe vm.vm_exec (ns_to_s !exec_ns);
+    body
+  in
+  let run_body () =
     match rq.rq_verb with
     (* Stats and shutdown answer even when the slots are saturated —
-       an operator must be able to observe and stop a busy daemon. *)
-    | P.Stats -> exec_stats t
+       an operator must be able to observe and stop a busy daemon.
+       Their latency goes to [serve.control_seconds], not the global
+       request histogram (they never queue or lump). *)
+    | P.Stats -> run_exec (fun () -> exec_stats t)
     | P.Shutdown ->
-        request_drain t;
-        Ok (P.Shutdown_ack { draining = true })
+        run_exec (fun () ->
+            request_drain t;
+            Ok (P.Shutdown_ack { draining = true }))
     | verb -> (
         if t.draining then Error (P.Shutting_down, "server is draining")
-        else
-          match acquire_slot t ~deadline with
+        else begin
+          let q0 = Timer.now_ns () in
+          let slot = acquire_slot t ~deadline in
+          queue_ns := Int64.sub (Timer.now_ns ()) q0;
+          Metrics.observe vm.vm_queue (ns_to_s !queue_ns);
+          match slot with
           | Error _ as e -> e
           | Ok () ->
               Fun.protect
@@ -656,31 +795,73 @@ let handle t (rq : P.request) =
                     Error (P.Deadline_exceeded, "deadline expired before execution")
                   end
                   else
-                    try
-                      spanned
-                        ("serve." ^ P.(match verb with
-                          | Submit_model _ -> "submit-model"
-                          | Lump _ -> "lump"
-                          | Sweep _ -> "sweep"
-                          | Solve _ -> "solve"
-                          | Ping _ -> "ping"
-                          | Stats | Shutdown -> "other"))
-                        (fun () ->
-                          match verb with
-                          | P.Submit_model s -> exec_submit t s
-                          | P.Lump l -> exec_lump t l
-                          | P.Sweep s -> exec_sweep t s
-                          | P.Solve s -> exec_solve t s
-                          | P.Ping p -> exec_ping ~deadline p
-                          | P.Stats | P.Shutdown -> assert false)
-                    with
-                    | Invalid_argument msg | Failure msg ->
-                        Error (P.Internal, msg)
-                    | e -> Error (P.Internal, Printexc.to_string e)))
+                    run_exec (fun () ->
+                        try
+                          spanned ("serve." ^ vname) (fun () ->
+                              match verb with
+                              | P.Submit_model s -> exec_submit t s
+                              | P.Lump l -> exec_lump t l
+                              | P.Sweep s -> exec_sweep t s
+                              | P.Solve s -> exec_solve t s
+                              | P.Ping p -> exec_ping ~deadline p
+                              | P.Stats | P.Shutdown -> assert false)
+                        with
+                        | Invalid_argument msg | Failure msg ->
+                            Error (P.Internal, msg)
+                        | e -> Error (P.Internal, Printexc.to_string e)))
+        end)
   in
-  let elapsed = Int64.to_float (Int64.sub (Timer.now_ns ()) received) /. 1e9 in
-  Metrics.observe m_latency elapsed;
-  { P.resp_id = rq.rq_id; resp_body = body }
+  (* A traced request runs under its own context, so two concurrently
+     traced requests can never interleave spans; the rollup travels
+     back in the response's [trace] member tagged with the server-side
+     request id. *)
+  let body, trace =
+    if not rq.rq_trace then (run_body (), None)
+    else begin
+      let ctx = Trace.Ctx.create () in
+      Trace.Ctx.start ctx;
+      let args =
+        [ ("request", Trace.Str req_id); ("verb", Trace.Str vname) ]
+        @
+        match verb_model rq.rq_verb with
+        | Some m -> [ ("model", Trace.Str m) ]
+        | None -> []
+      in
+      let body =
+        Trace.with_ctx ctx (fun () ->
+            Trace.with_span ~cat:"serve" ~args "serve.request" run_body)
+      in
+      (try Trace.Ctx.stop ctx with Trace.Nesting_error _ -> ());
+      let spans =
+        List.map
+          (fun (name, count, total) ->
+            { P.sp_name = name; sp_count = count; sp_total_s = total })
+          (Trace.Ctx.span_rollup ctx)
+      in
+      (body, Some { P.tr_request = req_id; tr_spans = spans })
+    end
+  in
+  let error = Result.is_error body in
+  Metrics.incr vm.vm_requests;
+  if error then Metrics.incr vm.vm_errors;
+  locked t (fun () ->
+      let r, e =
+        match Hashtbl.find_opt t.verb_counts vname with
+        | Some p -> p
+        | None -> (0, 0)
+      in
+      Hashtbl.replace t.verb_counts vname (r + 1, if error then e + 1 else e));
+  (match rq.rq_verb with
+  | P.Stats | P.Shutdown ->
+      Metrics.observe m_control_latency
+        (ns_to_s (Int64.sub (Timer.now_ns ()) received))
+  | _ ->
+      Metrics.observe m_latency
+        (ns_to_s (Int64.sub (Timer.now_ns ()) received)));
+  let resp = { P.resp_id = rq.rq_id; resp_trace = trace; resp_body = body } in
+  log_access t ~req_id ~verb:vname ~model:(verb_model rq.rq_verb)
+    ~queue_ns:!queue_ns ~exec_ns:!exec_ns resp;
+  resp
 
 (* ---- the socket shell ---- *)
 
@@ -705,6 +886,7 @@ let conn_loop t fd =
           (send_response fd
              {
                P.resp_id = None;
+               resp_trace = None;
                resp_body =
                  Error
                    ( P.Frame_too_large,
@@ -716,13 +898,14 @@ let conn_loop t fd =
         note_protocol_error t;
         ignore
           (send_response fd
-             { P.resp_id = None; resp_body = Error (P.Parse_error, msg) })
+             { P.resp_id = None; resp_trace = None; resp_body = Error (P.Parse_error, msg) })
     | Ok payload -> (
         if t.draining then
           ignore
             (send_response fd
                {
                  P.resp_id = None;
+                 resp_trace = None;
                  resp_body = Error (P.Shutting_down, "server is draining");
                })
         else
@@ -731,7 +914,7 @@ let conn_loop t fd =
               note_protocol_error t;
               if
                 send_response fd
-                  { P.resp_id = None; resp_body = Error (code, msg) }
+                  { P.resp_id = None; resp_trace = None; resp_body = Error (code, msg) }
               then loop ()
           | Ok rq -> if send_response fd (handle t rq) then loop ())
   in
@@ -775,6 +958,7 @@ let http_response status content_type body =
 
 let scrape_body t =
   refresh_store_gauges t;
+  Metrics.set m_uptime (Unix.gettimeofday () -. t.started_wall);
   Metrics.incr m_scrapes;
   let buf = Buffer.create 4096 in
   Metrics.to_prometheus buf;
@@ -866,9 +1050,16 @@ let start config =
       waiting = 0;
       draining = false;
       requests = 0;
+      next_req = 0;
+      verb_counts = Hashtbl.create 8;
       rejected_queue_full = 0;
       rejected_deadline = 0;
       protocol_errors = 0;
+      access_out =
+        Option.map
+          (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
+          config.access_log;
+      access_mu = Mutex.create ();
       started_wall = Unix.gettimeofday ();
       listen_fd = None;
       bound = config.listen;
@@ -907,10 +1098,11 @@ let wait t =
         drain_conns ()
   in
   drain_conns ();
-  match t.config.listen with
+  Option.iter (fun oc -> try close_out oc with Sys_error _ -> ()) t.access_out;
+  (match t.config.listen with
   | Unix_socket path ->
       if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ())
-  | Tcp _ -> ()
+  | Tcp _ -> ())
 
 let stop t =
   request_drain t;

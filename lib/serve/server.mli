@@ -48,11 +48,15 @@ type config = {
   default_deadline_ms : int option;
       (** deadline for requests that carry none; [None] = unlimited *)
   max_frame : int;  (** per-connection frame-size ceiling, bytes *)
+  access_log : string option;
+      (** append one structured JSON line per request to this file:
+          timestamp, server request id, client id, verb, model,
+          queue/execution nanoseconds, status, response bytes *)
 }
 
 val default_config : listen:address -> config
 (** [max_inflight = 1], [queue_capacity = 32], no default deadline, no
-    metrics port, [max_frame = Protocol.max_frame_default]. *)
+    metrics port, no access log, [max_frame = Protocol.max_frame_default]. *)
 
 type t
 

@@ -56,6 +56,16 @@ one, and the warm response must report cross-bind store hits and a
 non-empty persistent row store: the daemon's value proposition is that
 a later client never re-pays an earlier client's lumping work.
 
+The document must also carry a top-level "load" object, recorded by
+bench/loadgen.exe: N concurrent client threads driving a real daemon
+with a mixed-verb workload over the framed JSON socket.  Shape and
+gates: requests == clients * requests_per_client, every sample
+accounted for across the per-verb entries, positive wall time and
+throughput, zero protocol/verb errors overall and per verb, and every
+verb's client-side latency quantiles ordered (p50 <= p95 <= p99 — the
+nearest-rank estimator is monotone by construction, so a violation
+means the recorder broke, not the daemon).
+
 Usage: scripts/check_bench_schema.py [BENCH_refine.json]
 """
 
@@ -175,6 +185,66 @@ PHASE_FIELDS = [
     "pass_s",
     "rebuild_s",
 ]
+
+LOAD_FIELDS = [
+    "clients",
+    "requests_per_client",
+    "requests",
+    "wall_s",
+    "throughput_rps",
+    "errors",
+    "verbs",
+]
+
+LOAD_VERB_FIELDS = ["count", "errors", "p50_s", "p95_s", "p99_s"]
+
+
+def check_load(doc):
+    if "load" not in doc:
+        fail("top level: missing 'load' object (run bench/loadgen.exe)")
+    load = doc["load"]
+    check_fields(load, LOAD_FIELDS, "load")
+    for f in ("clients", "requests_per_client", "requests"):
+        if not isinstance(load[f], int) or load[f] < 1:
+            fail(f"load.{f} is not a positive integer")
+    if load["requests"] != load["clients"] * load["requests_per_client"]:
+        fail(
+            f"load.requests {load['requests']} != clients x requests_per_client "
+            f"({load['clients']} x {load['requests_per_client']})"
+        )
+    if load["clients"] < 2:
+        fail("load.clients < 2: the bench never exercised concurrent clients")
+    if not isinstance(load["wall_s"], (int, float)) or load["wall_s"] <= 0:
+        fail("load.wall_s is not a positive number")
+    if not isinstance(load["throughput_rps"], (int, float)) or load["throughput_rps"] <= 0:
+        fail("load.throughput_rps is not a positive number")
+    if load["errors"] != 0:
+        fail(f"load recorded {load['errors']} request errors")
+    verbs = load["verbs"]
+    if not isinstance(verbs, dict) or not verbs:
+        fail("load.verbs is not a non-empty object")
+    total = 0
+    for verb, entry in verbs.items():
+        where = f"load.verbs.{verb}"
+        check_fields(entry, LOAD_VERB_FIELDS, where)
+        if not isinstance(entry["count"], int) or entry["count"] < 1:
+            fail(f"{where}: count is not a positive integer (verb never served)")
+        if entry["errors"] != 0:
+            fail(f"{where}: recorded {entry['errors']} errors")
+        for f in ("p50_s", "p95_s", "p99_s"):
+            if not isinstance(entry[f], (int, float)) or entry[f] < 0:
+                fail(f"{where}: {f} is not a non-negative number")
+        if not entry["p50_s"] <= entry["p95_s"] <= entry["p99_s"]:
+            fail(
+                f"{where}: latency quantiles not ordered "
+                f"(p50 {entry['p50_s']}, p95 {entry['p95_s']}, p99 {entry['p99_s']})"
+            )
+        total += entry["count"]
+    if total != load["requests"]:
+        fail(
+            f"load per-verb counts sum to {total}, not load.requests "
+            f"{load['requests']} (samples lost)"
+        )
 
 
 def fail(msg):
@@ -394,10 +464,14 @@ def main():
     if kinds["multilevel"] == 0:
         fail("no multi-level end-to-end scenario recorded")
 
+    check_load(doc)
+
+    load = doc["load"]
     print(
         f"{path}: OK ({kinds['flat']} flat, {kinds['multilevel']} multi-level scenarios, "
         f"per-pipeline stats, solver races, domain races, batched sweeps and serve "
-        f"races present)"
+        f"races present; load: {load['clients']} clients, "
+        f"{load['throughput_rps']:.1f} req/s, 0 errors)"
     )
 
 

@@ -21,7 +21,17 @@ least one sample — CI passes the serve_*, lump_* and key_cache_*
 families so a metrics refactor cannot silently drop the series the
 dashboards are built on.
 
-Usage: scripts/check_prom.py FILE [required_family ...]
+--verbs VERB[,VERB...] additionally requires the full per-verb family
+set the server registers for each listed protocol verb —
+serve.verb.<verb>.{requests,errors} as counters and
+serve.verb.<verb>.{queue_seconds,exec_seconds} as histograms — after
+applying the exporter's name mangling (every character outside
+[a-zA-Z0-9_:] becomes '_', so verb "submit-model" is checked as
+serve_verb_submit_model_requests and friends).  This pins both the
+family layout and the mangling rule: a rename on either side breaks
+the scrape check, not just the dashboards.
+
+Usage: scripts/check_prom.py FILE [required_family ...] [--verbs V1,V2]
 """
 
 import re
@@ -91,11 +101,35 @@ def family_of(sample_name):
     return sample_name
 
 
+def mangle(name):
+    """The exporter's metric-name mangling: anything outside the legal
+    Prometheus name alphabet becomes '_' (dots and dashes included)."""
+    return re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+# The per-verb family set lib/serve/server.ml registers for every verb,
+# with the type each must be declared as.
+VERB_FAMILY_SUFFIXES = [
+    ("requests", "counter"),
+    ("errors", "counter"),
+    ("queue_seconds", "histogram"),
+    ("exec_seconds", "histogram"),
+]
+
+
 def main():
-    if len(sys.argv) < 2:
-        fail("usage: check_prom.py FILE [required_family ...]")
-    path = sys.argv[1]
-    required = sys.argv[2:]
+    argv = sys.argv[1:]
+    verbs = []
+    if "--verbs" in argv:
+        i = argv.index("--verbs")
+        if i + 1 >= len(argv):
+            fail("--verbs needs a comma-separated verb list")
+        verbs = [v for v in argv[i + 1].split(",") if v]
+        argv = argv[:i] + argv[i + 2:]
+    if not argv:
+        fail("usage: check_prom.py FILE [required_family ...] [--verbs V1,V2]")
+    path = argv[0]
+    required = argv[1:]
     body = sys.stdin.read() if path == "-" else open(path).read()
 
     types = {}  # family -> declared type
@@ -191,11 +225,23 @@ def main():
     if missing:
         fail(f"required metric families absent: {', '.join(missing)}")
 
+    for verb in verbs:
+        for suffix, kind in VERB_FAMILY_SUFFIXES:
+            fam = mangle(f"serve.verb.{verb}.{suffix}")
+            if fam not in samples:
+                fail(f"verb {verb!r}: family {fam} absent from the scrape")
+            if types.get(fam) != kind:
+                fail(
+                    f"verb {verb!r}: family {fam} declared TYPE "
+                    f"{types.get(fam)!r}, expected {kind!r}"
+                )
+
     nsamples = sum(len(v) for v in samples.values())
     print(
         f"{path}: OK ({len(samples)} families, {nsamples} samples, "
         f"{sum(1 for k in types.values() if k == 'histogram')} histograms"
         + (f", {len(required)} required families present" if required else "")
+        + (f", {len(verbs)} per-verb family sets present" if verbs else "")
         + ")"
     )
 

@@ -11,14 +11,22 @@ the framed newline-JSON wire path (docs/PROTOCOL.md):
                 must report cross_bind_hits > 0 — a later client rides
                 the earlier client's lumping work
   solve         power iteration; measures must be finite probabilities
-  stats         must list the model with the points run so far
-  ping          round trip
+  stats         must list the model with the points run so far, and
+                carry the per-verb counters/quantiles array
+  ping          round trip, then once more with "trace": true — the
+                response must carry a span rollup naming serve.request
+                and serve.ping under a server-side request id
   shutdown      graceful drain; the process must exit 0 by itself
 
 A deliberately malformed frame must come back as a typed parse_error
-(not a hangup), and the Prometheus scrape is validated with
-scripts/check_prom.py, requiring the serve_*, lump_* and key_cache_*
-families.
+(not a hangup).  A 4-client mini-load (each client on its own
+connection, a mixed ping/stats/lump cycle) must complete with zero
+errors.  The Prometheus scrape is validated with scripts/check_prom.py,
+requiring the serve_*, lump_* and key_cache_* families plus the
+per-verb family set for every protocol verb (--verbs).  The daemon
+boots with --access-log; after the clean drain the log must hold one
+JSON line per handled request, with distinct server request ids and
+every smoke client id present.
 
 Usage: scripts/lumpd_smoke.py [path/to/lumpd.exe]
        (default: _build/default/bin/lumpd.exe)
@@ -30,6 +38,7 @@ import socket
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 import urllib.request
 
@@ -92,11 +101,17 @@ def main():
     exe = sys.argv[1] if len(sys.argv) > 1 else DEFAULT_EXE
     if not os.path.exists(exe):
         fail(f"daemon binary not found at {exe} (run dune build first)")
-    sock_path = os.path.join(
-        tempfile.mkdtemp(prefix="lumpd-smoke-"), "lumpd.sock"
-    )
+    tmpdir = tempfile.mkdtemp(prefix="lumpd-smoke-")
+    sock_path = os.path.join(tmpdir, "lumpd.sock")
+    access_path = os.path.join(tmpdir, "access.log")
     proc = subprocess.Popen(
-        [exe, "--socket", sock_path, "--metrics-port", "0", "--timeout", "60000"],
+        [
+            exe,
+            "--socket", sock_path,
+            "--metrics-port", "0",
+            "--timeout", "60000",
+            "--access-log", access_path,
+        ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -196,11 +211,34 @@ def main():
             fail("stats does not list the submitted model")
         if models["m"].get("points", 0) < 2 * len(points):
             fail("stats under-counts the sweep points run")
+        by_verb = {v["verb"]: v for v in stats.get("verbs", [])}
+        if "ping" not in by_verb or "lump" not in by_verb:
+            fail(f"stats.verbs is missing served verbs: {sorted(by_verb)}")
+        if by_verb["lump"].get("requests", 0) < 1:
+            fail("stats.verbs under-counts lump requests")
+        for v in by_verb.values():
+            if not (0 <= v["p50_s"] <= v["p95_s"] <= v["p99_s"]):
+                fail(f"stats.verbs quantiles not monotone: {v}")
         print(f"  stats: {models['m']}")
+        print(f"  stats: {len(by_verb)} per-verb entries, quantiles monotone")
 
         # ping
         expect_ok(request(c, {"id": "smoke-6", "verb": "ping"}), "ping")
         print("  ping: pong")
+
+        # traced ping: the opt-in span rollup rides the response under a
+        # server-side request id.
+        traced = request(c, {"id": "smoke-trace", "verb": "ping", "trace": True})
+        expect_ok(traced, "ping")
+        rollup = traced.get("trace")
+        if not isinstance(rollup, dict):
+            fail(f"traced ping carried no trace rollup: {traced}")
+        if not str(rollup.get("request", "")).startswith("r-"):
+            fail(f"trace rollup has no server request id: {rollup}")
+        span_names = {sp["name"] for sp in rollup.get("spans", [])}
+        if not {"serve.request", "serve.ping"} <= span_names:
+            fail(f"trace rollup is missing the serve spans: {sorted(span_names)}")
+        print(f"  trace: rollup {rollup['request']} with spans {sorted(span_names)}")
 
         # malformed payload in a well-formed frame: typed error, socket
         # stays usable.
@@ -209,6 +247,47 @@ def main():
         expect_error(resp, "parse_error", "malformed payload")
         expect_ok(request(c, {"id": "smoke-7", "verb": "ping"}), "ping")
         print("  malformed payload: typed parse_error, connection survived")
+
+        # 4-client mini-load: each client on its own connection, a mixed
+        # control/work cycle, zero errors tolerated.
+        load_clients, load_requests = 4, 6
+        load_mix = [
+            {"verb": "ping"},
+            {"verb": "stats"},
+            {"verb": "lump", "model": "m"},
+            {"verb": "ping"},
+            {"verb": "sweep", "model": "m", "points": [{}]},
+            {"verb": "stats"},
+        ]
+        load_failures = []
+
+        def load_client(n):
+            try:
+                lc = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                lc.connect(sock_path)
+                for i in range(load_requests):
+                    rq = dict(load_mix[i % len(load_mix)])
+                    rq["id"] = f"load-{n}-{i}"
+                    resp = request(lc, rq)
+                    if resp.get("ok") is not True:
+                        load_failures.append(f"client {n} request {i}: {resp}")
+                lc.close()
+            except Exception as exc:  # noqa: BLE001 — reported, not swallowed
+                load_failures.append(f"client {n}: {exc!r}")
+
+        threads = [
+            threading.Thread(target=load_client, args=(n,))
+            for n in range(load_clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if load_failures:
+            fail("mini-load errors: " + "; ".join(load_failures[:4]))
+        print(
+            f"  mini-load: {load_clients} clients x {load_requests} requests, 0 errors"
+        )
 
         # Prometheus scrape, validated by check_prom.py with the
         # families the dashboards rely on.
@@ -227,9 +306,13 @@ def main():
                 "serve_connections",
                 "serve_inflight",
                 "serve_request_seconds",
+                "serve_control_seconds",
+                "serve_uptime_seconds",
                 "lump_runs",
                 "key_cache_hits",
                 "key_cache_misses",
+                "--verbs",
+                "submit-model,lump,sweep,solve,stats,ping,shutdown",
             ],
             check=True,
         )
@@ -243,7 +326,55 @@ def main():
         rc = proc.wait(timeout=30)
         if rc != 0:
             fail(f"daemon exited {rc} after shutdown")
-        print("lumpd smoke: OK (all verbs, error path, metrics scrape, clean drain)")
+
+        # Access log: one structured JSON line per handled request.  The
+        # malformed frame never reached the dispatcher, so it must NOT
+        # appear; every client id that did must.
+        with open(access_path) as fh:
+            lines = [ln for ln in fh.read().split("\n") if ln]
+        if not lines:
+            fail("access log is empty after the smoke run")
+        entries = []
+        for ln in lines:
+            try:
+                entries.append(json.loads(ln))
+            except json.JSONDecodeError as exc:
+                fail(f"access log line is not JSON ({exc}): {ln!r}")
+        server_ids = [e.get("request") for e in entries]
+        if len(set(server_ids)) != len(server_ids):
+            fail("access log server request ids are not distinct")
+        for e in entries:
+            for field in ("ts", "request", "verb", "queue_ns", "exec_ns",
+                          "status", "bytes"):
+                if field not in e:
+                    fail(f"access log entry missing {field!r}: {e}")
+            if not str(e["request"]).startswith("r-"):
+                fail(f"access log entry has malformed server id: {e}")
+            if e["queue_ns"] < 0 or e["exec_ns"] < 0 or e["bytes"] <= 0:
+                fail(f"access log entry has implausible timings/bytes: {e}")
+        client_ids = {e.get("id") for e in entries}
+        expected_ids = {f"smoke-{n}" for n in range(1, 9)} | {"smoke-trace"} | {
+            f"load-{n}-{i}"
+            for n in range(load_clients)
+            for i in range(load_requests)
+        }
+        missing_ids = expected_ids - client_ids
+        if missing_ids:
+            fail(f"access log is missing client ids: {sorted(missing_ids)[:6]}")
+        logged_verbs = {e["verb"] for e in entries}
+        for verb in ("submit-model", "lump", "sweep", "solve", "stats", "ping",
+                     "shutdown"):
+            if verb not in logged_verbs:
+                fail(f"access log never recorded verb {verb!r}")
+        statuses = {e.get("id"): e["status"] for e in entries}
+        if statuses.get("smoke-6") != "ok":
+            fail(f"access log status for smoke-6 is {statuses.get('smoke-6')!r}")
+        print(f"  access log: {len(entries)} entries, ids distinct, all verbs seen")
+
+        print(
+            "lumpd smoke: OK (all verbs, traced ping, error path, mini-load, "
+            "metrics scrape, access log, clean drain)"
+        )
     finally:
         if proc.poll() is None:
             proc.kill()

@@ -317,6 +317,81 @@ let test_phase_totals () =
     (List.map fst (Trace.phase_totals ~from ()));
   Trace.clear ()
 
+(* ----- trace contexts ----- *)
+
+(* Two contexts recorded into from two parallel domains: fully
+   independent span trees, correctly nested, nothing shared. *)
+let test_ctx_parallel_domains () =
+  let run tag =
+    let ctx = Trace.Ctx.create () in
+    Trace.Ctx.start ~gc:false ctx;
+    for i = 1 to 50 do
+      Trace.Ctx.with_span ctx (tag ^ ".outer") (fun () ->
+          ignore
+            (Trace.Ctx.with_span ctx (tag ^ ".inner") (fun () ->
+                 Sys.opaque_identity i)))
+    done;
+    Trace.Ctx.stop ctx;
+    ctx
+  in
+  let d1 = Domain.spawn (fun () -> run "a") in
+  let d2 = Domain.spawn (fun () -> run "b") in
+  let c1 = Domain.join d1 in
+  let c2 = Domain.join d2 in
+  List.iter
+    (fun (tag, ctx) ->
+      Alcotest.(check int) "100 spans" 100 (Trace.Ctx.span_count ctx);
+      Trace.Ctx.iter_events ctx (fun ~name ~cat:_ ~start_ns:_ ~dur_ns:_ ~depth ~args:_ ->
+          Alcotest.(check bool) "own tag only" true
+            (String.length name > 2 && String.sub name 0 2 = tag ^ ".");
+          Alcotest.(check int) "nesting depth" (if name = tag ^ ".inner" then 1 else 0) depth);
+      Alcotest.(check (list (pair string int)))
+        "rollup names and counts"
+        [ (tag ^ ".inner", 50); (tag ^ ".outer", 50) ]
+        (List.map (fun (n, c, _) -> (n, c)) (Trace.Ctx.span_rollup ctx));
+      List.iter
+        (fun (_, _, s) -> Alcotest.(check bool) "rollup seconds >= 0" true (s >= 0.0))
+        (Trace.Ctx.span_rollup ctx))
+    [ ("a", c1); ("b", c2) ];
+  Alcotest.(check bool) "default context untouched" false (Trace.enabled ())
+
+(* [with_ctx] reroutes the module-level API for the installing thread
+   only, restores on exit, and nesting errors stay per-context. *)
+let test_with_ctx_install () =
+  let n0 = Trace.span_count () in
+  let ctx = Trace.Ctx.create () in
+  Trace.Ctx.start ~gc:false ctx;
+  let v =
+    Trace.with_ctx ctx (fun () ->
+        Alcotest.(check bool) "enabled under install" true (Trace.enabled ());
+        Trace.with_span "routed" (fun () -> 11))
+  in
+  Alcotest.(check int) "value through install" 11 v;
+  Alcotest.(check bool) "default disabled again" false (Trace.enabled ());
+  Alcotest.(check int) "default buffer untouched" n0 (Trace.span_count ());
+  Trace.Ctx.stop ctx;
+  Alcotest.(check int) "span landed in ctx" 1 (Trace.Ctx.span_count ctx);
+  (* nested installs restore the previous binding *)
+  let inner = Trace.Ctx.create () in
+  Trace.Ctx.start ~gc:false inner;
+  Trace.Ctx.resume ctx;
+  Trace.with_ctx ctx (fun () ->
+      Trace.with_ctx inner (fun () -> Trace.with_span "deep" (fun () -> ()));
+      Trace.with_span "outer-again" (fun () -> ()));
+  Trace.Ctx.stop ctx;
+  Trace.Ctx.stop inner;
+  Alcotest.(check int) "inner got its span" 1 (Trace.Ctx.span_count inner);
+  Alcotest.(check int) "outer got the second" 2 (Trace.Ctx.span_count ctx);
+  (* the Nesting_error fires against the context's own stack *)
+  let c2 = Trace.Ctx.create () in
+  Trace.Ctx.start ~gc:false c2;
+  Trace.Ctx.begin_span c2 "open";
+  Alcotest.check_raises "per-context mismatch"
+    (Trace.Nesting_error "Trace.end_span: \"wrong\" closed while \"open\" is innermost")
+    (fun () -> Trace.Ctx.end_span c2 "wrong");
+  Trace.Ctx.end_span c2 "open";
+  Trace.Ctx.stop c2
+
 (* ----- metrics registry ----- *)
 
 let test_metrics_counters () =
@@ -387,6 +462,55 @@ let test_metrics_histograms () =
   Alcotest.check_raises "bucket clash"
     (Invalid_argument "Metrics.histogram: \"test.hist\" re-registered with different buckets")
     (fun () -> ignore (Metrics.histogram ~buckets:[| 2.0 |] "test.hist"));
+  Metrics.set_enabled false;
+  Metrics.reset ()
+
+(* The snapshot read API merges the domain shards exactly: observing
+   from 4 domains concurrently loses nothing, and the quantile
+   estimator is monotone and bounded by the bucket grid. *)
+let test_histogram_snapshot () =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  let h = Metrics.histogram ~buckets:[| 0.5; 1.5; 2.5; 3.5 |] "test.snap" in
+  let per_domain = 1000 in
+  let ds =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              (* exactly representable, so the merged sum is exact in
+                 any accumulation order *)
+              Metrics.observe h (float_of_int d)
+            done))
+  in
+  List.iter Domain.join ds;
+  (match Metrics.histogram_snapshot "test.snap" with
+  | None -> Alcotest.fail "snapshot missing"
+  | Some s ->
+      Alcotest.(check int) "count exact" (4 * per_domain) s.Metrics.hs_count;
+      Alcotest.(check (float 0.0)) "sum exact"
+        (float_of_int (per_domain * (0 + 1 + 2 + 3)))
+        s.Metrics.hs_sum;
+      Alcotest.(check int) "per-bucket counts exact" (4 * per_domain)
+        (Array.fold_left ( + ) 0 s.Metrics.hs_counts);
+      Array.iter
+        (fun c -> Alcotest.(check int) "1000 per value bucket" per_domain c)
+        (Array.sub s.Metrics.hs_counts 0 4);
+      let p50 = Metrics.snapshot_quantile s 0.50 in
+      let p95 = Metrics.snapshot_quantile s 0.95 in
+      let p99 = Metrics.snapshot_quantile s 0.99 in
+      Alcotest.(check bool) "quantiles monotone" true (p50 <= p95 && p95 <= p99);
+      Alcotest.(check bool) "quantiles within the grid" true
+        (p50 >= 0.0 && p99 <= 3.5));
+  Alcotest.(check bool) "absent name" true
+    (Metrics.histogram_snapshot "test.no_such" = None);
+  (* empty histogram: snapshot exists, quantiles degrade to 0 *)
+  ignore (Metrics.histogram ~buckets:[| 1.0 |] "test.snap_empty");
+  (match Metrics.histogram_snapshot "test.snap_empty" with
+  | Some s ->
+      Alcotest.(check int) "empty count" 0 s.Metrics.hs_count;
+      Alcotest.(check (float 0.0)) "empty quantile" 0.0
+        (Metrics.snapshot_quantile s 0.5)
+  | None -> Alcotest.fail "empty snapshot missing");
   Metrics.set_enabled false;
   Metrics.reset ()
 
@@ -541,6 +665,9 @@ let tests =
     Alcotest.test_case "disabled tracing is a no-op" `Quick test_disabled_is_noop;
     Alcotest.test_case "chrome trace JSON well-formed" `Quick test_chrome_trace_json;
     Alcotest.test_case "phase totals" `Quick test_phase_totals;
+    Alcotest.test_case "contexts on parallel domains" `Quick test_ctx_parallel_domains;
+    Alcotest.test_case "with_ctx install/restore" `Quick test_with_ctx_install;
+    Alcotest.test_case "histogram snapshot" `Quick test_histogram_snapshot;
     Alcotest.test_case "metrics counters" `Quick test_metrics_counters;
     Alcotest.test_case "metrics gauges" `Quick test_metrics_gauges;
     Alcotest.test_case "log buckets" `Quick test_log_buckets;

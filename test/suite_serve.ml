@@ -169,9 +169,11 @@ let request_gen =
         return P.Shutdown;
       ]
   in
-  map3
-    (fun id deadline verb -> { P.rq_id = id; rq_deadline_ms = deadline; rq_verb = verb })
-    (opt ident_gen) (opt (int_range 1 60000)) verb
+  map2
+    (fun (id, deadline, trace) verb ->
+      { P.rq_id = id; rq_deadline_ms = deadline; rq_trace = trace; rq_verb = verb })
+    (triple (opt ident_gen) (opt (int_range 1 60000)) bool)
+    verb
 
 let qcheck_request_roundtrip =
   QCheck.Test.make ~name:"request encode/decode round trip" ~count:500
@@ -278,6 +280,20 @@ let response_gen =
                   ms_points = states / 5;
                 } )
           >>= fun models ->
+          list_size (int_range 0 3)
+            ( ident_gen >>= fun v ->
+              int_range 0 100 >>= fun reqs ->
+              float_gen >>= fun p50 ->
+              return
+                {
+                  P.vs_verb = v;
+                  vs_requests = reqs;
+                  vs_errors = reqs / 3;
+                  vs_p50_s = p50;
+                  vs_p95_s = p50 *. 2.0;
+                  vs_p99_s = p50 *. 3.0;
+                } )
+          >>= fun verbs ->
           return
             (P.Stats_result
                {
@@ -289,6 +305,7 @@ let response_gen =
                  st_rejected_queue_full = n / 2;
                  st_rejected_deadline = n / 3;
                  st_protocol_errors = n / 4;
+                 st_verbs = verbs;
                  st_models = models;
                }) );
         return P.Pong;
@@ -305,9 +322,18 @@ let response_gen =
          ])
       (string_size ~gen:printable (int_range 0 30))
   in
-  map2
-    (fun id body -> { P.resp_id = id; resp_body = body })
-    (opt ident_gen)
+  let trace_rollup =
+    ident_gen >>= fun req ->
+    list_size (int_range 0 3)
+      ( ident_gen >>= fun n ->
+        int_range 1 50 >>= fun c ->
+        float_gen >>= fun s ->
+        return { P.sp_name = n; sp_count = c; sp_total_s = s } )
+    >>= fun spans -> return { P.tr_request = "r-" ^ req; tr_spans = spans }
+  in
+  map3
+    (fun id trace body -> { P.resp_id = id; resp_trace = trace; resp_body = body })
+    (opt ident_gen) (opt trace_rollup)
     (oneof [ map Result.ok payload; map Result.error error ])
 
 let qcheck_response_roundtrip =
@@ -498,7 +524,7 @@ let fresh_path =
       (Printf.sprintf "lumpd-test-%d-%d.sock" (Unix.getpid ()) !n)
 
 let with_server ?metrics_port ?(max_inflight = 1) ?(queue_capacity = 32)
-    ?default_deadline_ms f =
+    ?default_deadline_ms ?access_log f =
   let was_enabled = Metrics.enabled () in
   let config =
     {
@@ -507,6 +533,7 @@ let with_server ?metrics_port ?(max_inflight = 1) ?(queue_capacity = 32)
       max_inflight;
       queue_capacity;
       default_deadline_ms;
+      access_log;
     }
   in
   let server = Server.start config in
@@ -527,7 +554,8 @@ let err_code what = function
   | Ok { P.resp_body = Ok _; _ } -> Alcotest.failf "%s: unexpectedly succeeded" what
   | Error msg -> Alcotest.failf "%s: transport error: %s" what msg
 
-let rq ?id ?deadline_ms verb = { P.rq_id = id; rq_deadline_ms = deadline_ms; rq_verb = verb }
+let rq ?id ?deadline_ms ?(trace = false) verb =
+  { P.rq_id = id; rq_deadline_ms = deadline_ms; rq_trace = trace; rq_verb = verb }
 
 let submit_polling ?(name = "p") client =
   ok_result "submit"
@@ -720,6 +748,15 @@ let test_e2e_bit_identical () =
           "serve_request_seconds_bucket{le=\"+Inf\"}";
           "serve_request_seconds_count";
           "serve_inflight";
+          "serve_uptime_seconds";
+          "# TYPE serve_control_seconds histogram";
+          (* per-verb families, with the dots (and the dash of
+             submit-model) mangled to underscores *)
+          "# TYPE serve_verb_lump_exec_seconds histogram";
+          "serve_verb_lump_queue_seconds_count";
+          "serve_verb_sweep_requests";
+          "serve_verb_submit_model_requests";
+          "serve_verb_ping_errors";
           "# TYPE lump_runs counter";
           "key_cache_hits";
         ])
@@ -954,6 +991,176 @@ let test_streaming_vs_buffered_identical_shape () =
       | _ -> Alcotest.fail "buffered export has no traceEvents")
   | _ -> Alcotest.fail "unexpected export shapes"
 
+(* ---- request-scoped tracing over the socket ---- *)
+
+let trace_of what = function
+  | Ok { P.resp_trace = Some tr; resp_body = Ok _; _ } -> tr
+  | Ok { P.resp_trace = None; _ } -> Alcotest.failf "%s: no trace rollup" what
+  | Ok { P.resp_body = Error (c, msg); _ } ->
+      Alcotest.failf "%s: protocol error %s: %s" what (P.error_code_string c) msg
+  | Error msg -> Alcotest.failf "%s: transport error: %s" what msg
+
+let has_span tr name = List.exists (fun s -> s.P.sp_name = name) tr.P.tr_spans
+
+(* Two traced requests executing concurrently (max_inflight 2) come
+   back with distinct server request ids and disjoint span rollups —
+   each sees exactly its own spans, nothing interleaves. *)
+let test_traced_concurrent_requests () =
+  with_server ~max_inflight:2 (fun server ->
+      let a = Client.connect (Server.address server) in
+      let b = Client.connect (Server.address server) in
+      Fun.protect
+        ~finally:(fun () -> Client.close a; Client.close b)
+        (fun () ->
+          let results = Array.make 2 (Error "unset") in
+          let fire i c =
+            Thread.create
+              (fun () ->
+                results.(i) <-
+                  Client.request c (rq ~trace:true (P.Ping { pg_sleep_ms = 150 })))
+              ()
+          in
+          let t1 = fire 0 a in
+          Thread.delay 0.02;
+          let t2 = fire 1 b in
+          Thread.join t1;
+          Thread.join t2;
+          let tr1 = trace_of "first traced ping" results.(0) in
+          let tr2 = trace_of "second traced ping" results.(1) in
+          checkb "distinct request ids" true (tr1.P.tr_request <> tr2.P.tr_request);
+          List.iter
+            (fun tr ->
+              (* exactly one root and one verb span each: nothing from
+                 the concurrent request leaked into this context *)
+              List.iter
+                (fun (s : P.span_stat) ->
+                  checki (Printf.sprintf "span %s count" s.P.sp_name) 1 s.P.sp_count;
+                  checkb "span total positive" true (s.P.sp_total_s >= 0.0))
+                tr.P.tr_spans;
+              checkb "has serve.request root" true (has_span tr "serve.request");
+              checkb "has serve.ping" true (has_span tr "serve.ping");
+              checki "no foreign spans" 2 (List.length tr.P.tr_spans))
+            [ tr1; tr2 ];
+          (* an untraced request carries no rollup *)
+          match Client.request a (rq (P.Ping { pg_sleep_ms = 0 })) with
+          | Ok { P.resp_trace = None; resp_body = Ok P.Pong; _ } -> ()
+          | _ -> Alcotest.fail "untraced ping must not carry a trace"))
+
+(* A traced lump's rollup reaches through the service layer into the
+   engine: the pipeline's own spans ride along, tagged per request. *)
+let test_traced_lump_rollup () =
+  with_server (fun server ->
+      let c = Client.connect (Server.address server) in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      ignore (submit_polling c);
+      let tr =
+        trace_of "traced lump"
+          (Client.request c
+             (rq ~trace:true
+                (P.Lump { lp_model = "p"; lp_mode = P.Ordinary; lp_extra = [] })))
+      in
+      checkb "has serve.request root" true (has_span tr "serve.request");
+      checkb "has serve.lump" true (has_span tr "serve.lump");
+      checkb "engine spans present" true (List.length tr.P.tr_spans > 2);
+      (* spans nest inside the root, so no span outlasts it *)
+      let root =
+        List.find (fun s -> s.P.sp_name = "serve.request") tr.P.tr_spans
+      in
+      List.iter
+        (fun (s : P.span_stat) ->
+          checkb
+            (Printf.sprintf "span %s within the root" s.P.sp_name)
+            true
+            (s.P.sp_total_s <= root.P.sp_total_s +. 1e-9))
+        tr.P.tr_spans)
+
+(* ---- per-verb stats and the access log ---- *)
+
+let test_stats_verbs () =
+  with_server (fun server ->
+      let c = Client.connect (Server.address server) in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      (match ok_result "ping" (Client.request c (rq (P.Ping { pg_sleep_ms = 0 }))) with
+      | P.Pong -> ()
+      | _ -> Alcotest.fail "expected pong");
+      checkb "lump of unknown model errors" true
+        (err_code "lump"
+           (Client.request c
+              (rq (P.Lump { lp_model = "ghost"; lp_mode = P.Ordinary; lp_extra = [] })))
+         = P.Unknown_model);
+      match ok_result "stats" (Client.request c (rq P.Stats)) with
+      | P.Stats_result st ->
+          checki "one entry per verb" 7 (List.length st.P.st_verbs);
+          let find v = List.find (fun s -> s.P.vs_verb = v) st.P.st_verbs in
+          let ping = find "ping" in
+          checkb "ping served" true (ping.P.vs_requests >= 1);
+          checki "ping errors" 0 ping.P.vs_errors;
+          checkb "ping quantiles monotone" true
+            (ping.P.vs_p50_s <= ping.P.vs_p95_s && ping.P.vs_p95_s <= ping.P.vs_p99_s);
+          let lump = find "lump" in
+          checkb "lump error counted" true (lump.P.vs_errors >= 1);
+          checkb "lump errors <= requests" true (lump.P.vs_errors <= lump.P.vs_requests);
+          let solve = find "solve" in
+          checki "unserved verb at zero" 0 solve.P.vs_requests;
+          checkb "uptime positive" true (st.P.st_uptime_s >= 0.0)
+      | _ -> Alcotest.fail "expected stats_result")
+
+let test_access_log () =
+  let path = Filename.temp_file "lumpd-access" ".log" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  with_server ~access_log:path (fun server ->
+      let c = Client.connect (Server.address server) in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      ignore (submit_polling c);
+      (match ok_result "ping" (Client.request c (rq ~id:"al-1" (P.Ping { pg_sleep_ms = 0 }))) with
+      | P.Pong -> ()
+      | _ -> Alcotest.fail "expected pong");
+      ignore
+        (err_code "bad lump"
+           (Client.request c
+              (rq ~id:"al-2" (P.Lump { lp_model = "nope"; lp_mode = P.Ordinary; lp_extra = [] })))));
+  (* the server is stopped: the log is flushed and closed *)
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let lines = List.rev !lines in
+  checki "one line per request" 3 (List.length lines);
+  let parsed = List.map Json.parse lines in
+  let str j k =
+    match Json.member k j with Some (Json.Str s) -> Some s | _ -> None
+  in
+  let int_of j k =
+    match Json.member k j with Some (Json.Int i) -> Some i | _ -> None
+  in
+  List.iter
+    (fun j ->
+      checkb "has ts" true (Option.is_some (Json.member "ts" j));
+      (match str j "request" with
+      | Some r -> checkb "server id shape" true (String.length r > 2 && String.sub r 0 2 = "r-")
+      | None -> Alcotest.fail "line lacks request id");
+      checkb "has verb" true (Option.is_some (str j "verb"));
+      checkb "queue_ns non-negative" true
+        (match int_of j "queue_ns" with Some n -> n >= 0 | None -> false);
+      checkb "exec_ns non-negative" true
+        (match int_of j "exec_ns" with Some n -> n >= 0 | None -> false);
+      checkb "bytes positive" true
+        (match int_of j "bytes" with Some n -> n > 0 | None -> false))
+    parsed;
+  (* distinct, monotonically assigned server ids *)
+  let ids = List.filter_map (fun j -> str j "request") parsed in
+  checki "distinct server ids" 3 (List.length (List.sort_uniq compare ids));
+  (* client ids and statuses travel verbatim *)
+  let by_id id = List.find (fun j -> str j "id" = Some id) parsed in
+  checkb "ping logged ok" true (str (by_id "al-1") "status" = Some "ok");
+  checkb "error status is the code" true
+    (str (by_id "al-2") "status" = Some "unknown_model");
+  checkb "verb recorded" true (str (by_id "al-2") "verb" = Some "lump")
+
 let qcheck_tests =
   [ qcheck_json_roundtrip; qcheck_request_roundtrip; qcheck_response_roundtrip ]
 
@@ -994,5 +1201,11 @@ let tests =
       test_streaming_trace_bounded;
     Alcotest.test_case "trace: streamed events equal buffered events" `Quick
       test_streaming_vs_buffered_identical_shape;
+    Alcotest.test_case "trace: concurrent traced requests stay disjoint" `Slow
+      test_traced_concurrent_requests;
+    Alcotest.test_case "trace: lump rollup reaches the engine" `Slow
+      test_traced_lump_rollup;
+    Alcotest.test_case "stats: per-verb counters and quantiles" `Slow test_stats_verbs;
+    Alcotest.test_case "access log: one JSON line per request" `Slow test_access_log;
   ]
   @ List.map QCheck_alcotest.to_alcotest qcheck_tests
